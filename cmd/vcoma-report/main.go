@@ -1,0 +1,68 @@
+// Command vcoma-report runs the paper's complete evaluation — every table
+// and figure — and emits a Markdown report with paper-vs-measured numbers.
+// This is the tool that regenerates EXPERIMENTS.md.
+//
+//	vcoma-report -scale small -o EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vcoma"
+	"vcoma/internal/experiments"
+	"vcoma/internal/workload"
+)
+
+func main() {
+	var (
+		scaleStr  = flag.String("scale", "small", "workload scale: test, small, paper")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		benchList = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
+	)
+	flag.Parse()
+
+	var scale workload.Scale
+	switch strings.ToLower(*scaleStr) {
+	case "test":
+		scale = workload.ScaleTest
+	case "small":
+		scale = workload.ScaleSmall
+	case "paper":
+		scale = workload.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleStr))
+	}
+
+	suite := &experiments.Suite{
+		Cfg:   vcoma.Baseline(),
+		Scale: scale,
+		Log:   os.Stderr,
+	}
+	if *benchList != "" {
+		for _, n := range strings.Split(*benchList, ",") {
+			suite.Benchmarks = append(suite.Benchmarks, strings.ToUpper(strings.TrimSpace(n)))
+		}
+	}
+
+	res, err := suite.Run()
+	if err != nil {
+		fatal(err)
+	}
+	md := res.RenderMarkdown()
+	if *outPath == "" {
+		fmt.Print(md)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(md), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *outPath, len(md))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcoma-report:", err)
+	os.Exit(1)
+}

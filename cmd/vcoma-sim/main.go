@@ -1,0 +1,159 @@
+// Command vcoma-sim runs one benchmark on one machine configuration and
+// prints a run summary: execution-time breakdown, cache and protocol
+// statistics, and translation-buffer behaviour.
+//
+// Examples:
+//
+//	vcoma-sim -bench RADIX -scheme vcoma -scale small
+//	vcoma-sim -bench FFT -scheme l0 -tlb 16 -org dm -scale test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vcoma"
+	"vcoma/internal/report"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "RADIX", "benchmark: RADIX, FFT, FMM, OCEAN, RAYTRACE, BARNES")
+		schemeStr = flag.String("scheme", "vcoma", "translation scheme: l0, l1, l2, l3, vcoma")
+		scaleStr  = flag.String("scale", "small", "workload scale: test, small, paper")
+		entries   = flag.Int("tlb", 8, "TLB/DLB entries")
+		orgStr    = flag.String("org", "fa", "TLB/DLB organization: fa (fully associative) or dm (direct mapped)")
+		seed      = flag.Uint64("seed", 0, "override the configuration seed (0 = default)")
+		verbose   = flag.Bool("v", false, "print per-node statistics")
+	)
+	flag.Parse()
+
+	cfg := vcoma.Baseline()
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fatal(err)
+	}
+	org := vcoma.FullyAssoc
+	if strings.EqualFold(*orgStr, "dm") {
+		org = vcoma.DirectMapped
+	}
+	cfg = cfg.WithScheme(scheme).WithTLB(*entries, org)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := vcoma.BenchmarkByName(strings.ToUpper(*benchName), scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	res, err := vcoma.Run(cfg, bench)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	tot := res.Sim.TotalProc()
+	ms := res.Machine.TotalStats()
+	ps := res.Machine.Protocol().Stats()
+	ns := res.Machine.Protocol().Fabric().Stats()
+
+	fmt.Printf("%s on %v (%d entries, %v), scale %v — simulated in %v\n\n",
+		bench.Name(), scheme, *entries, org, scale, elapsed.Round(time.Millisecond))
+	fmt.Printf("shared data: %.2f MB in %d regions\n", res.SharedMB(), len(res.Layout().Regions()))
+	fmt.Printf("execution time: %d cycles (%.2f ms at 200 MHz)\n\n",
+		res.ExecTime(), float64(res.ExecTime())/200e3)
+
+	total := float64(tot.Total())
+	rows := [][]string{
+		{"busy", fmt.Sprint(tot.Busy / uint64(len(res.Sim.Procs))), pct(float64(tot.Busy), total)},
+		{"sync", fmt.Sprint(tot.Sync / uint64(len(res.Sim.Procs))), pct(float64(tot.Sync), total)},
+		{"loc-stall", fmt.Sprint(tot.StallLocal / uint64(len(res.Sim.Procs))), pct(float64(tot.StallLocal), total)},
+		{"rem-stall", fmt.Sprint(tot.StallRemote / uint64(len(res.Sim.Procs))), pct(float64(tot.StallRemote), total)},
+		{"translation", fmt.Sprint(tot.Trans / uint64(len(res.Sim.Procs))), pct(float64(tot.Trans), total)},
+	}
+	fmt.Println(report.Table([]string{"category", "cycles/proc", "share"}, rows))
+
+	fmt.Printf("references: %d (%.1f%% writes)\n", ms.Refs, 100*float64(ms.Writes)/float64(ms.Refs))
+	fmt.Printf("hits: FLC %.1f%%  SLC %.1f%%  local-AM %.1f%%  remote %.2f%%\n",
+		100*float64(ms.FLCHits)/float64(ms.Refs), 100*float64(ms.SLCHits)/float64(ms.Refs),
+		100*float64(ms.LocalAM)/float64(ms.Refs), 100*float64(ms.Remote)/float64(ms.Refs))
+	if ms.TLBAccesses > 0 {
+		fmt.Printf("TLB: %d accesses, %d misses (%.2f%% of refs)\n",
+			ms.TLBAccesses, ms.TLBMisses, 100*float64(ms.TLBMisses)/float64(ms.Refs))
+	}
+	if scheme == vcoma.VCOMA {
+		var lookups, misses uint64
+		for n := 0; n < cfg.Geometry.Nodes(); n++ {
+			st := res.Machine.Engine(vcoma.Node(n)).Stats()
+			lookups += st.Lookups
+			misses += st.Misses
+		}
+		fmt.Printf("DLB: %d lookups, %d misses (%.4f%% of refs)\n",
+			lookups, misses, 100*float64(misses)/float64(ms.Refs))
+	}
+	fmt.Printf("protocol: %d remote reads, %d upgrades, %d write fetches, %d invalidations\n",
+		ps.RemoteReads, ps.Upgrades, ps.WriteFetches, ps.Invalidations)
+	fmt.Printf("replacement: %d shared drops, %d relocations, %d injections (%d hops), %d swaps\n",
+		ps.SharedDrops, ps.Relocations, ps.Injections, ps.InjectionHops, ps.Swaps)
+	fmt.Printf("network: %d requests, %d blocks, %.1f queue cycles/message\n",
+		ns.Requests, ns.Blocks, float64(ns.QueueCycles)/float64(ns.Requests+ns.Blocks))
+
+	if *verbose {
+		fmt.Println("\nper-node references and stalls:")
+		var rows [][]string
+		for n := 0; n < cfg.Geometry.Nodes(); n++ {
+			s := res.Machine.NodeStats(vcoma.Node(n))
+			p := res.Sim.Procs[n]
+			rows = append(rows, []string{
+				fmt.Sprint(n), fmt.Sprint(s.Refs), fmt.Sprint(p.Busy), fmt.Sprint(p.Sync),
+				fmt.Sprint(p.StallLocal), fmt.Sprint(p.StallRemote), fmt.Sprint(p.Trans), fmt.Sprint(p.Finish),
+			})
+		}
+		fmt.Println(report.Table([]string{"node", "refs", "busy", "sync", "loc", "rem", "trans", "finish"}, rows))
+	}
+}
+
+func pct(v, total float64) string { return fmt.Sprintf("%.1f%%", 100*v/total) }
+
+func parseScheme(s string) (vcoma.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "l0", "l0-tlb":
+		return vcoma.L0TLB, nil
+	case "l1", "l1-tlb":
+		return vcoma.L1TLB, nil
+	case "l2", "l2-tlb":
+		return vcoma.L2TLB, nil
+	case "l3", "l3-tlb":
+		return vcoma.L3TLB, nil
+	case "v", "vcoma", "v-coma":
+		return vcoma.VCOMA, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want l0, l1, l2, l3 or vcoma)", s)
+	}
+}
+
+func parseScale(s string) (vcoma.Scale, error) {
+	switch strings.ToLower(s) {
+	case "test":
+		return vcoma.ScaleTest, nil
+	case "small":
+		return vcoma.ScaleSmall, nil
+	case "paper":
+		return vcoma.ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want test, small or paper)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcoma-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command vcoma-sweep regenerates one of the paper's tables or figures.
+//
+// Examples:
+//
+//	vcoma-sweep -exp fig8 -bench RADIX -scale small
+//	vcoma-sweep -exp table2 -scale small          # all six benchmarks
+//	vcoma-sweep -exp fig10 -bench RAYTRACE -scale small
+//	vcoma-sweep -exp fig11 -bench FFT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vcoma"
+	"vcoma/internal/experiments"
+	"vcoma/internal/workload"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "fig8", "experiment: fig8, fig9, table2, table3, table4, fig10, fig11, mgmt, tags, ablation, dlborg")
+		benchList = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
+		scaleStr  = flag.String("scale", "small", "workload scale: test, small, paper")
+		markdown  = flag.Bool("md", false, "emit Markdown tables")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	names := workload.Names()
+	if *benchList != "" {
+		names = nil
+		for _, n := range strings.Split(*benchList, ",") {
+			names = append(names, strings.ToUpper(strings.TrimSpace(n)))
+		}
+	}
+	cfg := experiments.ConfigForScale(vcoma.Baseline(), scale)
+
+	switch strings.ToLower(*expName) {
+	case "fig8", "fig9", "table2", "table3":
+		var t2 []experiments.Table2Row
+		var t3 []experiments.Table3Row
+		for _, name := range names {
+			bench, err := workload.ByName(name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "observing %s (5 scheme passes)...\n", name)
+			obs, err := experiments.Observe(cfg, bench)
+			if err != nil {
+				fatal(err)
+			}
+			switch strings.ToLower(*expName) {
+			case "fig8":
+				fmt.Println(experiments.Figure8(obs).Render(*markdown))
+			case "fig9":
+				fmt.Println(experiments.Figure9(obs).Render(*markdown))
+			case "table2":
+				t2 = append(t2, experiments.Table2(obs))
+			case "table3":
+				t3 = append(t3, experiments.Table3(obs))
+			}
+		}
+		if t2 != nil {
+			fmt.Println(experiments.RenderTable2(t2, *markdown))
+		}
+		if t3 != nil {
+			fmt.Println(experiments.RenderTable3(t3, *markdown))
+		}
+	case "table4":
+		var rows []experiments.Table4Row
+		for _, name := range names {
+			bench, err := workload.ByName(name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "timing %s (4 configurations)...\n", name)
+			row, err := experiments.Table4(cfg, bench)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(experiments.RenderTable4(rows, *markdown))
+	case "fig10":
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "timing %s (Figure 10 configurations)...\n", name)
+			r, err := experiments.Figure10(cfg, name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(r.Render(*markdown))
+		}
+	case "fig11":
+		for _, name := range names {
+			bench, err := workload.ByName(name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := experiments.Figure11(cfg, bench)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(r.Render(*markdown))
+		}
+	case "mgmt":
+		for _, name := range names {
+			bench, err := workload.ByName(name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "management study on %s (5 schemes)...\n", name)
+			rows, err := experiments.MgmtStudy(cfg, bench, 16)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(%s)\n%s\n", name, experiments.RenderMgmt(rows, *markdown))
+		}
+	case "tags":
+		fmt.Println(experiments.RenderTagOverhead(*markdown))
+	case "ablation":
+		for _, name := range names {
+			bench, err := workload.ByName(name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ablation study on %s (4 variants)...\n", name)
+			rows, err := experiments.AblationStudy(cfg, bench)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(%s)\n%s\n", name, experiments.RenderAblation(rows, *markdown))
+		}
+	case "dlborg":
+		sizes := []int{8, 16, 32, 64}
+		for _, name := range names {
+			bench, err := workload.ByName(name, scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "DLB organization sweep on %s...\n", name)
+			data, err := experiments.DLBOrgStudy(cfg, bench, sizes)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(%s)\n%s\n", name, experiments.RenderDLBOrg(data, sizes, *markdown))
+		}
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *expName))
+	}
+}
+
+func parseScale(s string) (workload.Scale, error) {
+	switch strings.ToLower(s) {
+	case "test":
+		return workload.ScaleTest, nil
+	case "small":
+		return workload.ScaleSmall, nil
+	case "paper":
+		return workload.ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcoma-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// Command vcoma-trace records workload reference streams to files and
+// replays recorded traces through the simulator — the classic trace-driven
+// methodology, and the way to feed custom traces to the machine without
+// writing a generator.
+//
+//	vcoma-trace -record -bench RADIX -scale test -dir /tmp/radix
+//	vcoma-trace -replay -dir /tmp/radix -scheme vcoma -tlb 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vcoma"
+	"vcoma/internal/addr"
+	"vcoma/internal/experiments"
+	"vcoma/internal/machine"
+	"vcoma/internal/sim"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+	"vcoma/internal/workload"
+)
+
+func main() {
+	var (
+		record    = flag.Bool("record", false, "record a benchmark's streams to -dir")
+		replay    = flag.Bool("replay", false, "replay streams from -dir through a machine")
+		dir       = flag.String("dir", "", "trace directory (one file per processor + layout)")
+		benchName = flag.String("bench", "RADIX", "benchmark to record")
+		scaleStr  = flag.String("scale", "test", "workload scale: test, small, paper")
+		schemeStr = flag.String("scheme", "vcoma", "scheme for -replay: l0, l1, l2, l3, vcoma")
+		entries   = flag.Int("tlb", 8, "TLB/DLB entries for -replay")
+	)
+	flag.Parse()
+	if *dir == "" || *record == *replay {
+		fatal(fmt.Errorf("need exactly one of -record/-replay, and -dir"))
+	}
+
+	scale := map[string]workload.Scale{
+		"test": workload.ScaleTest, "small": workload.ScaleSmall, "paper": workload.ScalePaper,
+	}[strings.ToLower(*scaleStr)]
+	cfg := experiments.ConfigForScale(vcoma.Baseline(), scale)
+
+	if *record {
+		if err := doRecord(cfg, *benchName, scale, *dir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	scheme := map[string]vcoma.Scheme{
+		"l0": vcoma.L0TLB, "l1": vcoma.L1TLB, "l2": vcoma.L2TLB,
+		"l3": vcoma.L3TLB, "vcoma": vcoma.VCOMA,
+	}[strings.ToLower(*schemeStr)]
+	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir); err != nil {
+		fatal(err)
+	}
+}
+
+// layoutFile stores the regions needed to preload a replayed trace:
+// name, base, bytes per line.
+const layoutFile = "layout.txt"
+
+func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir string) error {
+	bench, err := workload.ByName(strings.ToUpper(benchName), scale)
+	if err != nil {
+		return err
+	}
+	prog, err := bench.Build(cfg.Geometry, cfg.Geometry.Nodes())
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	var lay strings.Builder
+	for _, r := range prog.Layout().Regions() {
+		fmt.Fprintf(&lay, "%s %d %d\n", r.Name, uint64(r.Base), r.Bytes)
+	}
+	if err := os.WriteFile(filepath.Join(dir, layoutFile), []byte(lay.String()), 0o644); err != nil {
+		return err
+	}
+
+	total := uint64(0)
+	for p, s := range prog.Streams() {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("proc%03d.vct", p)))
+		if err != nil {
+			return err
+		}
+		rec, err := trace.NewRecorder(s, f)
+		if err != nil {
+			return err
+		}
+		for {
+			if _, ok := rec.Next(); !ok {
+				break
+			}
+		}
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		total += rec.Count()
+	}
+	fmt.Printf("recorded %s: %d events across %d processors into %s\n",
+		prog.Name(), total, prog.Procs(), dir)
+	return nil
+}
+
+func doReplay(cfg vcoma.Config, dir string) error {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Preload from the saved layout.
+	layBytes, err := os.ReadFile(filepath.Join(dir, layoutFile))
+	if err != nil {
+		return err
+	}
+	var regions []vm.Region
+	for _, line := range strings.Split(strings.TrimSpace(string(layBytes)), "\n") {
+		var name string
+		var base, size uint64
+		if _, err := fmt.Sscanf(line, "%s %d %d", &name, &base, &size); err != nil {
+			return fmt.Errorf("bad layout line %q: %w", line, err)
+		}
+		regions = append(regions, vm.Region{Name: name, Base: addr.Virtual(base), Bytes: size})
+	}
+	layout, err := vm.LayoutFromRegions(cfg.Geometry, regions)
+	if err != nil {
+		return err
+	}
+	m.Preload(layout)
+
+	var streams []trace.Stream
+	var files []*os.File
+	for p := 0; p < cfg.Geometry.Nodes(); p++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("proc%03d.vct", p)))
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		streams = append(streams, rd)
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+
+	eng, err := sim.New(m, streams)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	tot := res.TotalProc()
+	fmt.Printf("replayed %d events on %v in %v\n", res.Events, cfg.Scheme, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("exec=%d cycles  busy=%d sync=%d loc=%d rem=%d trans=%d\n",
+		res.ExecTime, tot.Busy, tot.Sync, tot.StallLocal, tot.StallRemote, tot.Trans)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcoma-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// pressure: audit a workload's virtual address layout for a V-COMA
+// machine. In V-COMA the operating system cannot re-colour pages — the
+// virtual layout alone decides how pages spread over the attraction
+// memory's global page sets (paper §6, Figure 11). This tool preloads each
+// workload's layout and reports per-set pressure, flagging sets that
+// approach the P*K slot capacity where replication stalls and swaps begin.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcoma"
+	"vcoma/internal/experiments"
+	"vcoma/internal/report"
+)
+
+func main() {
+	cfg := experiments.ConfigForScale(vcoma.Baseline(), vcoma.ScalePaper)
+	fmt.Printf("machine: %d nodes, %d global page sets, %d page slots each\n\n",
+		cfg.Geometry.Nodes(), cfg.Geometry.GlobalPageSets(), cfg.Geometry.PageSlotsPerGlobalSet())
+
+	for _, bench := range vcoma.Benchmarks(vcoma.ScalePaper) {
+		r, err := experiments.Figure11(cfg, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		minV, maxV, sum := 1e18, 0.0, 0.0
+		hot := 0
+		for _, v := range r.Pressure {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			if v > 0.75 {
+				hot++
+			}
+			sum += v
+		}
+		mean := sum / float64(len(r.Pressure))
+		verdict := "ok"
+		switch {
+		case maxV >= 1:
+			verdict = "OVERFLOW: some sets exceed capacity; expect swap-outs"
+		case hot > 0:
+			verdict = fmt.Sprintf("%d sets above 75%%: replication will be inhibited there", hot)
+		case maxV > 2*mean:
+			verdict = "uneven: consider re-aligning padded structures (cf. RAYTRACE V2)"
+		}
+		fmt.Printf("%-9s mean %.3f  min %.3f  max %.3f  |%s|  %s\n",
+			bench.Name(), mean, minV, maxV, report.Bar(maxV, 24), verdict)
+	}
+
+	fmt.Println("\nRAYTRACE with 32 KB-aligned ray stacks vs the one-page 'V2' padding:")
+	for _, align := range []uint64{32 << 10, cfg.Geometry.PageSize()} {
+		p := vcoma.ScalePaper.Raytrace()
+		p.StackAlign = align
+		r, err := experiments.Figure11(cfg, newRaytrace(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxV, sum := 0.0, 0.0
+		for _, v := range r.Pressure {
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		fmt.Printf("  align %6d B: max pressure %.3f (mean %.3f)\n",
+			align, maxV, sum/float64(len(r.Pressure)))
+	}
+}
+
+// newRaytrace adapts the workload constructor without importing the
+// internal package at every call site.
+func newRaytrace(p vcoma.RaytraceParams) vcoma.Benchmark { return vcoma.NewRaytrace(p) }

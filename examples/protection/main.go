@@ -1,0 +1,51 @@
+// protection: measure what page-table maintenance costs under each
+// translation scheme. Garbage-collected runtimes, copy-on-write forks and
+// memory-mapped I/O all change page protections and mappings constantly;
+// on a multiprocessor every such change must reach every stale TLB entry.
+// The TLB schemes pay a machine-wide shootdown; V-COMA updates one home
+// node's page table and DLB (paper §1, §4.3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcoma"
+	"vcoma/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.ConfigForScale(vcoma.Baseline(), vcoma.ScaleTest)
+	bench, err := vcoma.BenchmarkByName("BARNES", vcoma.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("warming each machine with BARNES, then timing 16 protection")
+	fmt.Println("changes and 16 demaps per scheme...")
+	fmt.Println()
+
+	rows, err := experiments.MgmtStudy(cfg, bench, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderMgmt(rows, false))
+
+	var l0, vc experiments.MgmtRow
+	for _, r := range rows {
+		switch r.Scheme {
+		case vcoma.L0TLB:
+			l0 = r
+		case vcoma.VCOMA:
+			vc = r
+		}
+	}
+	fmt.Printf("a protection change costs %.1fx less on V-COMA than on L0-TLB\n",
+		l0.ProtChangeCycles/vc.ProtChangeCycles)
+	fmt.Printf("an L0 change invalidates %.1f TLB entries machine-wide; V-COMA touches %.1f\n\n",
+		l0.ProtShootdowns, vc.ProtShootdowns)
+
+	fmt.Println("the paper's §6 tag-cost caveat, for completeness:")
+	fmt.Println()
+	fmt.Print(experiments.RenderTagOverhead(false))
+}

@@ -1,0 +1,63 @@
+// raytrace-layout: the paper's Figure 10 RAYTRACE experiment as a layout
+// case study. In a machine running on virtual addresses, the programmer's
+// padding decisions directly steer attraction-memory placement: SPLASH-2
+// raytrace pads its per-processor ray stacks to 32 KB multiples, stacking
+// every processor's hot pages into the same global page sets under V-COMA.
+// Re-padding to one 4 KB page ("V2") spreads the colours. This example runs
+// the physical-COMA baseline and both V-COMA layouts and prints the
+// execution-time breakdowns side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcoma"
+	"vcoma/internal/experiments"
+	"vcoma/internal/report"
+)
+
+func main() {
+	scale := vcoma.ScaleSmall
+	cfg := experiments.ConfigForScale(vcoma.Baseline(), scale)
+
+	type variant struct {
+		label  string
+		scheme vcoma.Scheme
+		align  uint64
+	}
+	variants := []variant{
+		{"physical COMA, TLB/8", vcoma.L0TLB, 32 << 10},
+		{"V-COMA, DLB/8, 32 KB padding", vcoma.VCOMA, 32 << 10},
+		{"V-COMA, DLB/8, 4 KB padding (V2)", vcoma.VCOMA, cfg.Geometry.PageSize()},
+	}
+
+	var rows [][]string
+	var base float64
+	for _, v := range variants {
+		p := scale.Raytrace()
+		p.StackAlign = v.align
+		bench := vcoma.NewRaytrace(p)
+		c := cfg.WithScheme(v.scheme).WithTLB(8, vcoma.FullyAssoc)
+		b, err := experiments.Timed(c, bench, v.label)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = b.Total()
+		}
+		rows = append(rows, []string{
+			v.label,
+			report.Count(b.Busy), report.Count(b.Sync), report.Count(b.Local),
+			report.Count(b.Remot), report.Count(b.Trans),
+			fmt.Sprintf("%.3f", b.Total()/base),
+		})
+	}
+	fmt.Println("RAYTRACE execution-time breakdown (cycles per processor):")
+	fmt.Println(report.Table(
+		[]string{"configuration", "busy", "sync", "loc-stall", "rem-stall", "translation", "vs TLB/8"},
+		rows))
+	fmt.Println("The 32 KB-aligned stacks concentrate every processor's hot pages into the")
+	fmt.Println("same global page sets; realigning the padding to one page spreads them —")
+	fmt.Println("a layout optimization only a virtual-address machine exposes (paper §5.3, §6).")
+}

@@ -1,0 +1,3 @@
+module vcoma
+
+go 1.22

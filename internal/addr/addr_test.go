@@ -1,0 +1,210 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperGeometry is the paper's §5.1 machine.
+func paperGeometry() Geometry {
+	return Geometry{NodeBits: 5, PageBits: 12, AMBlockBits: 7, AMSetBits: 13, AMAssocBits: 2}
+}
+
+func smallGeometry() Geometry {
+	return Geometry{NodeBits: 2, PageBits: 8, AMBlockBits: 5, AMSetBits: 6, AMAssocBits: 1}
+}
+
+func TestPaperGeometryDerived(t *testing.T) {
+	g := paperGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"nodes", g.Nodes(), 32},
+		{"am sets", g.AMSets(), 8192},
+		{"am assoc", g.AMAssoc(), 4},
+		{"blocks per page", g.BlocksPerPage(), 32},
+		{"page frames per node", g.PageFramesPerNode(), 1024},
+		{"global page sets", g.GlobalPageSets(), 256},
+		{"page slots per global set", g.PageSlotsPerGlobalSet(), 128},
+		{"page table sets per home", g.PageTableSetsPerHome(), 8},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if g.AMBytesPerNode() != 4<<20 {
+		t.Errorf("AM bytes per node = %d, want 4 MB", g.AMBytesPerNode())
+	}
+	if g.PageSize() != 4096 || g.AMBlockSize() != 128 {
+		t.Errorf("page %d block %d", g.PageSize(), g.AMBlockSize())
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []Geometry{
+		{NodeBits: 5, PageBits: 6, AMBlockBits: 7, AMSetBits: 13, AMAssocBits: 2},  // page < block
+		{NodeBits: 5, PageBits: 12, AMBlockBits: 7, AMSetBits: 4, AMAssocBits: 2},  // page doesn't fit AM index
+		{NodeBits: 8, PageBits: 12, AMBlockBits: 7, AMSetBits: 12, AMAssocBits: 2}, // gps < nodes
+		{NodeBits: 25, PageBits: 12, AMBlockBits: 7, AMSetBits: 13, AMAssocBits: 2},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, g)
+		}
+	}
+}
+
+func TestDecompositionProperties(t *testing.T) {
+	g := paperGeometry()
+	err := quick.Check(func(raw uint64) bool {
+		v := Virtual(raw % (1 << 40))
+		pn := g.Page(v)
+		// Home node = p LSBs of the page number (Figure 6).
+		if g.HomeNode(v) != Node(uint64(pn)&31) {
+			return false
+		}
+		if g.HomeNodeOfPage(pn) != g.HomeNode(v) {
+			return false
+		}
+		// The global page set includes the home bits.
+		gps := g.GlobalPageSet(pn)
+		if gps&31 != int(g.HomeNode(v)) {
+			return false
+		}
+		// Page base/offset recompose the address.
+		if uint64(g.PageBase(v))+g.PageOffset(v) != uint64(v) {
+			return false
+		}
+		// Directory entry index is the block index within the page.
+		if g.DirEntryIndex(v) != int(g.PageOffset(v)>>g.AMBlockBits) {
+			return false
+		}
+		// Block alignment is idempotent and preserves the AM set.
+		if g.Block(g.Block(v)) != g.Block(v) {
+			return false
+		}
+		return g.AMSetOfVirtual(v) == g.AMSetOfVirtual(g.Block(v))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysicalRoundTrip(t *testing.T) {
+	g := smallGeometry()
+	err := quick.Check(func(frame uint32, off uint16) bool {
+		f := Frame(frame % (1 << 20))
+		v := Virtual(uint64(off)) // offset only matters modulo page size
+		pa := g.PhysAddr(f, v)
+		if g.FrameOf(pa) != f {
+			return false
+		}
+		return uint64(pa)&(g.PageSize()-1) == g.PageOffset(v)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirAddrRoundTrip(t *testing.T) {
+	g := paperGeometry()
+	err := quick.Check(func(dp uint16, raw uint64) bool {
+		v := Virtual(raw % (1 << 40))
+		d := g.DirAddrOf(int(dp), v)
+		if g.DirPageOf(d) != int(dp) {
+			return false
+		}
+		return int(uint64(d)-uint64(g.DirPageBase(int(dp)))) == g.DirEntryIndex(v)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutivePagesSpreadHomes(t *testing.T) {
+	g := paperGeometry()
+	seen := map[Node]bool{}
+	for pn := PageNum(0); pn < 32; pn++ {
+		seen[g.HomeNodeOfPage(pn)] = true
+	}
+	if len(seen) != 32 {
+		t.Fatalf("32 consecutive pages hit %d homes, want 32", len(seen))
+	}
+}
+
+func TestGlobalPageSetCoversPageBlocks(t *testing.T) {
+	// All blocks of one page map to consecutive AM sets inside one global
+	// page set's range (paper §3.4).
+	g := paperGeometry()
+	base := Virtual(0x1234000)
+	first := g.AMSetOfVirtual(base)
+	for b := 0; b < g.BlocksPerPage(); b++ {
+		v := base + Virtual(b)*Virtual(g.AMBlockSize())
+		if g.AMSetOfVirtual(v) != first+b {
+			t.Fatalf("block %d of page maps to set %d, want %d", b, g.AMSetOfVirtual(v), first+b)
+		}
+	}
+}
+
+func TestColouredFrameSameHome(t *testing.T) {
+	// A frame composed of (slot, gps) has the same home as any virtual
+	// page with that gps — the property that makes L3-TLB and V-COMA
+	// directory placement coincide (Figure 4).
+	g := paperGeometry()
+	err := quick.Check(func(slot uint8, rawPn uint32) bool {
+		pn := PageNum(rawPn)
+		gps := g.GlobalPageSet(pn)
+		f := Frame(uint64(slot%128)<<g.GlobalPageSetBits() | uint64(gps))
+		return g.HomeNodeOfFrame(f) == g.HomeNodeOfPage(pn) &&
+			g.GlobalPageSetOfFrame(f) == gps
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := paperGeometry().String(); s == "" {
+		t.Fatal("empty geometry string")
+	}
+}
+
+func TestPageTableSetConsistency(t *testing.T) {
+	// A page's (home, page-table-set) pair must uniquely determine its
+	// global page set — Figure 6's index decomposition is invertible.
+	g := paperGeometry()
+	seen := map[[2]int]int{}
+	for pn := PageNum(0); pn < PageNum(4*g.GlobalPageSets()); pn++ {
+		key := [2]int{int(g.HomeNodeOfPage(pn)), g.HomePageTableSet(pn)}
+		gps := g.GlobalPageSet(pn)
+		if prev, ok := seen[key]; ok && prev != gps {
+			t.Fatalf("page %d: (home, set) %v maps to gps %d and %d", pn, key, prev, gps)
+		}
+		seen[key] = gps
+	}
+	if len(seen) != g.GlobalPageSets() {
+		t.Fatalf("(home, set) pairs: %d, want %d", len(seen), g.GlobalPageSets())
+	}
+}
+
+func TestDirAddrDenseWithinPage(t *testing.T) {
+	// Consecutive blocks of a page get consecutive directory entries in
+	// one directory page (§4.2).
+	g := paperGeometry()
+	base := Virtual(0xABC000)
+	prev := g.DirAddrOf(5, base)
+	for b := 1; b < g.BlocksPerPage(); b++ {
+		v := base + Virtual(b)*Virtual(g.AMBlockSize())
+		d := g.DirAddrOf(5, v)
+		if d != prev+1 {
+			t.Fatalf("block %d: directory address %d, want %d", b, d, prev+1)
+		}
+		prev = d
+	}
+}

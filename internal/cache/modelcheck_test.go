@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcoma/internal/config"
+	"vcoma/internal/prng"
+)
+
+// refCache is an obviously-correct reference implementation of a
+// set-associative LRU cache: per set, a slice ordered most-recent-first.
+// The production cache must agree with it on every observable (hit/miss,
+// victim identity, dirty state) for any access sequence.
+type refCache struct {
+	blockBytes uint64
+	sets       int
+	ways       int
+	writeBack  bool
+	lines      [][]refLine // per set, MRU first
+}
+
+type refLine struct {
+	block uint64
+	dirty bool
+}
+
+func newRefCache(cfg config.CacheConfig) *refCache {
+	return &refCache{
+		blockBytes: cfg.BlockBytes,
+		sets:       cfg.Sets(),
+		ways:       cfg.Assoc,
+		writeBack:  cfg.WriteBack,
+		lines:      make([][]refLine, cfg.Sets()),
+	}
+}
+
+func (r *refCache) set(a uint64) int { return int((a / r.blockBytes) % uint64(r.sets)) }
+func (r *refCache) block(a uint64) uint64 {
+	return a &^ (r.blockBytes - 1)
+}
+
+func (r *refCache) find(a uint64) (int, int) {
+	s := r.set(a)
+	for i, l := range r.lines[s] {
+		if l.block == r.block(a) {
+			return s, i
+		}
+	}
+	return s, -1
+}
+
+// access returns (hit, evicted, victim, victimDirty).
+func (r *refCache) access(a uint64, write bool) (bool, bool, uint64, bool) {
+	s, i := r.find(a)
+	if i >= 0 {
+		l := r.lines[s][i]
+		if write && r.writeBack {
+			l.dirty = true
+		}
+		// Move to front.
+		r.lines[s] = append(r.lines[s][:i], r.lines[s][i+1:]...)
+		r.lines[s] = append([]refLine{l}, r.lines[s]...)
+		return true, false, 0, false
+	}
+	if write && !r.writeBack {
+		return false, false, 0, false // no-allocate
+	}
+	nl := refLine{block: r.block(a), dirty: write && r.writeBack}
+	var evicted bool
+	var victim refLine
+	if len(r.lines[s]) == r.ways {
+		victim = r.lines[s][len(r.lines[s])-1]
+		r.lines[s] = r.lines[s][:len(r.lines[s])-1]
+		evicted = true
+	}
+	r.lines[s] = append([]refLine{nl}, r.lines[s]...)
+	return false, evicted, victim.block, victim.dirty
+}
+
+func TestCacheAgreesWithReferenceModel(t *testing.T) {
+	for _, cfg := range []config.CacheConfig{
+		{SizeBytes: 256, BlockBytes: 16, Assoc: 1, WriteBack: false},
+		{SizeBytes: 512, BlockBytes: 32, Assoc: 2, WriteBack: true},
+		{SizeBytes: 1024, BlockBytes: 32, Assoc: 4, WriteBack: true},
+	} {
+		cfg := cfg
+		err := quick.Check(func(seed uint64) bool {
+			c := New(cfg)
+			ref := newRefCache(cfg)
+			rng := prng.New(seed)
+			for op := 0; op < 2000; op++ {
+				// A small address pool forces conflicts.
+				a := rng.Uint64n(2048)
+				write := rng.Intn(3) == 0
+				var got Result
+				if write {
+					got = c.Write(a)
+				} else {
+					got = c.Read(a)
+				}
+				hit, evicted, victim, vdirty := ref.access(a, write)
+				if got.Hit != hit {
+					t.Logf("op %d: addr %#x write=%v: hit %v, ref %v", op, a, write, got.Hit, hit)
+					return false
+				}
+				if got.Evicted != evicted {
+					t.Logf("op %d: addr %#x: evicted %v, ref %v", op, a, got.Evicted, evicted)
+					return false
+				}
+				if evicted && (got.Victim != victim || got.VictimDirty != vdirty) {
+					t.Logf("op %d: addr %#x: victim %#x/%v, ref %#x/%v",
+						op, a, got.Victim, got.VictimDirty, victim, vdirty)
+					return false
+				}
+			}
+			return true
+		}, &quick.Config{MaxCount: 20})
+		if err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestCacheAgreesWithModelUnderInvalidation(t *testing.T) {
+	cfg := config.CacheConfig{SizeBytes: 512, BlockBytes: 32, Assoc: 2, WriteBack: true}
+	err := quick.Check(func(seed uint64) bool {
+		c := New(cfg)
+		ref := newRefCache(cfg)
+		rng := prng.New(seed)
+		for op := 0; op < 1000; op++ {
+			a := rng.Uint64n(1024)
+			switch rng.Intn(4) {
+			case 0: // invalidate
+				s, i := ref.find(a)
+				refPresent := i >= 0
+				refDirty := refPresent && ref.lines[s][i].dirty
+				if refPresent {
+					ref.lines[s] = append(ref.lines[s][:i], ref.lines[s][i+1:]...)
+				}
+				present, dirty := c.Invalidate(a)
+				if present != refPresent || dirty != refDirty {
+					return false
+				}
+			case 1:
+				c.Write(a)
+				ref.access(a, true)
+			default:
+				c.Read(a)
+				ref.access(a, false)
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

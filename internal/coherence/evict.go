@@ -1,0 +1,68 @@
+package coherence
+
+import (
+	"vcoma/internal/addr"
+	"vcoma/internal/network"
+)
+
+// EvictStats summarises a block or page eviction.
+type EvictStats struct {
+	// CopiesDropped is the number of attraction-memory copies invalidated.
+	CopiesDropped int
+	// Blocks is the number of directory entries removed.
+	Blocks int
+	// Done is the completion time (all invalidation acks collected).
+	Done uint64
+}
+
+// EvictBlock removes every copy of block from the machine and deletes its
+// directory entry: the protocol half of an address-mapping change
+// (§2.2.1) or a page-out. The home issues invalidations to every holder
+// and collects acknowledgements; the returned time includes the fan-out.
+// Evicting an unknown or swapped block is a no-op.
+func (p *Protocol) EvictBlock(now uint64, block uint64) EvictStats {
+	b := p.align(block)
+	e := p.dir.Lookup(b)
+	if e == nil {
+		return EvictStats{Done: now}
+	}
+	h := p.home(b)
+	t, _ := p.peService(now, h, b, false)
+	st := EvictStats{Blocks: 1, Done: t}
+	for o := addr.Node(0); int(o) < p.g.Nodes(); o++ {
+		if !e.Holds(o) {
+			continue
+		}
+		was := p.ams[o].Invalidate(b)
+		if was.IsMaster() {
+			// The data is being discarded deliberately; no injection.
+		}
+		p.hooks.BackInvalidate(o, b)
+		st.CopiesDropped++
+		ta := p.fabric.Send(t, h, o, network.Request)
+		ta = p.fabric.Send(ta, o, h, network.Request)
+		if ta > st.Done {
+			st.Done = ta
+		}
+	}
+	p.dir.Remove(b)
+	return st
+}
+
+// EvictPage evicts every block of the page containing v, returning the
+// aggregate statistics. Used by demap and page-out paths.
+func (p *Protocol) EvictPage(now uint64, pageBase uint64) EvictStats {
+	var total EvictStats
+	total.Done = now
+	bs := p.g.AMBlockSize()
+	base := pageBase &^ (p.g.PageSize() - 1)
+	for off := uint64(0); off < p.g.PageSize(); off += bs {
+		st := p.EvictBlock(now, base+off)
+		total.CopiesDropped += st.CopiesDropped
+		total.Blocks += st.Blocks
+		if st.Done > total.Done {
+			total.Done = st.Done
+		}
+	}
+	return total
+}

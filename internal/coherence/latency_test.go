@@ -1,0 +1,167 @@
+package coherence
+
+import (
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+)
+
+// These tests pin the protocol's latency composition against the paper's
+// §5.1 timing model, on a quiet machine (no contention).
+
+func timing() config.Timing { return config.Baseline().Timing }
+
+func TestRemoteReadLatencyComposition(t *testing.T) {
+	p := newProtocol(t, nil)
+	tm := timing()
+	b := blockAtHome(1, 0) // home node 1
+	p.Preload(b, 2)        // master at node 2
+
+	// Requester 3, home 1, master 2, all distinct:
+	// local AM probe + request to home + dir lookup + forward to master +
+	// master AM access + block to requester.
+	want := tm.AMHit + tm.NetRequest + tm.DirLookup + tm.NetRequest + tm.AMHit + tm.NetBlock
+	r := p.Access(0, 3, b, false)
+	if r.Latency != want {
+		t.Fatalf("remote read latency %d, want %d", r.Latency, want)
+	}
+}
+
+func TestRemoteReadMasterAtHome(t *testing.T) {
+	p := newProtocol(t, nil)
+	tm := timing()
+	b := blockAtHome(1, 0)
+	p.Preload(b, 1) // master IS the home
+	want := tm.AMHit + tm.NetRequest + tm.DirLookup + tm.AMHit + tm.NetBlock
+	r := p.Access(0, 3, b, false)
+	if r.Latency != want {
+		t.Fatalf("read (master at home) latency %d, want %d", r.Latency, want)
+	}
+}
+
+func TestLocalMissToOwnHome(t *testing.T) {
+	p := newProtocol(t, nil)
+	tm := timing()
+	b := blockAtHome(1, 0)
+	p.Preload(b, 2)
+	// Requester == home: the request crosses no network.
+	want := tm.AMHit + tm.DirLookup + tm.NetRequest + tm.AMHit + tm.NetBlock
+	r := p.Access(0, 1, b, false)
+	if r.Latency != want {
+		t.Fatalf("home-local read latency %d, want %d", r.Latency, want)
+	}
+}
+
+func TestUpgradeLatencyComposition(t *testing.T) {
+	p := newProtocol(t, nil)
+	tm := timing()
+	b := blockAtHome(1, 0)
+	p.Preload(b, 2)
+	p.Access(0, 3, b, false) // node 3 now Shared; master 2
+
+	// Node 3 upgrade: probe + req to home + dir + parallel invalidation of
+	// node 2 (inval + ack) + grant back to 3.
+	start := uint64(100000) // past all port busy times
+	want := tm.AMHit + tm.NetRequest + tm.DirLookup + (tm.NetRequest + tm.NetRequest) + tm.NetRequest
+	r := p.Access(start, 3, b, true)
+	if r.Latency != want {
+		t.Fatalf("upgrade latency %d, want %d", r.Latency, want)
+	}
+}
+
+func TestLocalHitLatency(t *testing.T) {
+	p := newProtocol(t, nil)
+	tm := timing()
+	b := blockAtHome(0, 0)
+	p.Preload(b, 2)
+	if r := p.Access(0, 2, b, false); !r.LocalHit || r.Latency != tm.AMHit {
+		t.Fatalf("local read: %+v", r)
+	}
+	p.Access(0, 2, b, true) // upgrade to E
+	if r := p.Access(50000, 2, b, true); !r.LocalHit || r.Latency != tm.AMHit {
+		t.Fatalf("local exclusive write: %+v", r)
+	}
+}
+
+func TestPEQueueingSerializesHomeLookups(t *testing.T) {
+	// Make the PE service long (a slow DLB walk) so that back-to-back
+	// lookups at the same home visibly queue; with InfinitePEBandwidth
+	// they must not.
+	slowDLB := hookFuncs{
+		dir:  func(addr.Node, uint64, bool) uint64 { return 100 },
+		back: func(addr.Node, uint64) {},
+		repl: func(addr.Node, uint64) uint64 { return 0 },
+	}
+	run := func(infinite bool) (uint64, uint64) {
+		p := newProtocol(t, slowDLB)
+		if infinite {
+			p.DisablePEQueueing()
+		}
+		b1 := blockAtHome(1, 0)
+		b2 := blockAtHome(1, 1)
+		p.Preload(b1, 2)
+		p.Preload(b2, 2)
+		r1 := p.Access(0, 3, b1, false)
+		r2 := p.Access(0, 0, b2, false)
+		return r1.Latency, r2.Latency
+	}
+	q1, q2 := run(false)
+	if q2 <= q1 {
+		t.Fatalf("no PE queueing: %d then %d", q1, q2)
+	}
+	f1, f2 := run(true)
+	if f2-f1 >= q2-q1 {
+		t.Fatalf("infinite PE bandwidth did not shrink the gap: %d vs %d", f2-f1, q2-q1)
+	}
+}
+
+func TestSwapRefetchCharged(t *testing.T) {
+	p := newProtocol(t, nil)
+	tm := timing()
+	b := blockAtHome(0, 3)
+	e := p.dir.Ensure(p.align(b))
+	e.Swapped = true
+	r := p.Access(0, 2, b, false)
+	if r.Latency < tm.SwapFetch {
+		t.Fatalf("swap refetch latency %d below the swap cost %d", r.Latency, tm.SwapFetch)
+	}
+}
+
+func TestEvictBlockAndPage(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(0, 0)
+	p.Preload(b, 1)
+	p.Access(0, 2, b, false)
+	p.Access(0, 3, b, false)
+	st := p.EvictBlock(0, b)
+	if st.CopiesDropped != 3 || st.Blocks != 1 {
+		t.Fatalf("evict stats %+v", st)
+	}
+	if p.dir.Lookup(p.align(b)) != nil {
+		t.Fatal("directory entry survived eviction")
+	}
+	for n := addr.Node(0); n < 4; n++ {
+		if p.StateAt(n, b).Readable() {
+			t.Fatalf("node %d still holds the block", n)
+		}
+	}
+	// Idempotent.
+	if st := p.EvictBlock(0, b); st.CopiesDropped != 0 || st.Blocks != 0 {
+		t.Fatalf("double eviction: %+v", st)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Page eviction covers all blocks of the page.
+	g := testGeometry()
+	base := uint64(0x30000)
+	for off := uint64(0); off < g.PageSize(); off += g.AMBlockSize() {
+		p.Preload(base+off, 2)
+	}
+	pst := p.EvictPage(0, base)
+	if pst.Blocks != g.BlocksPerPage() {
+		t.Fatalf("page eviction removed %d entries, want %d", pst.Blocks, g.BlocksPerPage())
+	}
+}

@@ -1,0 +1,354 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/mem"
+	"vcoma/internal/prng"
+)
+
+func testGeometry() addr.Geometry {
+	return addr.Geometry{NodeBits: 2, PageBits: 8, AMBlockBits: 5, AMSetBits: 6, AMAssocBits: 1}
+}
+
+func newProtocol(t *testing.T, hooks Hooks) *Protocol {
+	t.Helper()
+	g := testGeometry()
+	p, err := New(g, config.Baseline().Timing, func(block uint64) addr.Node {
+		return g.HomeNode(addr.Virtual(block))
+	}, hooks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// blockAtHome returns a block address homed at node h (page number ≡ h mod 4)
+// with an arbitrary distinct page per index i.
+func blockAtHome(h addr.Node, i int) uint64 {
+	return uint64(i*4+int(h))<<8 | 0x20
+}
+
+func TestPreloadPlacesMaster(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(1, 0)
+	p.Preload(b, 2)
+	if p.StateAt(2, b) != mem.MasterShared {
+		t.Fatalf("state at placement node: %v", p.StateAt(2, b))
+	}
+	e := p.Directory().Lookup(p.align(b))
+	if e == nil || e.Master != 2 || e.Holders() != 1 {
+		t.Fatalf("directory entry %+v", e)
+	}
+	p.Preload(b, 3) // idempotent: already resident
+	if p.StateAt(3, b) != mem.Invalid {
+		t.Fatal("second preload installed a second master")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMigratesSharedCopy(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(0, 0)
+	p.Preload(b, 1)
+
+	r := p.Access(0, 2, b, false)
+	if r.LocalHit {
+		t.Fatal("remote read reported local")
+	}
+	if p.StateAt(2, b) != mem.Shared || p.StateAt(1, b) != mem.MasterShared {
+		t.Fatalf("states after read: requester=%v master=%v", p.StateAt(2, b), p.StateAt(1, b))
+	}
+	e := p.Directory().Lookup(p.align(b))
+	if e.Holders() != 2 || !e.Holds(2) || e.Master != 1 {
+		t.Fatalf("directory %+v", e)
+	}
+	// The second read hits locally and is cheaper.
+	r2 := p.Access(r.Latency, 2, b, false)
+	if !r2.LocalHit || r2.Latency != p.timing.AMHit {
+		t.Fatalf("second read: %+v", r2)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDowngradesExclusive(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(0, 0)
+	p.Preload(b, 1)
+	p.Access(0, 1, b, true) // local upgrade MS -> E
+	if p.StateAt(1, b) != mem.Exclusive {
+		t.Fatalf("upgrade failed: %v", p.StateAt(1, b))
+	}
+	p.Access(100, 3, b, false)
+	if p.StateAt(1, b) != mem.MasterShared || p.StateAt(3, b) != mem.Shared {
+		t.Fatalf("downgrade: master=%v reader=%v", p.StateAt(1, b), p.StateAt(3, b))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteInvalidatesAllCopies(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(0, 0)
+	p.Preload(b, 1)
+	p.Access(0, 2, b, false)
+	p.Access(0, 3, b, false)
+	if p.Directory().Lookup(p.align(b)).Holders() != 3 {
+		t.Fatal("setup: want 3 holders")
+	}
+
+	r := p.Access(1000, 2, b, true) // upgrade from Shared
+	if r.LocalHit {
+		t.Fatal("upgrade reported local")
+	}
+	if p.StateAt(2, b) != mem.Exclusive {
+		t.Fatalf("writer state %v", p.StateAt(2, b))
+	}
+	for _, n := range []addr.Node{1, 3} {
+		if p.StateAt(n, b) != mem.Invalid {
+			t.Fatalf("node %d still holds the block: %v", n, p.StateAt(n, b))
+		}
+	}
+	e := p.Directory().Lookup(p.align(b))
+	if e.Holders() != 1 || e.Master != 2 {
+		t.Fatalf("directory %+v", e)
+	}
+	st := p.Stats()
+	if st.Upgrades != 1 || st.Invalidations != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFetchesFromMaster(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(1, 0)
+	p.Preload(b, 0)
+	r := p.Access(0, 3, b, true)
+	if r.LocalHit || p.StateAt(3, b) != mem.Exclusive || p.StateAt(0, b) != mem.Invalid {
+		t.Fatalf("write fetch: %+v, states %v/%v", r, p.StateAt(3, b), p.StateAt(0, b))
+	}
+	if p.Stats().WriteFetches != 1 {
+		t.Fatalf("stats %+v", p.Stats())
+	}
+}
+
+func TestColdCreate(t *testing.T) {
+	p := newProtocol(t, nil)
+	b := blockAtHome(0, 7)
+	r := p.Access(0, 2, b, false)
+	if r.LocalHit || p.StateAt(2, b) != mem.MasterShared {
+		t.Fatalf("cold read: %+v state %v", r, p.StateAt(2, b))
+	}
+	if p.Stats().ColdCreates != 1 {
+		t.Fatal("cold create not counted")
+	}
+	b2 := blockAtHome(0, 8)
+	p.Access(0, 1, b2, true)
+	if p.StateAt(1, b2) != mem.Exclusive {
+		t.Fatal("cold write not exclusive")
+	}
+}
+
+func TestMasterRelocation(t *testing.T) {
+	p := newProtocol(t, nil)
+	g := testGeometry()
+	// Node 2's AM is 2-way; fill one set with two masters, both also
+	// shared by node 3, then force an eviction with a third block in the
+	// same set.
+	setStride := uint64(g.AMSets()) * g.AMBlockSize() // 2 KB
+	b0, b1, b2 := uint64(0x20), 0x20+setStride, 0x20+2*setStride
+	p.Preload(b0, 2)
+	p.Preload(b1, 2)
+	p.Access(0, 3, b0, false) // node 3 holds a Shared copy of b0
+
+	// Node 2 reads b2 (same set): victim must be chosen; b0 can relocate
+	// its mastership to node 3.
+	p.Access(0, 2, b2, false)
+	if p.Stats().Relocations == 0 && p.Stats().Injections == 0 && p.Stats().SharedDrops == 0 {
+		t.Fatalf("no replacement activity: %+v", p.Stats())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever was evicted, exactly one master per resident block remains
+	// (checked by invariants) and b2 is now readable at node 2.
+	if !p.StateAt(2, b2).Readable() {
+		t.Fatal("fetched block not resident")
+	}
+}
+
+func TestInjectionAndSwap(t *testing.T) {
+	g := testGeometry()
+	p := newProtocol(t, nil)
+	// Fill the same AM set on EVERY node with masters so an eviction has
+	// nowhere to go: the chain must swap the victim out, and a later
+	// access must refetch it.
+	setStride := uint64(g.AMSets()) * g.AMBlockSize()
+	idx := 0
+	fill := func(n addr.Node) []uint64 {
+		var blocks []uint64
+		for w := 0; w < g.AMAssoc(); w++ {
+			b := uint64(0x20) + uint64(idx)*setStride
+			idx++
+			p.Preload(b, n)
+			blocks = append(blocks, b)
+		}
+		return blocks
+	}
+	var all []uint64
+	for n := 0; n < g.Nodes(); n++ {
+		all = append(all, fill(addr.Node(n))...)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every slot of this global set holds a sole master. One more block in
+	// the same set: installing it at node 0 evicts a master whose
+	// injection chain finds no Invalid or Shared slot anywhere.
+	extra := uint64(0x20) + uint64(idx)*setStride
+	p.Access(0, 0, extra, false)
+	if p.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1 (stats %+v)", p.Stats().Swaps, p.Stats())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Find the swapped block and access it again: it must refetch.
+	var swapped uint64
+	for _, b := range append(all, extra) {
+		if e := p.Directory().Lookup(b); e != nil && e.Swapped {
+			swapped = b
+			break
+		}
+	}
+	if swapped == 0 {
+		t.Fatal("no swapped block found")
+	}
+	p.Access(0, 1, swapped, false)
+	if p.Stats().SwapRefetches != 1 {
+		t.Fatalf("refetches = %d", p.Stats().SwapRefetches)
+	}
+	if !p.StateAt(1, swapped).Readable() {
+		t.Fatal("refetched block not readable")
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	type rec struct {
+		dirLookups int
+		backInvals int
+		replTrans  int
+	}
+	var r rec
+	hooks := hookFuncs{
+		dir:  func(addr.Node, uint64, bool) uint64 { r.dirLookups++; return 3 },
+		back: func(addr.Node, uint64) { r.backInvals++ },
+		repl: func(addr.Node, uint64) uint64 { r.replTrans++; return 0 },
+	}
+	p := newProtocol(t, hooks)
+	b := blockAtHome(0, 0)
+	p.Preload(b, 1)
+	p.Access(0, 2, b, false)
+	res := p.Access(0, 3, b, true)
+	if r.dirLookups < 2 {
+		t.Fatalf("dir lookups = %d", r.dirLookups)
+	}
+	if r.backInvals < 2 { // nodes 1 and 2 lose their copies
+		t.Fatalf("back invalidations = %d", r.backInvals)
+	}
+	if res.TransCycles == 0 {
+		t.Fatal("hook cycles not reported as translation time")
+	}
+}
+
+type hookFuncs struct {
+	dir  func(addr.Node, uint64, bool) uint64
+	back func(addr.Node, uint64)
+	repl func(addr.Node, uint64) uint64
+}
+
+func (h hookFuncs) DirLookup(n addr.Node, b uint64, c bool) uint64 { return h.dir(n, b, c) }
+func (h hookFuncs) BackInvalidate(n addr.Node, b uint64)           { h.back(n, b) }
+func (h hookFuncs) ReplacementTranslate(n addr.Node, b uint64) uint64 {
+	return h.repl(n, b)
+}
+
+func TestRandomOperationsPreserveInvariants(t *testing.T) {
+	// Property: after any sequence of reads and writes from random nodes
+	// to a pool of blocks (sized to force evictions), every directory
+	// invariant holds and latencies are sane.
+	err := quick.Check(func(seed uint64) bool {
+		p := newProtocol(t, nil)
+		g := testGeometry()
+		rng := prng.New(seed)
+		// 64 blocks spread over 8 pages: small enough to conflict.
+		blocks := make([]uint64, 64)
+		for i := range blocks {
+			blocks[i] = uint64(0x10000) + uint64(i)*g.AMBlockSize()
+			p.Preload(blocks[i], addr.Node(rng.Intn(g.Nodes())))
+		}
+		now := uint64(0)
+		for op := 0; op < 400; op++ {
+			n := addr.Node(rng.Intn(g.Nodes()))
+			b := blocks[rng.Intn(len(blocks))]
+			res := p.Access(now, n, b, rng.Intn(3) == 0)
+			if res.Latency == 0 && !res.LocalHit {
+				return false
+			}
+			now += res.Latency/8 + 1
+		}
+		return p.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooManyNodesRejected(t *testing.T) {
+	g := addr.Geometry{NodeBits: 7, PageBits: 12, AMBlockBits: 7, AMSetBits: 13, AMAssocBits: 2}
+	_, err := New(g, config.Baseline().Timing, func(uint64) addr.Node { return 0 }, nil, 1)
+	if err == nil {
+		t.Fatal("128 nodes accepted with a 64-bit copyset")
+	}
+	if _, err := New(testGeometry(), config.Baseline().Timing, nil, nil, 1); err == nil {
+		t.Fatal("nil home function accepted")
+	}
+}
+
+func TestRandomOperationsNoRelocationAblation(t *testing.T) {
+	// The no-relocation ablation exercises the injection chain much
+	// harder (every master eviction injects); invariants must still hold.
+	err := quick.Check(func(seed uint64) bool {
+		p := newProtocol(t, nil)
+		p.DisableMasterRelocation()
+		g := testGeometry()
+		rng := prng.New(seed)
+		blocks := make([]uint64, 96)
+		for i := range blocks {
+			blocks[i] = uint64(0x40000) + uint64(i)*g.AMBlockSize()
+			p.Preload(blocks[i], addr.Node(rng.Intn(g.Nodes())))
+		}
+		now := uint64(0)
+		for op := 0; op < 400; op++ {
+			n := addr.Node(rng.Intn(g.Nodes()))
+			b := blocks[rng.Intn(len(blocks))]
+			res := p.Access(now, n, b, rng.Intn(3) == 0)
+			now += res.Latency/8 + 1
+		}
+		return p.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package config
+
+import "testing"
+
+func TestBaselineMatchesPaper(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Geometry.Nodes() != 32 {
+		t.Errorf("nodes = %d, want 32", c.Geometry.Nodes())
+	}
+	if c.FLC.SizeBytes != 16<<10 || c.FLC.BlockBytes != 32 || c.FLC.Assoc != 1 || c.FLC.WriteBack {
+		t.Errorf("FLC %+v does not match the paper (16 KB direct-mapped write-through, 32 B)", c.FLC)
+	}
+	if c.SLC.SizeBytes != 64<<10 || c.SLC.BlockBytes != 64 || c.SLC.Assoc != 4 || !c.SLC.WriteBack {
+		t.Errorf("SLC %+v does not match the paper (64 KB 4-way write-back, 64 B)", c.SLC)
+	}
+	if c.Geometry.AMBytesPerNode() != 4<<20 || c.Geometry.AMBlockSize() != 128 || c.Geometry.AMAssoc() != 4 {
+		t.Errorf("AM does not match the paper (4 MB 4-way, 128 B blocks)")
+	}
+	tm := c.Timing
+	if tm.SLCHit != 6 || tm.AMHit != 74 || tm.NetRequest != 16 || tm.NetBlock != 272 || tm.TLBMiss != 40 || tm.DLBMiss != 40 {
+		t.Errorf("timing %+v does not match §5.1", tm)
+	}
+}
+
+func TestSmallTestValidates(t *testing.T) {
+	if err := SmallTest().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := SmallTest()
+
+	c := base
+	c.TLBEntries = 0
+	if c.Validate() == nil {
+		t.Error("zero TLB entries accepted")
+	}
+
+	c = base
+	c.TLBOrg = DirectMapped
+	c.TLBEntries = 6
+	if c.Validate() == nil {
+		t.Error("non-power-of-two direct-mapped TLB accepted")
+	}
+
+	c = base
+	c.FLC.BlockBytes = 64
+	c.SLC.BlockBytes = 32
+	if c.Validate() == nil {
+		t.Error("FLC block larger than SLC block accepted")
+	}
+
+	c = base
+	c.SLC.BlockBytes = 256 // larger than the 32 B AM block of SmallTest
+	if c.Validate() == nil {
+		t.Error("SLC block larger than AM block accepted")
+	}
+
+	c = base
+	c.NoWritebackTLB = true
+	c.Scheme = L0TLB
+	if c.Validate() == nil {
+		t.Error("NoWritebackTLB accepted outside L2-TLB")
+	}
+
+	c = base
+	c.FLC.SizeBytes = 3000
+	if c.Validate() == nil {
+		t.Error("non-power-of-two cache size accepted")
+	}
+
+	c = base
+	c.Scheme = Scheme(99)
+	if c.Validate() == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestCacheConfigSets(t *testing.T) {
+	c := CacheConfig{SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 4, WriteBack: true}
+	if c.Sets() != 256 {
+		t.Errorf("sets = %d, want 256", c.Sets())
+	}
+}
+
+func TestWithScheme(t *testing.T) {
+	c := Baseline().WithScheme(L2TLB)
+	c.NoWritebackTLB = true
+	c2 := c.WithScheme(VCOMA)
+	if c2.NoWritebackTLB {
+		t.Error("NoWritebackTLB survived a scheme change away from L2-TLB")
+	}
+	if c2.Scheme != VCOMA {
+		t.Errorf("scheme = %v", c2.Scheme)
+	}
+}
+
+func TestWithTLB(t *testing.T) {
+	c := Baseline().WithTLB(128, DirectMapped)
+	if c.TLBEntries != 128 || c.TLBOrg != DirectMapped {
+		t.Errorf("WithTLB: %d/%v", c.TLBEntries, c.TLBOrg)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		L0TLB: "L0-TLB", L1TLB: "L1-TLB", L2TLB: "L2-TLB", L3TLB: "L3-TLB", VCOMA: "V-COMA",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if len(Schemes()) != 5 {
+		t.Errorf("Schemes() has %d entries", len(Schemes()))
+	}
+	if FullyAssoc.String() != "FA" || DirectMapped.String() != "DM" {
+		t.Error("TLBOrg strings wrong")
+	}
+}

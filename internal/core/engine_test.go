@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/vm"
+)
+
+func setup(t *testing.T, entries int, org config.TLBOrg) (*HomeEngine, *vm.System, config.Config) {
+	t.Helper()
+	cfg := config.SmallTest()
+	cfg.Scheme = config.VCOMA
+	sys := vm.NewSystem(cfg.Geometry, vm.VirtualOnly)
+	eng, err := NewHomeEngine(0, cfg, sys, entries, org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, sys, cfg
+}
+
+// vaAtHome returns the i-th distinct block address homed at node 0 of the
+// SmallTest geometry (4 nodes, page numbers ≡ 0 mod 4).
+func vaAtHome0(i int) addr.Virtual {
+	return addr.Virtual(uint64(i*4)<<8 | 0x40)
+}
+
+func TestTranslateHitAndMiss(t *testing.T) {
+	eng, sys, cfg := setup(t, 2, config.FullyAssoc)
+	v := vaAtHome0(1)
+	da, penalty := eng.Translate(v, true)
+	if penalty != cfg.Timing.DLBMiss {
+		t.Fatalf("cold translate penalty %d", penalty)
+	}
+	da2, penalty2 := eng.Translate(v, false)
+	if penalty2 != 0 || da2 != da {
+		t.Fatalf("warm translate: penalty %d, %d != %d", penalty2, da2, da)
+	}
+	// The directory address matches the VM's mapping.
+	home, want := sys.DirAddrOf(v)
+	if home != 0 || da != want {
+		t.Fatalf("directory address %d, want %d at home %d", da, want, home)
+	}
+	st := eng.Stats()
+	if st.Lookups != 2 || st.Misses != 1 || st.CriticalLookups != 1 || st.CriticalMisses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.PenaltyCycles != cfg.Timing.DLBMiss {
+		t.Fatalf("penalty cycles %d", st.PenaltyCycles)
+	}
+	if !sys.Lookup(v).Referenced {
+		t.Fatal("reference bit not set")
+	}
+}
+
+func TestSharingCapacity(t *testing.T) {
+	eng, _, _ := setup(t, 2, config.FullyAssoc)
+	// Three distinct pages cycle through a 2-entry DLB: every round-trip
+	// misses again (capacity), which is what the per-node TLBs of L0-L3
+	// suffer and the DLB avoids by seeing only 1/P of the pages.
+	vs := []addr.Virtual{vaAtHome0(1), vaAtHome0(2), vaAtHome0(3)}
+	for round := 0; round < 3; round++ {
+		for _, v := range vs {
+			eng.Translate(v, false)
+		}
+	}
+	if eng.Stats().Misses <= 3 {
+		t.Fatalf("capacity misses expected, got %d", eng.Stats().Misses)
+	}
+	if eng.DLBStats().Accesses != 9 {
+		t.Fatalf("accesses %d", eng.DLBStats().Accesses)
+	}
+}
+
+func TestDirectMappedDLBUsesShiftedIndex(t *testing.T) {
+	eng, _, _ := setup(t, 4, config.DirectMapped)
+	// Pages homed at node 0 share their low (home) bits; the DM DLB must
+	// still spread them across slots.
+	for i := 1; i <= 4; i++ {
+		eng.Translate(vaAtHome0(i), false)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, p := eng.Translate(vaAtHome0(i), false); p != 0 {
+			t.Fatalf("page %d evicted: DM index ignores the home-bit shift", i)
+		}
+	}
+}
+
+func TestWrongHomePanics(t *testing.T) {
+	eng, _, _ := setup(t, 2, config.FullyAssoc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("translation for a foreign home did not panic")
+		}
+	}()
+	eng.Translate(addr.Virtual(1<<8|0x40), true) // page 1: home is node 1
+}
+
+func TestModifiedBit(t *testing.T) {
+	eng, sys, _ := setup(t, 2, config.FullyAssoc)
+	v := vaAtHome0(1)
+	eng.SetModified(v)
+	if !sys.Lookup(v).Modified {
+		t.Fatal("modify bit not set")
+	}
+}
+
+func TestDirPagesTouched(t *testing.T) {
+	eng, _, _ := setup(t, 8, config.FullyAssoc)
+	eng.Translate(vaAtHome0(1), false)
+	eng.Translate(vaAtHome0(1)+32, false) // same page, different block
+	eng.Translate(vaAtHome0(2), false)
+	if got := eng.Stats().DirPagesTouched; got != 2 {
+		t.Fatalf("directory pages touched = %d, want 2", got)
+	}
+}
+
+func TestRejectsPhysicalVM(t *testing.T) {
+	cfg := config.SmallTest()
+	sys := vm.NewSystem(cfg.Geometry, vm.PhysicalRoundRobin)
+	if _, err := NewHomeEngine(0, cfg, sys, 4, config.FullyAssoc); err == nil {
+		t.Fatal("home engine accepted a physically-mapped VM system")
+	}
+}

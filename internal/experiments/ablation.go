@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/report"
+	"vcoma/internal/workload"
+)
+
+// AblationRow measures one design variant of the V-COMA machine against
+// the baseline.
+type AblationRow struct {
+	Label string
+	// ExecTime is the parallel execution time.
+	ExecTime uint64
+	// RemoteStall is total remote-stall cycles across processors.
+	RemoteStall uint64
+	// Injections counts data injections (replacement traffic).
+	Injections uint64
+	// QueueCycles is total network queueing.
+	QueueCycles uint64
+	// Relative is ExecTime / baseline ExecTime.
+	Relative float64
+}
+
+// AblationStudy quantifies the simulator's own design choices on the
+// V-COMA machine (DESIGN.md's ablation list): master relocation in the
+// replacement protocol, split request/reply networks, and protocol-engine
+// occupancy. Each knob is disabled in isolation.
+func AblationStudy(cfg config.Config, bench workload.Benchmark) ([]AblationRow, error) {
+	type variant struct {
+		label string
+		mut   func(*config.Config)
+	}
+	variants := []variant{
+		{"baseline (evaluated design)", func(*config.Config) {}},
+		{"no master relocation", func(c *config.Config) { c.Ablation.NoMasterRelocation = true }},
+		{"shared request/reply channel", func(c *config.Config) { c.Ablation.SharedNetworkChannel = true }},
+		{"infinite PE bandwidth", func(c *config.Config) { c.Ablation.InfinitePEBandwidth = true }},
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, v := range variants {
+		c := cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc)
+		v.mut(&c)
+		m, res, err := runPass(c, bench, nil)
+		if err != nil {
+			return nil, err
+		}
+		tot := res.TotalProc()
+		row := AblationRow{
+			Label:       v.label,
+			ExecTime:    res.ExecTime,
+			RemoteStall: tot.StallRemote,
+			Injections:  m.Protocol().Stats().Injections,
+			QueueCycles: m.Protocol().Fabric().Stats().QueueCycles,
+		}
+		if base == 0 {
+			base = res.ExecTime
+		}
+		row.Relative = float64(res.ExecTime) / float64(base)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblation renders the ablation study.
+func RenderAblation(rows []AblationRow, markdown bool) string {
+	headers := []string{"variant", "exec cycles", "vs baseline", "remote stall", "injections", "net queue"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprint(r.ExecTime),
+			fmt.Sprintf("%.3f", r.Relative),
+			report.Count(float64(r.RemoteStall)),
+			fmt.Sprint(r.Injections),
+			report.Count(float64(r.QueueCycles)),
+		})
+	}
+	title := "Ablation — V-COMA design choices in isolation\n"
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, out)
+	}
+	return title + report.Table(headers, out)
+}
+
+// DLBOrgStudy sweeps the DLB organization (the associativity dimension the
+// paper only samples at its two extremes in Figure 9) on the V-COMA
+// machine: fully associative, 4-way, 2-way and direct mapped at each size.
+func DLBOrgStudy(cfg config.Config, bench workload.Benchmark, sizes []int) (map[config.TLBOrg]map[int]uint64, error) {
+	out := make(map[config.TLBOrg]map[int]uint64)
+	for _, org := range []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAssoc2, config.DirectMapped} {
+		out[org] = make(map[int]uint64)
+		for _, size := range sizes {
+			c := cfg.WithScheme(config.VCOMA).WithTLB(size, org)
+			m, _, err := runPass(c, bench, nil)
+			if err != nil {
+				return nil, err
+			}
+			var misses uint64
+			for n := 0; n < c.Geometry.Nodes(); n++ {
+				misses += m.Engine(addr.Node(n)).Stats().Misses
+			}
+			out[org][size] = misses
+		}
+	}
+	return out, nil
+}
+
+// RenderDLBOrg renders the organization sweep.
+func RenderDLBOrg(data map[config.TLBOrg]map[int]uint64, sizes []int, markdown bool) string {
+	headers := []string{"organization"}
+	for _, s := range sizes {
+		headers = append(headers, fmt.Sprint(s))
+	}
+	var out [][]string
+	for _, org := range []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAssoc2, config.DirectMapped} {
+		row := []string{org.String()}
+		for _, s := range sizes {
+			row = append(row, fmt.Sprint(data[org][s]))
+		}
+		out = append(out, row)
+	}
+	title := "DLB associativity sweep — total DLB misses machine-wide\n"
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, out)
+	}
+	return title + report.Table(headers, out)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vcoma/internal/config"
+	"vcoma/internal/workload"
+)
+
+func TestAblationStudy(t *testing.T) {
+	cfg := ConfigForScale(config.SmallTest(), workload.ScaleTest)
+	bench, err := workload.ByName("OCEAN", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblationStudy(cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].Relative != 1.0 {
+		t.Fatalf("baseline relative %f", rows[0].Relative)
+	}
+	// The shared-channel variant must queue at least as much as the
+	// baseline (requests now wait behind blocks).
+	var baseQ, sharedQ uint64
+	for _, r := range rows {
+		switch r.Label {
+		case "baseline (evaluated design)":
+			baseQ = r.QueueCycles
+		case "shared request/reply channel":
+			sharedQ = r.QueueCycles
+		}
+	}
+	if sharedQ < baseQ {
+		t.Fatalf("shared channel queued less (%d) than split channels (%d)", sharedQ, baseQ)
+	}
+	if !strings.Contains(RenderAblation(rows, false), "baseline") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestDLBOrgStudy(t *testing.T) {
+	cfg := ConfigForScale(config.SmallTest(), workload.ScaleTest)
+	bench, err := workload.ByName("FFT", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{4, 16}
+	data, err := DLBOrgStudy(cfg, bench, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, org := range []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAssoc2, config.DirectMapped} {
+		if data[org][4] < data[org][16] {
+			t.Fatalf("%v: more entries, more misses (%d < %d)", org, data[org][4], data[org][16])
+		}
+	}
+	if !strings.Contains(RenderDLBOrg(data, sizes, true), "FA") {
+		t.Fatal("render incomplete")
+	}
+}

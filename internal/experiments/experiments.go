@@ -1,0 +1,224 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the address-translation miss curves of Figure 8, the
+// direct-mapped comparison of Figure 9, the miss-rate Table 2, the
+// equivalent-TLB-size Table 3, the stall-ratio Table 4, the execution-time
+// breakdown of Figure 10 (including the RAYTRACE "V2" relayout), and the
+// global-set pressure profile of Figure 11.
+//
+// Two harness styles are used, mirroring the paper's methodology:
+//
+//   - Observed passes: one simulation per (benchmark, scheme) with an
+//     observer bank of every TLB/DLB size and organization attached to the
+//     scheme's translation tap points. Miss counting does not feed back
+//     into timing, so one pass yields a whole curve (Figs 8/9, Tables 2/3).
+//   - Timed passes: one simulation per exact configuration with the
+//     translation penalty in the loop (Table 4, Figure 10).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vcoma/internal/config"
+	"vcoma/internal/machine"
+	"vcoma/internal/sim"
+	"vcoma/internal/tlb"
+	"vcoma/internal/workload"
+)
+
+// ObserveTLBEntries is the timed-TLB size used during observer passes:
+// large, so the in-loop translation penalty is negligible and the observers
+// see an interleaving close to translation-free execution.
+const ObserveTLBEntries = 512
+
+// Observed holds one benchmark's five observer passes.
+type Observed struct {
+	Benchmark string
+	// RefsPerNode is the average number of processor references per node
+	// (identical across schemes: the reference streams are deterministic).
+	RefsPerNode float64
+	// Banks maps each scheme to its merged per-node observer statistics.
+	Banks map[config.Scheme]*tlb.MergedBank
+	// L2NoWb is the L2-TLB stream without SLC writebacks.
+	L2NoWb *tlb.MergedBank
+}
+
+// runPass simulates one benchmark under one scheme with observers attached.
+func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*machine.Machine, sim.Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	prog, err := bench.Build(cfg.Geometry, cfg.Geometry.Nodes())
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	if specs != nil {
+		if err := m.AttachObserverBanks(specs); err != nil {
+			return nil, sim.Result{}, err
+		}
+	}
+	m.Preload(prog.Layout())
+	eng, err := sim.New(m, prog.Streams())
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, sim.Result{}, fmt.Errorf("experiments: %s/%v: %w", bench.Name(), cfg.Scheme, err)
+	}
+	return m, res, nil
+}
+
+// Observe runs the five scheme passes for one benchmark with the full
+// paper observer grid attached.
+func Observe(cfg config.Config, bench workload.Benchmark) (*Observed, error) {
+	specs := tlb.PaperSpecs()
+	obs := &Observed{
+		Benchmark: bench.Name(),
+		Banks:     make(map[config.Scheme]*tlb.MergedBank),
+	}
+	for _, sch := range config.Schemes() {
+		pc := cfg.WithScheme(sch).WithTLB(ObserveTLBEntries, config.FullyAssoc)
+		m, _, err := runPass(pc, bench, specs)
+		if err != nil {
+			return nil, err
+		}
+		obs.Banks[sch] = tlb.Merge(m.ObserverBanks())
+		if sch == config.L2TLB {
+			obs.L2NoWb = tlb.Merge(m.NoWritebackBanks())
+		}
+		if obs.RefsPerNode == 0 {
+			obs.RefsPerNode = float64(m.TotalStats().Refs) / float64(cfg.Geometry.Nodes())
+		}
+	}
+	return obs, nil
+}
+
+// --- Figure 8: translation misses per node vs TLB/DLB size ---
+
+// Series is one curve of Figure 8 or 9: a label and misses-per-node by
+// buffer size.
+type Series struct {
+	Label  string
+	Points map[int]float64
+}
+
+// Figure8 extracts the fully-associative miss curves: L0..L3, V-COMA, and
+// L2-TLB/no_wback.
+type Figure8Result struct {
+	Benchmark string
+	Sizes     []int
+	Series    []Series
+}
+
+// Figure8 builds the Figure 8 curves from an observed benchmark.
+func Figure8(obs *Observed) Figure8Result {
+	r := Figure8Result{Benchmark: obs.Benchmark, Sizes: tlb.PaperSizes}
+	for _, sch := range config.Schemes() {
+		r.Series = append(r.Series, curve(sch.String(), obs.Banks[sch], config.FullyAssoc))
+	}
+	if obs.L2NoWb != nil {
+		s := curve("L2-TLB/no_wback", obs.L2NoWb, config.FullyAssoc)
+		r.Series = append(r.Series, s)
+	}
+	return r
+}
+
+func curve(label string, bank *tlb.MergedBank, org config.TLBOrg) Series {
+	s := Series{Label: label, Points: make(map[int]float64)}
+	for _, n := range tlb.PaperSizes {
+		s.Points[n] = bank.MissesPerNode(tlb.Spec{Entries: n, Org: org})
+	}
+	return s
+}
+
+// --- Figure 9: direct-mapped vs fully-associative ---
+
+// Figure9Result holds, per scheme, the FA and DM curves.
+type Figure9Result struct {
+	Benchmark string
+	Sizes     []int
+	Series    []Series // pairs: "<scheme>" (FA) and "<scheme>/DM"
+}
+
+// Figure9 builds the Figure 9 comparison from an observed benchmark.
+func Figure9(obs *Observed) Figure9Result {
+	r := Figure9Result{Benchmark: obs.Benchmark, Sizes: tlb.PaperSizes}
+	for _, sch := range config.Schemes() {
+		r.Series = append(r.Series,
+			curve(sch.String(), obs.Banks[sch], config.FullyAssoc),
+			curve(sch.String()+"/DM", obs.Banks[sch], config.DirectMapped))
+	}
+	return r
+}
+
+// --- Table 2: miss rates per processor reference (%) ---
+
+// Table2Sizes are the buffer sizes reported in the paper's Table 2.
+var Table2Sizes = []int{8, 32, 128}
+
+// Table2Row is one benchmark's miss rates: [size][scheme] in percent.
+type Table2Row struct {
+	Benchmark string
+	// Rate[size][scheme] = misses / processor references * 100.
+	Rate map[int]map[config.Scheme]float64
+}
+
+// Table2 computes miss rates per processor reference from an observed
+// benchmark.
+func Table2(obs *Observed) Table2Row {
+	row := Table2Row{Benchmark: obs.Benchmark, Rate: make(map[int]map[config.Scheme]float64)}
+	for _, size := range Table2Sizes {
+		row.Rate[size] = make(map[config.Scheme]float64)
+		for _, sch := range config.Schemes() {
+			mpn := obs.Banks[sch].MissesPerNode(tlb.Spec{Entries: size, Org: config.FullyAssoc})
+			row.Rate[size][sch] = 100 * mpn / obs.RefsPerNode
+		}
+	}
+	return row
+}
+
+// --- Table 3: TLB size equivalent to an 8-entry DLB ---
+
+// Table3Row is one benchmark's equivalent TLB sizes per scheme. A value of
+// -1 means "beyond 512" (no measured size reaches the DLB's miss count).
+type Table3Row struct {
+	Benchmark  string
+	Equivalent map[config.Scheme]float64
+}
+
+// Table3 finds, for each TLB scheme, the (log-interpolated) TLB size whose
+// per-node miss count equals the 8-entry DLB's in V-COMA.
+func Table3(obs *Observed) Table3Row {
+	target := obs.Banks[config.VCOMA].MissesPerNode(tlb.Spec{Entries: 8, Org: config.FullyAssoc})
+	row := Table3Row{Benchmark: obs.Benchmark, Equivalent: make(map[config.Scheme]float64)}
+	for _, sch := range []config.Scheme{config.L0TLB, config.L1TLB, config.L2TLB, config.L3TLB} {
+		row.Equivalent[sch] = equivalentSize(obs.Banks[sch], target)
+	}
+	return row
+}
+
+// equivalentSize log-linearly interpolates the buffer size at which the
+// scheme's miss curve crosses target.
+func equivalentSize(bank *tlb.MergedBank, target float64) float64 {
+	sizes := append([]int(nil), tlb.PaperSizes...)
+	sort.Ints(sizes)
+	prevSize, prevMiss := 0, 0.0
+	for i, n := range sizes {
+		miss := bank.MissesPerNode(tlb.Spec{Entries: n, Org: config.FullyAssoc})
+		if miss <= target {
+			if i == 0 {
+				return float64(n)
+			}
+			// Interpolate between (prevSize, prevMiss) and (n, miss).
+			if prevMiss <= miss {
+				return float64(n)
+			}
+			frac := (prevMiss - target) / (prevMiss - miss)
+			return float64(prevSize) + frac*float64(n-prevSize)
+		}
+		prevSize, prevMiss = n, miss
+	}
+	return -1 // beyond the largest measured size
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import "vcoma/internal/config"
+
+// This file records the paper's published numbers (Tables 2, 3 and 4) so
+// reports can show paper-vs-measured side by side. Figures 8-11 were
+// published as plots without numeric labels; for those the comparison is
+// against the qualitative shape (see ExpectedShapes).
+
+// PaperTable2 is the paper's Table 2: TLB/DLB miss rates per processor
+// reference (%), [benchmark][size][scheme].
+var PaperTable2 = map[string]map[int]map[config.Scheme]float64{
+	"RADIX": {
+		8:   {config.L0TLB: 10.8, config.L1TLB: 10.2, config.L2TLB: 6.31, config.L3TLB: 3.48, config.VCOMA: 1.84},
+		32:  {config.L0TLB: 8.06, config.L1TLB: 8.03, config.L2TLB: 5.43, config.L3TLB: 3.30, config.VCOMA: 0.02},
+		128: {config.L0TLB: 5.39, config.L1TLB: 5.39, config.L2TLB: 3.96, config.L3TLB: 2.67, config.VCOMA: 0.01},
+	},
+	"FFT": {
+		8:   {config.L0TLB: 2.02, config.L1TLB: 2.01, config.L2TLB: 1.47, config.L3TLB: 0.35, config.VCOMA: 0.17},
+		32:  {config.L0TLB: 0.59, config.L1TLB: 0.59, config.L2TLB: 0.54, config.L3TLB: 0.24, config.VCOMA: 0.10},
+		128: {config.L0TLB: 0.11, config.L1TLB: 0.11, config.L2TLB: 0.13, config.L3TLB: 0.15, config.VCOMA: 0.03},
+	},
+	"FMM": {
+		8:   {config.L0TLB: 8.44, config.L1TLB: 1.68, config.L2TLB: 0.80, config.L3TLB: 0.24, config.VCOMA: 0.11},
+		32:  {config.L0TLB: 2.43, config.L1TLB: 0.89, config.L2TLB: 0.65, config.L3TLB: 0.21, config.VCOMA: 0.01},
+		128: {config.L0TLB: 0.40, config.L1TLB: 0.36, config.L2TLB: 0.35, config.L3TLB: 0.13, config.VCOMA: 0.004},
+	},
+	"RAYTRACE": {
+		8:   {config.L0TLB: 2.23, config.L1TLB: 1.05, config.L2TLB: 0.74, config.L3TLB: 0.22, config.VCOMA: 0.17},
+		32:  {config.L0TLB: 0.68, config.L1TLB: 0.55, config.L2TLB: 0.44, config.L3TLB: 0.16, config.VCOMA: 0.10},
+		128: {config.L0TLB: 0.19, config.L1TLB: 0.19, config.L2TLB: 0.18, config.L3TLB: 0.13, config.VCOMA: 0.02},
+	},
+	"BARNES": {
+		8:   {config.L0TLB: 2.68, config.L1TLB: 1.42, config.L2TLB: 0.43, config.L3TLB: 0.06, config.VCOMA: 0.03},
+		32:  {config.L0TLB: 1.13, config.L1TLB: 0.91, config.L2TLB: 0.30, config.L3TLB: 0.05, config.VCOMA: 0.0001},
+		128: {config.L0TLB: 0.18, config.L1TLB: 0.16, config.L2TLB: 0.10, config.L3TLB: 0.03, config.VCOMA: 0.0001},
+	},
+	"OCEAN": {
+		8:   {config.L0TLB: 6.45, config.L1TLB: 3.86, config.L2TLB: 3.42, config.L3TLB: 0.48, config.VCOMA: 0.14},
+		32:  {config.L0TLB: 1.87, config.L1TLB: 1.32, config.L2TLB: 1.58, config.L3TLB: 0.23, config.VCOMA: 0.04},
+		128: {config.L0TLB: 0.16, config.L1TLB: 0.16, config.L2TLB: 0.30, config.L3TLB: 0.12, config.VCOMA: 0.003},
+	},
+}
+
+// PaperTable3 is the paper's Table 3: the TLB size equivalent to an 8-entry
+// DLB, [benchmark][scheme].
+var PaperTable3 = map[string]map[config.Scheme]float64{
+	"RADIX":    {config.L0TLB: 360, config.L1TLB: 360, config.L2TLB: 344, config.L3TLB: 256},
+	"FFT":      {config.L0TLB: 60, config.L1TLB: 60, config.L2TLB: 86, config.L3TLB: 86},
+	"FMM":      {config.L0TLB: 335, config.L1TLB: 321, config.L2TLB: 347, config.L3TLB: 187},
+	"RAYTRACE": {config.L0TLB: 157, config.L1TLB: 152, config.L2TLB: 144, config.L3TLB: 27},
+	"BARNES":   {config.L0TLB: 327, config.L1TLB: 318, config.L2TLB: 298, config.L3TLB: 160},
+	"OCEAN":    {config.L0TLB: 175, config.L1TLB: 174, config.L2TLB: 251, config.L3TLB: 113},
+}
+
+// PaperTable4 is the paper's Table 4: address translation time / total
+// stall time (%), [benchmark][config].
+var PaperTable4 = map[string]map[string]float64{
+	"RADIX":    {"L0-TLB/8": 10.61, "DLB/8": 1.25, "L0-TLB/16": 8.93, "DLB/16": 0.04},
+	"FFT":      {"L0-TLB/8": 15.24, "DLB/8": 0.88, "L0-TLB/16": 12.56, "DLB/16": 0.76},
+	"FMM":      {"L0-TLB/8": 96.54, "DLB/8": 1.15, "L0-TLB/16": 59.54, "DLB/16": 0.38},
+	"RAYTRACE": {"L0-TLB/8": 30.95, "DLB/8": 1.04, "L0-TLB/16": 17.46, "DLB/16": 0.82},
+	"BARNES":   {"L0-TLB/8": 38.14, "DLB/8": 0.45, "L0-TLB/16": 22.12, "DLB/16": 0.01},
+	"OCEAN":    {"L0-TLB/8": 21.53, "DLB/8": 0.45, "L0-TLB/16": 15.95, "DLB/16": 0.23},
+}
+
+// PaperTable1SharedMB is the paper's Table 1 shared-memory footprints (MB).
+var PaperTable1SharedMB = map[string]float64{
+	"RADIX": 6.12, "FFT": 51.29, "FMM": 29.23,
+	"OCEAN": 15.52, "RAYTRACE": 34.86, "BARNES": 3.94,
+}
+
+// ExpectedShapes documents what "reproduced" means for the figure-style
+// experiments, whose published form is a plot.
+var ExpectedShapes = map[string]string{
+	"fig8": "Misses per node decrease with the TLB level (L0 >= L1 >= L2/no_wback >= L3 >> V-COMA); " +
+		"SLC writebacks push L2-TLB above L2-TLB/no_wback (and occasionally above L0-TLB); " +
+		"RADIX's curves stay flat until large sizes; V-COMA's DLB misses are negligible at every size.",
+	"fig9": "The direct-mapped/fully-associative gap is huge for L0-TLB and shrinks monotonically " +
+		"through L2-TLB and L3-TLB, nearly vanishing for V-COMA's DLB.",
+	"fig10": "Translation overhead is visible in every TLB/8 bar and negligible in every DLB bar; " +
+		"V-COMA's remaining categories roughly match the physical COMA except RAYTRACE, where the " +
+		"32 KB-aligned ray stacks inflate sync/stall time and the 4 KB V2 layout repairs it.",
+	"fig11": "Memory pressure is roughly uniform across global page sets without any tuning.",
+}

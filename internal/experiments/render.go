@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vcoma/internal/config"
+	"vcoma/internal/report"
+)
+
+// RenderFigure8 renders the miss curves as an aligned table (sizes across,
+// schemes down), the textual equivalent of the paper's Figure 8 panel.
+func (r Figure8Result) Render(markdown bool) string {
+	headers := []string{"series \\ entries"}
+	for _, n := range r.Sizes {
+		headers = append(headers, fmt.Sprintf("%d", n))
+	}
+	var rows [][]string
+	for _, s := range r.Series {
+		row := []string{s.Label}
+		for _, n := range r.Sizes {
+			row = append(row, report.Count(s.Points[n]))
+		}
+		rows = append(rows, row)
+	}
+	title := fmt.Sprintf("Figure 8 — %s: address-translation misses per node vs TLB/DLB size\n", r.Benchmark)
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, rows)
+	}
+	return title + report.Table(headers, rows)
+}
+
+// Render renders the Figure 9 FA-vs-DM table.
+func (r Figure9Result) Render(markdown bool) string {
+	headers := []string{"series \\ entries"}
+	for _, n := range r.Sizes {
+		headers = append(headers, fmt.Sprintf("%d", n))
+	}
+	var rows [][]string
+	for _, s := range r.Series {
+		row := []string{s.Label}
+		for _, n := range r.Sizes {
+			row = append(row, report.Count(s.Points[n]))
+		}
+		rows = append(rows, row)
+	}
+	title := fmt.Sprintf("Figure 9 — %s: direct-mapped vs fully-associative misses per node\n", r.Benchmark)
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, rows)
+	}
+	return title + report.Table(headers, rows)
+}
+
+// RenderTable2 renders a full Table 2 across benchmarks.
+func RenderTable2(rows []Table2Row, markdown bool) string {
+	headers := []string{"benchmark"}
+	for _, size := range Table2Sizes {
+		for _, sch := range config.Schemes() {
+			headers = append(headers, fmt.Sprintf("%s/%d", shortScheme(sch), size))
+		}
+	}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, size := range Table2Sizes {
+			for _, sch := range config.Schemes() {
+				row = append(row, report.Rate(r.Rate[size][sch]))
+			}
+		}
+		out = append(out, row)
+	}
+	title := "Table 2 — TLB/DLB miss rates per processor reference (%)\n"
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, out)
+	}
+	return title + report.Table(headers, out)
+}
+
+func shortScheme(s config.Scheme) string {
+	switch s {
+	case config.L0TLB:
+		return "L0"
+	case config.L1TLB:
+		return "L1"
+	case config.L2TLB:
+		return "L2"
+	case config.L3TLB:
+		return "L3"
+	case config.VCOMA:
+		return "V"
+	default:
+		return s.String()
+	}
+}
+
+// RenderTable3 renders the equivalent-TLB-size table.
+func RenderTable3(rows []Table3Row, markdown bool) string {
+	headers := []string{"benchmark", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB"}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, sch := range []config.Scheme{config.L0TLB, config.L1TLB, config.L2TLB, config.L3TLB} {
+			v := r.Equivalent[sch]
+			if v < 0 {
+				row = append(row, ">512")
+			} else {
+				row = append(row, fmt.Sprintf("%.0f", v))
+			}
+		}
+		out = append(out, row)
+	}
+	title := "Table 3 — TLB size equivalent to an 8-entry DLB\n"
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, out)
+	}
+	return title + report.Table(headers, out)
+}
+
+// RenderTable4 renders the stall-ratio table.
+func RenderTable4(rows []Table4Row, markdown bool) string {
+	headers := []string{"system"}
+	for _, r := range rows {
+		headers = append(headers, r.Benchmark)
+	}
+	var out [][]string
+	for _, size := range Table4Sizes {
+		for _, name := range []string{"L0-TLB", "DLB"} {
+			row := []string{fmt.Sprintf("%s/%d", name, size)}
+			for _, r := range rows {
+				row = append(row, fmt.Sprintf("%.2f", r.Ratio[size][name]))
+			}
+			out = append(out, row)
+		}
+	}
+	title := "Table 4 — address-translation time / total stall time (%)\n"
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, out)
+	}
+	return title + report.Table(headers, out)
+}
+
+// Render renders the Figure 10 execution-time breakdowns, both absolute
+// per-processor cycles and normalized to the first configuration.
+func (r Figure10Result) Render(markdown bool) string {
+	headers := []string{"config", "busy", "sync", "loc-stall", "rem-stall", "translation", "total", "normalized"}
+	base := 0.0
+	if len(r.Breakdowns) > 0 {
+		base = r.Breakdowns[0].Total()
+	}
+	var out [][]string
+	for _, b := range r.Breakdowns {
+		out = append(out, []string{
+			b.Label,
+			report.Count(b.Busy), report.Count(b.Sync), report.Count(b.Local),
+			report.Count(b.Remot), report.Count(b.Trans), report.Count(b.Total()),
+			fmt.Sprintf("%.3f", b.Total()/base),
+		})
+	}
+	title := fmt.Sprintf("Figure 10 — %s: execution time breakdown (cycles per processor)\n", r.Benchmark)
+	if markdown {
+		return title + "\n" + report.MarkdownTable(headers, out)
+	}
+	return title + report.Table(headers, out)
+}
+
+// Render renders the Figure 11 pressure profile as an ASCII chart plus
+// summary statistics.
+func (r Figure11Result) Render(markdown bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11 — %s: pressure per global page set (capacity %d page slots)\n",
+		r.Benchmark, r.MaxSlots)
+	minV, maxV, sum := 1e18, 0.0, 0.0
+	for _, v := range r.Pressure {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(r.Pressure))
+	fmt.Fprintf(&b, "global page sets: %d   pressure mean=%.3f min=%.3f max=%.3f\n",
+		len(r.Pressure), mean, minV, maxV)
+	if markdown {
+		b.WriteString("\n```\n")
+	}
+	b.WriteString(report.Profile(r.Pressure, 16, 40, func(v float64) string {
+		return fmt.Sprintf("%.3f", v)
+	}))
+	if markdown {
+		b.WriteString("```\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vcoma/internal/config"
+	"vcoma/internal/report"
+	"vcoma/internal/workload"
+)
+
+// Suite runs the paper's complete evaluation and renders a Markdown report
+// with paper-vs-measured numbers for every table and figure.
+type Suite struct {
+	Cfg        config.Config
+	Scale      workload.Scale
+	Benchmarks []string // nil = all six
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, format+"\n", args...)
+	}
+}
+
+// ConfigForScale adapts a machine configuration to a workload scale by
+// shrinking the attraction memory with the data sets, as the paper does.
+func ConfigForScale(cfg config.Config, scale workload.Scale) config.Config {
+	cfg.Geometry.AMSetBits = scale.AMSetBits()
+	return cfg
+}
+
+func (s *Suite) names() []string {
+	if len(s.Benchmarks) > 0 {
+		return s.Benchmarks
+	}
+	return workload.Names()
+}
+
+// SuiteResult holds everything the full evaluation produced.
+type SuiteResult struct {
+	Scale    workload.Scale
+	Observed map[string]*Observed
+	Fig8     []Figure8Result
+	Fig9     []Figure9Result
+	Tab2     []Table2Row
+	Tab3     []Table3Row
+	Tab4     []Table4Row
+	Fig10    []Figure10Result
+	Fig11    []Figure11Result
+	Mgmt     []MgmtRow
+	Elapsed  time.Duration
+}
+
+// Run executes every experiment.
+func (s *Suite) Run() (*SuiteResult, error) {
+	start := time.Now()
+	cfg := ConfigForScale(s.Cfg, s.Scale)
+	res := &SuiteResult{Scale: s.Scale, Observed: make(map[string]*Observed)}
+	for _, name := range s.names() {
+		bench, err := workload.ByName(name, s.Scale)
+		if err != nil {
+			return nil, err
+		}
+
+		s.logf("[%s] observer passes (5 schemes)...", name)
+		obs, err := Observe(cfg, bench)
+		if err != nil {
+			return nil, err
+		}
+		res.Observed[name] = obs
+		res.Fig8 = append(res.Fig8, Figure8(obs))
+		res.Fig9 = append(res.Fig9, Figure9(obs))
+		res.Tab2 = append(res.Tab2, Table2(obs))
+		res.Tab3 = append(res.Tab3, Table3(obs))
+
+		s.logf("[%s] timed passes (Table 4)...", name)
+		t4, err := Table4(cfg, bench)
+		if err != nil {
+			return nil, err
+		}
+		res.Tab4 = append(res.Tab4, t4)
+
+		s.logf("[%s] timed passes (Figure 10)...", name)
+		f10, err := Figure10(cfg, name, s.Scale)
+		if err != nil {
+			return nil, err
+		}
+		res.Fig10 = append(res.Fig10, f10)
+
+		f11, err := Figure11(cfg, bench)
+		if err != nil {
+			return nil, err
+		}
+		res.Fig11 = append(res.Fig11, f11)
+	}
+	// The management study runs once, on the first benchmark.
+	if len(s.names()) > 0 {
+		bench, err := workload.ByName(s.names()[0], s.Scale)
+		if err == nil {
+			s.logf("[%s] management study (5 schemes)...", bench.Name())
+			if rows, err := MgmtStudy(cfg, bench, 16); err == nil {
+				res.Mgmt = rows
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RenderMarkdown produces the full paper-vs-measured report.
+func (r *SuiteResult) RenderMarkdown() string {
+	var b []byte
+	w := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format+"\n", args...)...)
+	}
+
+	w("# Experiments — paper vs. measured")
+	w("")
+	w("Workload scale: **%v** (see `internal/workload.Scale`; `paper` is Table 1 of the paper).", r.Scale)
+	w("Suite wall time: %v. All numbers regenerate with `go run ./cmd/vcoma-report -scale %v`.", r.Elapsed.Round(time.Second), r.Scale)
+	w("")
+
+	w("## Figure 8 — translation misses per node vs TLB/DLB size")
+	w("")
+	w("Paper shape: %s", ExpectedShapes["fig8"])
+	w("")
+	for _, f := range r.Fig8 {
+		w("%s", f.Render(true))
+	}
+
+	w("## Figure 9 — direct-mapped vs fully-associative")
+	w("")
+	w("Paper shape: %s", ExpectedShapes["fig9"])
+	w("")
+	for _, f := range r.Fig9 {
+		w("%s", f.Render(true))
+	}
+
+	w("## Table 2 — miss rates per processor reference (%%)")
+	w("")
+	w("%s", RenderTable2(r.Tab2, true))
+	w("Paper's Table 2 for comparison:")
+	w("")
+	w("%s", RenderTable2(paperTable2Rows(r.names()), true))
+
+	w("## Table 3 — TLB size equivalent to an 8-entry DLB")
+	w("")
+	w("%s", RenderTable3(r.Tab3, true))
+	w("Paper's Table 3 for comparison:")
+	w("")
+	w("%s", RenderTable3(paperTable3Rows(r.names()), true))
+
+	w("## Table 4 — translation time / total stall time (%%)")
+	w("")
+	w("%s", RenderTable4(r.Tab4, true))
+	w("Paper's Table 4 for comparison:")
+	w("")
+	w("%s", renderPaperTable4(r.names()))
+
+	w("## Figure 10 — execution time breakdown")
+	w("")
+	w("Paper shape: %s", ExpectedShapes["fig10"])
+	w("")
+	for _, f := range r.Fig10 {
+		w("%s", f.Render(true))
+	}
+
+	w("## Figure 11 — global page set pressure")
+	w("")
+	w("Paper shape: %s", ExpectedShapes["fig11"])
+	w("")
+	for _, f := range r.Fig11 {
+		w("%s", f.Render(true))
+	}
+
+	w("## Extensions beyond the paper's tables")
+	w("")
+	w("%s", RenderTagOverhead(true))
+	if len(r.Mgmt) > 0 {
+		w("%s", RenderMgmt(r.Mgmt, true))
+		w("Protection changes and demaps in the TLB schemes interrupt every")
+		w("processor (a shootdown); V-COMA updates one home node's page table")
+		w("and DLB and notifies only the nodes the directory says hold blocks")
+		w("of the page (paper §1 motivation, §4.3 protocol).")
+		w("")
+	}
+	return string(b)
+}
+
+func (r *SuiteResult) names() []string {
+	var out []string
+	for _, f := range r.Fig8 {
+		out = append(out, f.Benchmark)
+	}
+	return out
+}
+
+func paperTable2Rows(names []string) []Table2Row {
+	var rows []Table2Row
+	for _, n := range names {
+		if data, ok := PaperTable2[n]; ok {
+			rows = append(rows, Table2Row{Benchmark: n, Rate: data})
+		}
+	}
+	return rows
+}
+
+func paperTable3Rows(names []string) []Table3Row {
+	var rows []Table3Row
+	for _, n := range names {
+		if data, ok := PaperTable3[n]; ok {
+			rows = append(rows, Table3Row{Benchmark: n, Equivalent: data})
+		}
+	}
+	return rows
+}
+
+func renderPaperTable4(names []string) string {
+	headers := []string{"system"}
+	var present []string
+	for _, n := range names {
+		if _, ok := PaperTable4[n]; ok {
+			headers = append(headers, n)
+			present = append(present, n)
+		}
+	}
+	var out [][]string
+	for _, sys := range []string{"L0-TLB/8", "DLB/8", "L0-TLB/16", "DLB/16"} {
+		row := []string{sys}
+		for _, n := range present {
+			row = append(row, fmt.Sprintf("%.2f", PaperTable4[n][sys]))
+		}
+		out = append(out, row)
+	}
+	return report.MarkdownTable(headers, out)
+}

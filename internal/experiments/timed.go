@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"vcoma/internal/config"
+	"vcoma/internal/sim"
+	"vcoma/internal/vm"
+	"vcoma/internal/workload"
+)
+
+// Breakdown is a Figure 10 execution-time decomposition, averaged per
+// processor, in cycles.
+type Breakdown struct {
+	Label string
+	Busy  float64
+	Sync  float64
+	Local float64 // loc-stall: SLC hits and local attraction memory
+	Remot float64 // rem-stall: attraction-memory misses
+	Trans float64 // address-translation overhead
+	// Exec is the parallel execution time (max processor finish).
+	Exec uint64
+}
+
+// Total returns the per-processor cycle sum.
+func (b Breakdown) Total() float64 { return b.Busy + b.Sync + b.Local + b.Remot + b.Trans }
+
+// Timed runs one exact configuration and returns its breakdown.
+func Timed(cfg config.Config, bench workload.Benchmark, label string) (Breakdown, error) {
+	_, res, err := runPass(cfg, bench, nil)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return breakdownOf(label, res, cfg), nil
+}
+
+func breakdownOf(label string, res sim.Result, cfg config.Config) Breakdown {
+	t := res.TotalProc()
+	n := float64(cfg.Geometry.Nodes())
+	return Breakdown{
+		Label: label,
+		Busy:  float64(t.Busy) / n,
+		Sync:  float64(t.Sync) / n,
+		Local: float64(t.StallLocal) / n,
+		Remot: float64(t.StallRemote) / n,
+		Trans: float64(t.Trans) / n,
+		Exec:  res.ExecTime,
+	}
+}
+
+// --- Table 4: translation time / total stall time (%) ---
+
+// Table4Sizes are the TLB/DLB sizes of the paper's Table 4.
+var Table4Sizes = []int{8, 16}
+
+// Table4Row is one benchmark's ratios.
+type Table4Row struct {
+	Benchmark string
+	// Ratio[size]["L0-TLB"|"DLB"] = translation cycles / (local+remote
+	// stall cycles) * 100.
+	Ratio map[int]map[string]float64
+}
+
+// Table4 runs the timed L0-TLB and V-COMA configurations at sizes 8 and 16
+// and reports the paper's stall-ratio metric.
+func Table4(cfg config.Config, bench workload.Benchmark) (Table4Row, error) {
+	row := Table4Row{Benchmark: bench.Name(), Ratio: make(map[int]map[string]float64)}
+	for _, size := range Table4Sizes {
+		row.Ratio[size] = make(map[string]float64)
+		for _, sch := range []config.Scheme{config.L0TLB, config.VCOMA} {
+			c := cfg.WithScheme(sch).WithTLB(size, config.FullyAssoc)
+			b, err := Timed(c, bench, "")
+			if err != nil {
+				return Table4Row{}, err
+			}
+			name := "L0-TLB"
+			if sch == config.VCOMA {
+				name = "DLB"
+			}
+			stall := b.Local + b.Remot
+			if stall > 0 {
+				row.Ratio[size][name] = 100 * b.Trans / stall
+			}
+		}
+	}
+	return row, nil
+}
+
+// --- Figure 10: execution time breakdown ---
+
+// Figure10Result is one benchmark's set of configuration breakdowns, in the
+// paper's order: TLB/8, TLB/8/DM, DLB/8, DLB/8/DM, and for RAYTRACE also
+// DLB/8/V2 (ray stacks realigned to one page).
+type Figure10Result struct {
+	Benchmark  string
+	Breakdowns []Breakdown
+}
+
+// Figure10 runs the paper's Figure 10 configurations for one benchmark at
+// the given scale (the V2 variant needs to rebuild RAYTRACE with a 4 KB
+// stack alignment, hence the scale rather than a prebuilt Benchmark).
+func Figure10(cfg config.Config, name string, scale workload.Scale) (Figure10Result, error) {
+	bench, err := workload.ByName(name, scale)
+	if err != nil {
+		return Figure10Result{}, err
+	}
+	r := Figure10Result{Benchmark: name}
+	type variant struct {
+		label  string
+		scheme config.Scheme
+		org    config.TLBOrg
+	}
+	for _, v := range []variant{
+		{"TLB/8", config.L0TLB, config.FullyAssoc},
+		{"TLB/8/DM", config.L0TLB, config.DirectMapped},
+		{"DLB/8", config.VCOMA, config.FullyAssoc},
+		{"DLB/8/DM", config.VCOMA, config.DirectMapped},
+	} {
+		c := cfg.WithScheme(v.scheme).WithTLB(8, v.org)
+		b, err := Timed(c, bench, v.label)
+		if err != nil {
+			return Figure10Result{}, err
+		}
+		r.Breakdowns = append(r.Breakdowns, b)
+	}
+	if name == "RAYTRACE" {
+		// V2: the raystruct padding aligned to one page instead of 32 KB,
+		// spreading the stacks' page colours across global sets (§5.3).
+		p := scale.Raytrace()
+		p.StackAlign = cfg.Geometry.PageSize()
+		v2 := workload.NewRaytrace(p)
+		c := cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc)
+		b, err := Timed(c, v2, "DLB/8/V2")
+		if err != nil {
+			return Figure10Result{}, err
+		}
+		r.Breakdowns = append(r.Breakdowns, b)
+	}
+	return r, nil
+}
+
+// --- Figure 11: pressure profile ---
+
+// Figure11Result is the per-global-page-set occupancy fraction after
+// preloading one benchmark on the V-COMA machine.
+type Figure11Result struct {
+	Benchmark string
+	Pressure  []float64
+	// MaxSlots is the global-set capacity P*K the fractions are relative
+	// to.
+	MaxSlots int
+}
+
+// Figure11 computes the pressure profile. No simulation is needed: the
+// paper's profile is a property of the virtual address layout (pressure is
+// set at page allocation, i.e. preload).
+func Figure11(cfg config.Config, bench workload.Benchmark) (Figure11Result, error) {
+	prog, err := bench.Build(cfg.Geometry, cfg.Geometry.Nodes())
+	if err != nil {
+		return Figure11Result{}, err
+	}
+	sys := vm.NewSystem(cfg.Geometry, vm.VirtualOnly)
+	prog.Layout().PreloadAll(sys)
+	return Figure11Result{
+		Benchmark: bench.Name(),
+		Pressure:  sys.PressureProfile(),
+		MaxSlots:  cfg.Geometry.PageSlotsPerGlobalSet(),
+	}, nil
+}

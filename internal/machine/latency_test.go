@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+)
+
+// These tests pin the per-class latencies of the full access path against
+// the §5.1 model: FLC hits are free, SLC hits cost 6, local attraction-
+// memory service 74 (+probe composition for remote).
+
+func TestFLCHitIsFree(t *testing.T) {
+	m := newMachine(t, config.VCOMA)
+	preloadRange(m, 0x10000, 4096)
+	v := addr.Virtual(0x10000)
+	m.Access(0, 0, v, false)
+	r := m.Access(1000, 0, v, false)
+	if r.Class != ClassFLCHit || r.Cycles != 0 {
+		t.Fatalf("FLC hit: %+v", r)
+	}
+}
+
+func TestSLCHitCost(t *testing.T) {
+	m := newMachine(t, config.VCOMA)
+	preloadRange(m, 0x10000, 4096)
+	v := addr.Virtual(0x10000)
+	m.Access(0, 0, v, false)
+	// Same SLC block (32 B), different FLC block (16 B): FLC miss, SLC hit.
+	r := m.Access(1000, 0, v+16, false)
+	if r.Class != ClassSLCHit || r.Cycles != m.Config().Timing.SLCHit {
+		t.Fatalf("SLC hit: %+v", r)
+	}
+}
+
+func TestLocalAMCost(t *testing.T) {
+	m := newMachine(t, config.VCOMA)
+	preloadRange(m, 0x10000, 4096)
+	// Find a block placed locally at node 0.
+	g := m.Geometry()
+	var local addr.Virtual
+	for off := uint64(0); off < 4096; off += g.PageSize() {
+		if m.VM().PlacementNode(addr.Virtual(0x10000+off)) == 0 {
+			local = addr.Virtual(0x10000 + off)
+			break
+		}
+	}
+	if local == 0 {
+		t.Skip("no locally-placed page in the range")
+	}
+	r := m.Access(0, 0, local, false)
+	if r.Class != ClassLocalAM || r.Cycles != m.Config().Timing.AMHit {
+		t.Fatalf("local AM: %+v", r)
+	}
+}
+
+func TestRemoteCostExceedsBlockTransfer(t *testing.T) {
+	m := newMachine(t, config.VCOMA)
+	preloadRange(m, 0x10000, 4096)
+	g := m.Geometry()
+	var remote addr.Virtual
+	for off := uint64(0); off < 4096; off += g.PageSize() {
+		if m.VM().PlacementNode(addr.Virtual(0x10000+off)) != 0 {
+			remote = addr.Virtual(0x10000 + off)
+			break
+		}
+	}
+	r := m.Access(0, 0, remote, false)
+	if r.Class != ClassRemote {
+		t.Fatalf("remote access classified %v", r.Class)
+	}
+	tm := m.Config().Timing
+	min := tm.AMHit + tm.NetRequest + tm.DirLookup + tm.NetBlock
+	if r.Cycles < min {
+		t.Fatalf("remote cost %d below the message floor %d", r.Cycles, min)
+	}
+}
+
+func TestL0TLBPenaltyOnCriticalPath(t *testing.T) {
+	cfg := config.SmallTest().WithScheme(config.L0TLB).WithTLB(1, config.FullyAssoc)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preloadRange(m, 0x10000, 4096)
+	a, b := addr.Virtual(0x10000), addr.Virtual(0x10110) // different pages and FLC sets
+	m.Access(0, 0, a, false)
+	m.Access(1000, 0, b, false) // evicts a's entry (1-entry TLB)
+	r := m.Access(2000, 0, a, false)
+	// FLC still warm, but the TLB misses: the access costs exactly the
+	// miss penalty.
+	if r.Class != ClassFLCHit || r.TransCycles != cfg.Timing.TLBMiss || r.Cycles != cfg.Timing.TLBMiss {
+		t.Fatalf("TLB-miss-on-FLC-hit: %+v", r)
+	}
+}
+
+func TestStatsStallDecomposition(t *testing.T) {
+	// Node stats must decompose: every access's cycles land in exactly
+	// one stall bucket plus translation.
+	m := newMachine(t, config.L0TLB)
+	preloadRange(m, 0x10000, 8192)
+	var sum uint64
+	now := uint64(0)
+	for i := 0; i < 200; i++ {
+		r := m.Access(now, 0, addr.Virtual(0x10000+(i*56)%8192), i%3 == 0)
+		sum += r.Cycles
+		now += r.Cycles + 10
+	}
+	st := m.NodeStats(0)
+	if st.StallLocal+st.StallRemote+st.TransCycles != sum {
+		t.Fatalf("decomposition: %d + %d + %d != %d",
+			st.StallLocal, st.StallRemote, st.TransCycles, sum)
+	}
+	if st.FLCHits+st.SLCHits+st.LocalAM+st.Remote > st.Refs {
+		t.Fatalf("class counts exceed refs: %+v", st)
+	}
+}

@@ -1,0 +1,566 @@
+// Package machine assembles a full simulated node — FLC, SLC, attraction
+// memory, translation hardware — for each of the paper's five dynamic
+// address translation schemes, and routes every processor reference through
+// the right sequence of lookups, translations and coherence transactions.
+//
+// The scheme determines three things (paper §3):
+//
+//   - which levels are virtually vs physically addressed,
+//   - where translation requests are generated (the "tap points"), and
+//   - who pays the translation penalty (the requesting processor's TLB, or
+//     the home node's DLB inside the protocol engine).
+//
+// | scheme | FLC | SLC | AM | translation requests                        |
+// |--------|-----|-----|----|---------------------------------------------|
+// | L0-TLB | PA  | PA  | PA | every processor reference                   |
+// | L1-TLB | VA  | PA  | PA | FLC read misses + every write (FLC is WT)   |
+// | L2-TLB | VA  | VA  | PA | below-SLC transactions + SLC writebacks     |
+// | L3-TLB | VA  | VA  | VA | local-node misses + master replacements     |
+// | V-COMA | VA  | VA  | VA | none: home-node DLB inside the protocol     |
+package machine
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/cache"
+	"vcoma/internal/coherence"
+	"vcoma/internal/config"
+	"vcoma/internal/core"
+	"vcoma/internal/mem"
+	"vcoma/internal/tlb"
+	"vcoma/internal/vm"
+)
+
+// Class says where a reference was satisfied.
+type Class int
+
+const (
+	// ClassFLCHit: satisfied by the first-level cache (zero latency).
+	ClassFLCHit Class = iota
+	// ClassSLCHit: satisfied by the second-level cache.
+	ClassSLCHit
+	// ClassLocalAM: satisfied by the local attraction memory.
+	ClassLocalAM
+	// ClassRemote: required a coherence transaction through a home node.
+	ClassRemote
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassFLCHit:
+		return "flc-hit"
+	case ClassSLCHit:
+		return "slc-hit"
+	case ClassLocalAM:
+		return "local-am"
+	case ClassRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// AccessResult reports one reference's cost.
+type AccessResult struct {
+	// Cycles is the processor stall time for this reference, including
+	// any translation penalties on its critical path.
+	Cycles uint64
+	// TransCycles is the translation-penalty portion of Cycles.
+	TransCycles uint64
+	// Class says where the reference was satisfied.
+	Class Class
+}
+
+// NodeStats aggregates one node's memory-system activity.
+type NodeStats struct {
+	Refs   uint64
+	Reads  uint64
+	Writes uint64
+
+	FLCHits uint64
+	SLCHits uint64
+	LocalAM uint64
+	Remote  uint64
+
+	// StallLocal is stall time on local service (SLC hits, local AM).
+	StallLocal uint64
+	// StallRemote is stall time on coherence transactions (excluding the
+	// translation portion).
+	StallRemote uint64
+	// TransCycles is stall time attributable to address translation
+	// (TLB miss penalties here, DLB miss penalties on this node's
+	// critical paths for V-COMA).
+	TransCycles uint64
+
+	TLBAccesses   uint64
+	TLBMisses     uint64
+	SLCWritebacks uint64
+}
+
+// TotalStall returns local + remote stall (the paper's Table 4 denominator).
+func (s NodeStats) TotalStall() uint64 { return s.StallLocal + s.StallRemote }
+
+// Machine is the simulated multiprocessor memory system.
+type Machine struct {
+	cfg config.Config
+	g   addr.Geometry
+
+	sys  *vm.System
+	prot *coherence.Protocol
+
+	flcs []*cache.Cache
+	slcs []*cache.Cache
+
+	tlbs    []tlb.Buffer       // per-node timed TLB (nil for V-COMA)
+	engines []*core.HomeEngine // per-node home engines (V-COMA only)
+
+	banks     []*tlb.Bank // observer: the scheme's translation-request stream
+	nowbBanks []*tlb.Bank // observer: L2 stream without writebacks
+
+	stats []NodeStats
+}
+
+// New builds a machine for cfg.
+func New(cfg config.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	var mode vm.Mode
+	switch cfg.Scheme {
+	case config.L0TLB, config.L1TLB, config.L2TLB:
+		mode = vm.PhysicalRoundRobin
+	case config.L3TLB:
+		mode = vm.Colored
+	case config.VCOMA:
+		mode = vm.VirtualOnly
+	}
+	m := &Machine{
+		cfg:   cfg,
+		g:     g,
+		sys:   vm.NewSystem(g, mode),
+		stats: make([]NodeStats, g.Nodes()),
+	}
+
+	home := func(block uint64) addr.Node {
+		if mode == vm.VirtualOnly || mode == vm.Colored {
+			return g.HomeNode(addr.Virtual(block))
+		}
+		return g.HomeNodeOfFrame(g.FrameOf(addr.Physical(block)))
+	}
+	prot, err := coherence.New(g, cfg.Timing, home, m, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ablation.NoMasterRelocation {
+		prot.DisableMasterRelocation()
+	}
+	if cfg.Ablation.InfinitePEBandwidth {
+		prot.DisablePEQueueing()
+	}
+	if cfg.Ablation.SharedNetworkChannel {
+		prot.Fabric().UseSharedChannel()
+	}
+	m.prot = prot
+
+	for i := 0; i < g.Nodes(); i++ {
+		m.flcs = append(m.flcs, cache.New(cfg.FLC))
+		m.slcs = append(m.slcs, cache.New(cfg.SLC))
+	}
+
+	if cfg.Scheme == config.VCOMA {
+		for i := 0; i < g.Nodes(); i++ {
+			eng, err := core.NewHomeEngine(addr.Node(i), cfg, m.sys, cfg.TLBEntries, cfg.TLBOrg)
+			if err != nil {
+				return nil, err
+			}
+			m.engines = append(m.engines, eng)
+		}
+	} else {
+		for i := 0; i < g.Nodes(); i++ {
+			buf, err := tlb.New(cfg.TLBEntries, cfg.TLBOrg, 0, cfg.Seed^uint64(i)<<24^0x71B)
+			if err != nil {
+				return nil, err
+			}
+			m.tlbs = append(m.tlbs, buf)
+		}
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() config.Config { return m.cfg }
+
+// Geometry returns the machine's geometry.
+func (m *Machine) Geometry() addr.Geometry { return m.g }
+
+// VM returns the virtual-memory system.
+func (m *Machine) VM() *vm.System { return m.sys }
+
+// Protocol returns the coherence protocol instance.
+func (m *Machine) Protocol() *coherence.Protocol { return m.prot }
+
+// FLC and SLC return node n's caches (tests, reports).
+func (m *Machine) FLC(n addr.Node) *cache.Cache { return m.flcs[n] }
+
+// SLC returns node n's second-level cache.
+func (m *Machine) SLC(n addr.Node) *cache.Cache { return m.slcs[n] }
+
+// Engine returns node n's V-COMA home engine, or nil.
+func (m *Machine) Engine(n addr.Node) *core.HomeEngine {
+	if m.engines == nil {
+		return nil
+	}
+	return m.engines[n]
+}
+
+// TLB returns node n's timed TLB, or nil for V-COMA.
+func (m *Machine) TLB(n addr.Node) tlb.Buffer {
+	if m.tlbs == nil {
+		return nil
+	}
+	return m.tlbs[n]
+}
+
+// NodeStats returns a copy of node n's counters.
+func (m *Machine) NodeStats(n addr.Node) NodeStats { return m.stats[n] }
+
+// TotalStats sums counters across nodes.
+func (m *Machine) TotalStats() NodeStats {
+	var t NodeStats
+	for i := range m.stats {
+		s := &m.stats[i]
+		t.Refs += s.Refs
+		t.Reads += s.Reads
+		t.Writes += s.Writes
+		t.FLCHits += s.FLCHits
+		t.SLCHits += s.SLCHits
+		t.LocalAM += s.LocalAM
+		t.Remote += s.Remote
+		t.StallLocal += s.StallLocal
+		t.StallRemote += s.StallRemote
+		t.TransCycles += s.TransCycles
+		t.TLBAccesses += s.TLBAccesses
+		t.TLBMisses += s.TLBMisses
+		t.SLCWritebacks += s.SLCWritebacks
+	}
+	return t
+}
+
+// AttachObserverBanks installs multi-configuration translation-buffer
+// observers on the scheme's tap points: one bank per node (per home node
+// for V-COMA). For L2-TLB a second bank per node observes the stream
+// without writebacks (the paper's L2-TLB/no_wback). Call before running.
+func (m *Machine) AttachObserverBanks(specs []tlb.Spec) error {
+	shift := uint(0)
+	if m.cfg.Scheme == config.VCOMA {
+		shift = m.g.NodeBits
+	}
+	for i := 0; i < m.g.Nodes(); i++ {
+		b, err := tlb.NewBank(specs, shift, m.cfg.Seed^uint64(i)<<16^0xBA6)
+		if err != nil {
+			return err
+		}
+		m.banks = append(m.banks, b)
+	}
+	if m.cfg.Scheme == config.L2TLB {
+		for i := 0; i < m.g.Nodes(); i++ {
+			b, err := tlb.NewBank(specs, 0, m.cfg.Seed^uint64(i)<<16^0x209B)
+			if err != nil {
+				return err
+			}
+			m.nowbBanks = append(m.nowbBanks, b)
+		}
+	}
+	return nil
+}
+
+// ObserverBanks returns the per-node primary banks (nil if not attached).
+func (m *Machine) ObserverBanks() []*tlb.Bank { return m.banks }
+
+// NoWritebackBanks returns the per-node L2/no_wback banks (nil unless the
+// scheme is L2-TLB and banks are attached).
+func (m *Machine) NoWritebackBanks() []*tlb.Bank { return m.nowbBanks }
+
+// Preload installs every page and AM block of the layout's regions,
+// modelling the paper's preloaded data sets: each page's master blocks are
+// placed at the node its global-set slot names (spreading frames across the
+// machine), with the directory entry at the block's home node. Must run
+// before the first Access.
+func (m *Machine) Preload(l *vm.Layout) {
+	l.PreloadAll(m.sys)
+	bs := m.g.AMBlockSize()
+	for _, r := range l.Regions() {
+		for off := uint64(0); off < r.Bytes; off += bs {
+			va := m.g.Block(r.Base + addr.Virtual(off))
+			m.prot.Preload(m.protoAddr(va), m.sys.PlacementNode(va))
+		}
+	}
+}
+
+// protoAddr maps a virtual address into the protocol's address space.
+func (m *Machine) protoAddr(va addr.Virtual) uint64 {
+	if m.cfg.Scheme <= config.L2TLB {
+		return uint64(m.sys.Translate(va))
+	}
+	return uint64(va)
+}
+
+// tlbAccess charges a translation request at node n for page p, feeding the
+// observer banks and the timed TLB, and returns the penalty cycles.
+// writeback marks SLC-writeback translations (L2-TLB), which the no_wback
+// observer skips and which the timed TLB skips under NoWritebackTLB.
+func (m *Machine) tlbAccess(n addr.Node, p addr.PageNum, writeback bool) uint64 {
+	if m.banks != nil {
+		m.banks[n].Access(p)
+	}
+	if !writeback && m.nowbBanks != nil {
+		m.nowbBanks[n].Access(p)
+	}
+	if writeback && m.cfg.NoWritebackTLB {
+		return 0
+	}
+	if m.tlbs == nil {
+		return 0
+	}
+	st := &m.stats[n]
+	st.TLBAccesses++
+	if m.tlbs[n].Access(p) {
+		return 0
+	}
+	st.TLBMisses++
+	return m.cfg.Timing.TLBMiss
+}
+
+// --- coherence.Hooks ---
+
+// DirLookup implements coherence.Hooks: V-COMA's home-node translation.
+func (m *Machine) DirLookup(home addr.Node, block uint64, critical bool) uint64 {
+	if m.cfg.Scheme != config.VCOMA {
+		return 0
+	}
+	va := addr.Virtual(block)
+	if m.banks != nil {
+		m.banks[home].Access(m.g.Page(va))
+	}
+	_, penalty := m.engines[home].Translate(va, critical)
+	return penalty
+}
+
+// BackInvalidate implements coherence.Hooks: when node loses an AM block,
+// the caches above it are invalidated to preserve inclusion, converting the
+// protocol address into each cache's address space (backpointers, §2.2.2).
+func (m *Machine) BackInvalidate(node addr.Node, block uint64) {
+	bs := m.g.AMBlockSize()
+	var flcA, slcA uint64
+	switch m.cfg.Scheme {
+	case config.L0TLB:
+		flcA, slcA = block, block
+	case config.L1TLB:
+		va := uint64(m.sys.ReverseTranslate(addr.Physical(block)))
+		flcA, slcA = va, block
+	case config.L2TLB:
+		va := uint64(m.sys.ReverseTranslate(addr.Physical(block)))
+		flcA, slcA = va, va
+	default: // L3, V-COMA: everything virtual
+		flcA, slcA = block, block
+	}
+	m.slcs[node].InvalidateRange(slcA, bs)
+	m.flcs[node].InvalidateRange(flcA, bs)
+}
+
+// ReplacementTranslate implements coherence.Hooks: in L3-TLB the coherence
+// protocol runs on physical addresses, so a node evicting a master copy of
+// a virtually-tagged AM block translates its address to send the
+// replacement; these TLB accesses are part of L3's translation stream.
+func (m *Machine) ReplacementTranslate(node addr.Node, block uint64) uint64 {
+	if m.cfg.Scheme != config.L3TLB {
+		return 0
+	}
+	return m.tlbAccess(node, m.g.Page(addr.Virtual(block)), false)
+}
+
+// --- the access path ---
+
+// Access routes one processor reference through node n's hierarchy at time
+// now, returning its cost. Addresses are virtual; write selects a store.
+func (m *Machine) Access(now uint64, n addr.Node, va addr.Virtual, write bool) AccessResult {
+	st := &m.stats[n]
+	st.Refs++
+	if write {
+		st.Writes++
+	} else {
+		st.Reads++
+	}
+
+	g := m.g
+	scheme := m.cfg.Scheme
+	var trans uint64
+
+	// L0: every reference is translated up front.
+	if scheme == config.L0TLB {
+		trans += m.tlbAccess(n, g.Page(va), false)
+	}
+
+	// Resolve per-level addresses.
+	var pa uint64
+	if scheme <= config.L2TLB {
+		pa = uint64(m.sys.Translate(va))
+	}
+	var flcAddr, slcAddr uint64
+	switch scheme {
+	case config.L0TLB:
+		flcAddr, slcAddr = pa, pa
+	case config.L1TLB:
+		flcAddr, slcAddr = uint64(va), pa
+	default:
+		flcAddr, slcAddr = uint64(va), uint64(va)
+	}
+	protoBlock := m.protoAddr(g.Block(va))
+
+	flc, slc := m.flcs[n], m.slcs[n]
+
+	if !write {
+		return m.read(now, n, va, flcAddr, slcAddr, protoBlock, trans, flc, slc, st)
+	}
+	return m.write(now, n, va, flcAddr, slcAddr, protoBlock, trans, flc, slc, st)
+}
+
+func (m *Machine) read(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAddr uint64, protoBlock uint64, trans uint64, flc, slc *cache.Cache, st *NodeStats) AccessResult {
+	if flc.Read(flcAddr).Hit {
+		st.FLCHits++
+		st.TransCycles += trans
+		return AccessResult{Cycles: trans, TransCycles: trans, Class: ClassFLCHit}
+	}
+
+	// FLC read miss: L1-TLB translates here.
+	if m.cfg.Scheme == config.L1TLB {
+		trans += m.tlbAccess(n, m.g.Page(va), false)
+	}
+
+	rs := slc.Read(slcAddr)
+	m.handleSLCVictim(n, rs, &trans)
+	if rs.Hit {
+		st.SLCHits++
+		st.StallLocal += m.cfg.Timing.SLCHit
+		st.TransCycles += trans
+		return AccessResult{Cycles: m.cfg.Timing.SLCHit + trans, TransCycles: trans, Class: ClassSLCHit}
+	}
+
+	// Below the SLC: L2-TLB translates every such transaction; L3-TLB only
+	// when the local node cannot satisfy it.
+	switch m.cfg.Scheme {
+	case config.L2TLB:
+		trans += m.tlbAccess(n, m.g.Page(va), false)
+	case config.L3TLB:
+		if m.prot.StateAt(n, protoBlock) == mem.Invalid {
+			trans += m.tlbAccess(n, m.g.Page(va), false)
+		}
+	}
+
+	res := m.prot.Access(now+trans, n, protoBlock, false)
+	trans += res.TransCycles
+	st.TransCycles += trans
+	cycles := trans + res.Latency - res.TransCycles
+	if res.LocalHit {
+		st.LocalAM++
+		st.StallLocal += res.Latency - res.TransCycles
+		return AccessResult{Cycles: cycles, TransCycles: trans, Class: ClassLocalAM}
+	}
+	st.Remote++
+	st.StallRemote += res.Latency - res.TransCycles
+	return AccessResult{Cycles: cycles, TransCycles: trans, Class: ClassRemote}
+}
+
+func (m *Machine) write(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAddr uint64, protoBlock uint64, trans uint64, flc, slc *cache.Cache, st *NodeStats) AccessResult {
+	// Write-through FLC: update on hit, never allocate, always continue.
+	flc.Write(flcAddr)
+
+	// L1-TLB: the SLC is physical, so every write-through access
+	// translates.
+	if m.cfg.Scheme == config.L1TLB {
+		trans += m.tlbAccess(n, m.g.Page(va), false)
+	}
+
+	ws := slc.Write(slcAddr)
+	m.handleSLCVictim(n, ws, &trans)
+
+	if ws.Hit && m.prot.StateAt(n, protoBlock) == mem.Exclusive {
+		// The write completes in the SLC with ownership already held.
+		st.SLCHits++
+		st.StallLocal += m.cfg.Timing.SLCHit
+		st.TransCycles += trans
+		return AccessResult{Cycles: m.cfg.Timing.SLCHit + trans, TransCycles: trans, Class: ClassSLCHit}
+	}
+
+	// Ownership (and possibly data) must come from below the SLC.
+	switch m.cfg.Scheme {
+	case config.L2TLB:
+		trans += m.tlbAccess(n, m.g.Page(va), false)
+	case config.L3TLB:
+		if m.prot.StateAt(n, protoBlock) != mem.Exclusive {
+			trans += m.tlbAccess(n, m.g.Page(va), false)
+		}
+	}
+
+	res := m.prot.Access(now+trans, n, protoBlock, true)
+	trans += res.TransCycles
+	st.TransCycles += trans
+	cycles := trans + res.Latency - res.TransCycles
+	if m.cfg.Scheme == config.VCOMA && !res.LocalHit {
+		// The home engine records the page's Modify bit on ownership
+		// transfers (§4.3).
+		m.engines[m.prot.Home(protoBlock)].SetModified(va)
+	}
+	if res.LocalHit {
+		st.LocalAM++
+		st.StallLocal += res.Latency - res.TransCycles
+		return AccessResult{Cycles: cycles, TransCycles: trans, Class: ClassLocalAM}
+	}
+	st.Remote++
+	st.StallRemote += res.Latency - res.TransCycles
+	return AccessResult{Cycles: cycles, TransCycles: trans, Class: ClassRemote}
+}
+
+// handleSLCVictim resolves an SLC fill's displaced line: the FLC is
+// back-invalidated to keep inclusion, and a dirty victim becomes a
+// writeback into the attraction memory — which in L2-TLB means a
+// translation request for the victim's page (poor locality, the paper's
+// write-back effect, §2.2.2/§5.2).
+func (m *Machine) handleSLCVictim(n addr.Node, r cache.Result, trans *uint64) {
+	if !r.Evicted {
+		return
+	}
+	bs := m.cfg.SLC.BlockBytes
+	flcA := r.Victim
+	if m.cfg.Scheme == config.L1TLB {
+		// SLC victims are physical but the FLC is virtual: follow the
+		// backpointer.
+		flcA = uint64(m.sys.ReverseTranslate(addr.Physical(r.Victim)))
+	}
+	m.flcs[n].InvalidateRange(flcA, bs)
+
+	if r.VictimDirty {
+		m.stats[n].SLCWritebacks++
+		if m.cfg.Scheme == config.L2TLB {
+			// The victim's address is virtual; writing it back to the
+			// physical AM requires translation.
+			vpage := m.g.Page(addr.Virtual(r.Victim))
+			*trans += m.tlbAccess(n, vpage, true)
+		}
+	}
+}
+
+// PressureProfile returns the Figure 11 pressure profile.
+func (m *Machine) PressureProfile() []float64 { return m.sys.PressureProfile() }
+
+// CheckInvariants verifies cross-layer consistency: directory/AM agreement
+// and cache inclusion (every valid SLC/FLC block backed by a valid local AM
+// block). Tests and debug runs call this; it is O(machine size).
+func (m *Machine) CheckInvariants() error {
+	if err := m.prot.CheckInvariants(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/mem"
+	"vcoma/internal/prng"
+	"vcoma/internal/tlb"
+	"vcoma/internal/vm"
+)
+
+func newMachine(t *testing.T, scheme config.Scheme) *Machine {
+	t.Helper()
+	cfg := config.SmallTest().WithScheme(scheme)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// preloadRange maps and preloads [base, base+bytes).
+func preloadRange(m *Machine, base addr.Virtual, bytes uint64) {
+	l := vm.NewLayout(m.Geometry())
+	// Layout always starts at LayoutBase; preload directly instead.
+	_ = l
+	g := m.Geometry()
+	m.VM().Preload(base, bytes)
+	for off := uint64(0); off < bytes; off += g.AMBlockSize() {
+		va := g.Block(base + addr.Virtual(off))
+		m.Protocol().Preload(m.protoAddr(va), m.VM().PlacementNode(va))
+	}
+}
+
+func TestL0TranslatesEveryReference(t *testing.T) {
+	m := newMachine(t, config.L0TLB)
+	preloadRange(m, 0x10000, 4096)
+	for i := 0; i < 100; i++ {
+		m.Access(uint64(i*10), 0, addr.Virtual(0x10000+i*8), i%4 == 0)
+	}
+	st := m.NodeStats(0)
+	if st.TLBAccesses != 100 {
+		t.Fatalf("L0 TLB accesses = %d, want 100", st.TLBAccesses)
+	}
+}
+
+func TestL1TranslatesWritesAndFLCMisses(t *testing.T) {
+	m := newMachine(t, config.L1TLB)
+	preloadRange(m, 0x10000, 4096)
+	// Warm one FLC block with a read (1 miss), then re-read it (hits, no
+	// translation), then write it twice (write-through: both translate).
+	v := addr.Virtual(0x10000)
+	m.Access(0, 0, v, false)
+	base := m.NodeStats(0).TLBAccesses
+	if base != 1 {
+		t.Fatalf("FLC read miss translations = %d, want 1", base)
+	}
+	for i := 0; i < 5; i++ {
+		m.Access(100, 0, v, false) // FLC hits: no translation
+	}
+	if got := m.NodeStats(0).TLBAccesses; got != base {
+		t.Fatalf("FLC read hits translated: %d", got)
+	}
+	m.Access(200, 0, v, true)
+	m.Access(300, 0, v, true)
+	if got := m.NodeStats(0).TLBAccesses; got != base+2 {
+		t.Fatalf("writes translated %d times, want 2", got-base)
+	}
+}
+
+func TestL2TranslatesBelowSLCOnly(t *testing.T) {
+	m := newMachine(t, config.L2TLB)
+	preloadRange(m, 0x10000, 4096)
+	v := addr.Virtual(0x10000)
+	m.Access(0, 0, v, false) // SLC miss: translate
+	if got := m.NodeStats(0).TLBAccesses; got != 1 {
+		t.Fatalf("SLC miss translations = %d", got)
+	}
+	m.Access(100, 0, v+16, false) // FLC miss, SLC hit (32 B SLC block): no translation
+	if got := m.NodeStats(0).TLBAccesses; got != 1 {
+		t.Fatalf("SLC hit translated: %d", got)
+	}
+	// A write needs ownership: the upgrade goes below the SLC even though
+	// the SLC holds the block.
+	m.Access(200, 0, v, true)
+	if got := m.NodeStats(0).TLBAccesses; got != 2 {
+		t.Fatalf("upgrade translations = %d, want 2", got)
+	}
+	// Second write: SLC hit with Exclusive AM state: no translation.
+	m.Access(300, 0, v, true)
+	if got := m.NodeStats(0).TLBAccesses; got != 2 {
+		t.Fatalf("exclusive write translated: %d", got)
+	}
+}
+
+func TestL2WritebackTranslation(t *testing.T) {
+	m := newMachine(t, config.L2TLB)
+	g := m.Geometry()
+	// Dirty many distinct SLC sets' worth of blocks so evictions produce
+	// writebacks, each of which must translate its victim's page.
+	span := uint64(8 * 1024) // 8x the 1 KB SLC
+	preloadRange(m, 0x10000, span)
+	now := uint64(0)
+	for off := uint64(0); off < span; off += 32 {
+		m.Access(now, 0, addr.Virtual(0x10000+off), true)
+		now += 1000
+	}
+	st := m.NodeStats(0)
+	if st.SLCWritebacks == 0 {
+		t.Fatal("no writebacks generated")
+	}
+	// Translations: one per write (miss/upgrade) + one per writeback.
+	writes := span / 32
+	if st.TLBAccesses != uint64(writes)+st.SLCWritebacks {
+		t.Fatalf("TLB accesses = %d, want %d writes + %d writebacks",
+			st.TLBAccesses, writes, st.SLCWritebacks)
+	}
+	_ = g
+}
+
+func TestL2NoWritebackVariant(t *testing.T) {
+	cfg := config.SmallTest().WithScheme(config.L2TLB)
+	cfg.NoWritebackTLB = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preloadRange(m, 0x10000, 8*1024)
+	now := uint64(0)
+	for off := uint64(0); off < 8*1024; off += 32 {
+		m.Access(now, 0, addr.Virtual(0x10000+off), true)
+		now += 1000
+	}
+	st := m.NodeStats(0)
+	if st.SLCWritebacks == 0 {
+		t.Fatal("no writebacks generated")
+	}
+	if st.TLBAccesses != 8*1024/32 {
+		t.Fatalf("TLB accesses = %d, want one per write only", st.TLBAccesses)
+	}
+}
+
+func TestL3TranslatesOnlyLocalMisses(t *testing.T) {
+	m := newMachine(t, config.L3TLB)
+	preloadRange(m, 0x10000, 4096)
+	// First touch: where does page 0x10000's data sit? PlacementNode
+	// decides; find a VA placed at node 0 so its reads are local.
+	g := m.Geometry()
+	var local, remote addr.Virtual
+	for off := uint64(0); off < 4096; off += g.PageSize() {
+		v := addr.Virtual(0x10000 + off)
+		if m.VM().PlacementNode(v) == 0 && local == 0 {
+			local = v
+		} else if m.VM().PlacementNode(v) != 0 && remote == 0 {
+			remote = v
+		}
+	}
+	if local == 0 || remote == 0 {
+		t.Fatal("setup: need both local and remote pages")
+	}
+	m.Access(0, 0, local, false)
+	if got := m.NodeStats(0).TLBAccesses; got != 0 {
+		t.Fatalf("local AM hit translated: %d", got)
+	}
+	m.Access(100, 0, remote, false)
+	if got := m.NodeStats(0).TLBAccesses; got != 1 {
+		t.Fatalf("remote miss translations = %d, want 1", got)
+	}
+}
+
+func TestVCOMAUsesDLBNotTLB(t *testing.T) {
+	m := newMachine(t, config.VCOMA)
+	preloadRange(m, 0x10000, 4096)
+	now := uint64(0)
+	for i := 0; i < 50; i++ {
+		m.Access(now, 1, addr.Virtual(0x10000+i*32), i%3 == 0)
+		now += 500
+	}
+	if m.TLB(1) != nil {
+		t.Fatal("V-COMA node has a TLB")
+	}
+	total := uint64(0)
+	for n := 0; n < m.Geometry().Nodes(); n++ {
+		total += m.Engine(addr.Node(n)).Stats().Lookups
+	}
+	if total == 0 {
+		t.Fatal("no DLB lookups recorded")
+	}
+	if m.NodeStats(1).TLBAccesses != 0 {
+		t.Fatal("V-COMA counted TLB accesses")
+	}
+}
+
+func TestRemoteWriteBackInvalidatesCaches(t *testing.T) {
+	for _, scheme := range config.Schemes() {
+		m := newMachine(t, scheme)
+		preloadRange(m, 0x10000, 4096)
+		v := addr.Virtual(0x10040)
+		m.Access(0, 0, v, false) // node 0 caches the block
+		if m.FLC(0).OccupiedLines() == 0 {
+			t.Fatalf("%v: read did not fill the FLC", scheme)
+		}
+		m.Access(1000, 1, v, true) // node 1 takes exclusive ownership
+
+		// Node 0 must not hit its caches on the invalidated block.
+		flcAddr, slcAddr := uint64(v), uint64(v)
+		if scheme == config.L0TLB {
+			flcAddr = uint64(m.VM().Translate(v))
+			slcAddr = flcAddr
+		}
+		if scheme == config.L1TLB || scheme == config.L2TLB {
+			pa := uint64(m.VM().Translate(v))
+			if scheme == config.L1TLB {
+				slcAddr = pa
+			} else {
+				// L2: caches are virtual.
+			}
+		}
+		if m.FLC(0).Contains(flcAddr) {
+			t.Errorf("%v: FLC at node 0 still holds the block after a remote write", scheme)
+		}
+		if m.SLC(0).Contains(slcAddr) {
+			t.Errorf("%v: SLC at node 0 still holds the block after a remote write", scheme)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestInclusionProperty(t *testing.T) {
+	// Property: after any access sequence, every valid SLC block is backed
+	// by a readable block in the local attraction memory (inclusion).
+	for _, scheme := range config.Schemes() {
+		scheme := scheme
+		err := quick.Check(func(seed uint64) bool {
+			m := newMachine(t, scheme)
+			preloadRange(m, 0x10000, 16*1024)
+			rng := prng.New(seed)
+			now := uint64(0)
+			for i := 0; i < 300; i++ {
+				n := addr.Node(rng.Intn(4))
+				v := addr.Virtual(0x10000 + rng.Uint64n(16*1024))
+				m.Access(now, n, v, rng.Intn(3) == 0)
+				now += 200
+			}
+			g := m.Geometry()
+			for n := addr.Node(0); int(n) < g.Nodes(); n++ {
+				for _, block := range m.SLC(n).ValidBlocks() {
+					// Map the SLC's address space into the protocol's:
+					// only L2 has a virtual SLC over a physical AM.
+					proto := block
+					if scheme == config.L2TLB {
+						proto = uint64(m.VM().Translate(addr.Virtual(block)))
+					}
+					if m.Protocol().StateAt(n, proto&^(g.AMBlockSize()-1)) == mem.Invalid {
+						return false
+					}
+				}
+			}
+			return m.CheckInvariants() == nil
+		}, &quick.Config{MaxCount: 10})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestObserverBanks(t *testing.T) {
+	cfg := config.SmallTest().WithScheme(config.L2TLB)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []tlb.Spec{{Entries: 4, Org: config.FullyAssoc}}
+	if err := m.AttachObserverBanks(specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ObserverBanks()) != 4 || len(m.NoWritebackBanks()) != 4 {
+		t.Fatal("bank counts wrong")
+	}
+	preloadRange(m, 0x10000, 8*1024)
+	now := uint64(0)
+	for off := uint64(0); off < 8*1024; off += 32 {
+		m.Access(now, 0, addr.Virtual(0x10000+off), true)
+		now += 1000
+	}
+	withWB := tlb.Merge(m.ObserverBanks()).TotalAccesses()
+	noWB := tlb.Merge(m.NoWritebackBanks()).TotalAccesses()
+	if withWB <= noWB {
+		t.Fatalf("writeback bank (%d) should see more requests than no_wback (%d)", withWB, noWB)
+	}
+}
+
+func TestAccessClassesAndStats(t *testing.T) {
+	m := newMachine(t, config.L0TLB)
+	preloadRange(m, 0x10000, 4096)
+	v := addr.Virtual(0x10000)
+	r1 := m.Access(0, 0, v, false)
+	if r1.Class == ClassFLCHit {
+		t.Fatal("cold access classified as FLC hit")
+	}
+	r2 := m.Access(100, 0, v, false)
+	if r2.Class != ClassFLCHit || r2.Cycles != r2.TransCycles {
+		t.Fatalf("warm access: %+v", r2)
+	}
+	ts := m.TotalStats()
+	if ts.Refs != 2 || ts.Reads != 2 {
+		t.Fatalf("stats %+v", ts)
+	}
+	for _, c := range []Class{ClassFLCHit, ClassSLCHit, ClassLocalAM, ClassRemote, Class(9)} {
+		if c.String() == "" {
+			t.Fatal("empty class string")
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := config.SmallTest()
+	cfg.TLBEntries = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

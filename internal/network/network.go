@@ -1,0 +1,118 @@
+// Package network models the interconnect of the simulated machine: an
+// 8-bit-wide crossbar clocked at half the processor frequency (paper §5.1).
+// An 8-byte request message occupies the wire for 16 processor cycles and a
+// message carrying one attraction-memory block for 272 cycles.
+//
+// The model is occupancy-based: each node has an input port whose busy time
+// queues incoming messages, which captures hot-spot contention (a home node
+// being hammered) without simulating flits.
+package network
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+)
+
+// MsgKind distinguishes the two message sizes of the paper's model.
+type MsgKind int
+
+const (
+	// Request is a small (8-byte) protocol message: read/write requests,
+	// invalidations, acknowledgements, replacement hints.
+	Request MsgKind = iota
+	// BlockTransfer is a message carrying a full attraction-memory block.
+	BlockTransfer
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case BlockTransfer:
+		return "block"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Stats counts fabric activity.
+type Stats struct {
+	Requests         uint64
+	Blocks           uint64
+	TotalCycles      uint64 // wire occupancy
+	QueueCycles      uint64 // cycles messages spent waiting for busy ports
+	QueueCyclesBlock uint64 // portion of QueueCycles suffered by block messages
+}
+
+// Fabric is the crossbar. Request and block-reply traffic travel on
+// separate virtual networks (the standard protocol-deadlock-avoidance
+// design), so a short invalidation never waits behind a 272-cycle block
+// transfer; within each network, a node's input port serializes arrivals.
+type Fabric struct {
+	requestCost uint64
+	blockCost   uint64
+	reqBusy     []uint64 // request-network port busy-until, per dest
+	blkBusy     []uint64 // reply-network port busy-until, per dest
+	stats       Stats
+}
+
+// New returns a fabric for nodes nodes with the given message costs in
+// processor cycles.
+func New(nodes int, requestCost, blockCost uint64) *Fabric {
+	return &Fabric{
+		requestCost: requestCost,
+		blockCost:   blockCost,
+		reqBusy:     make([]uint64, nodes),
+		blkBusy:     make([]uint64, nodes),
+	}
+}
+
+// UseSharedChannel collapses the two virtual networks into one: every
+// message kind contends for the same input ports. Ablation only; call
+// before any traffic.
+func (f *Fabric) UseSharedChannel() { f.blkBusy = f.reqBusy }
+
+// Cost returns the contention-free transfer time of a message kind.
+func (f *Fabric) Cost(kind MsgKind) uint64 {
+	if kind == BlockTransfer {
+		return f.blockCost
+	}
+	return f.requestCost
+}
+
+// Send delivers a message from src to dst, departing at the given time, and
+// returns the arrival time: departure + queueing at dst's input port +
+// transfer. A message to self is free (no network crossing).
+func (f *Fabric) Send(now uint64, src, dst addr.Node, kind MsgKind) uint64 {
+	if src == dst {
+		return now
+	}
+	cost := f.Cost(kind)
+	busy := f.reqBusy
+	if kind == BlockTransfer {
+		f.stats.Blocks++
+		busy = f.blkBusy
+	} else {
+		f.stats.Requests++
+	}
+	f.stats.TotalCycles += cost
+	start := now
+	if busy[dst] > start {
+		wait := busy[dst] - start
+		f.stats.QueueCycles += wait
+		if kind == BlockTransfer {
+			f.stats.QueueCyclesBlock += wait
+		}
+		start = busy[dst]
+	}
+	arrival := start + cost
+	busy[dst] = arrival
+	return arrival
+}
+
+// Stats returns the activity counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Nodes returns the fabric's port count.
+func (f *Fabric) Nodes() int { return len(f.reqBusy) }

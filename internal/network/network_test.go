@@ -1,0 +1,92 @@
+package network
+
+import "testing"
+
+func TestSelfSendIsFree(t *testing.T) {
+	f := New(4, 16, 272)
+	if got := f.Send(100, 2, 2, BlockTransfer); got != 100 {
+		t.Fatalf("self send arrived at %d", got)
+	}
+	st := f.Stats()
+	if st.Requests != 0 || st.Blocks != 0 {
+		t.Fatalf("self send counted: %+v", st)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	f := New(4, 16, 272)
+	if f.Cost(Request) != 16 || f.Cost(BlockTransfer) != 272 {
+		t.Fatal("costs wrong")
+	}
+	if got := f.Send(0, 0, 1, Request); got != 16 {
+		t.Fatalf("request arrival %d", got)
+	}
+	if got := f.Send(0, 0, 2, BlockTransfer); got != 272 {
+		t.Fatalf("block arrival %d", got)
+	}
+}
+
+func TestPortQueueing(t *testing.T) {
+	f := New(4, 16, 272)
+	// Two requests to the same destination at the same time serialize.
+	a := f.Send(0, 0, 3, Request)
+	b := f.Send(0, 1, 3, Request)
+	if a != 16 || b != 32 {
+		t.Fatalf("arrivals %d, %d", a, b)
+	}
+	if f.Stats().QueueCycles != 16 {
+		t.Fatalf("queue cycles %d", f.Stats().QueueCycles)
+	}
+	// A request to a different destination does not queue.
+	if c := f.Send(0, 2, 1, Request); c != 16 {
+		t.Fatalf("independent port queued: %d", c)
+	}
+}
+
+func TestSeparateVirtualNetworks(t *testing.T) {
+	f := New(4, 16, 272)
+	f.Send(0, 0, 3, BlockTransfer) // occupies node 3's reply port
+	// A request to the same node must NOT wait behind the block.
+	if got := f.Send(0, 1, 3, Request); got != 16 {
+		t.Fatalf("request waited behind a block: arrived %d", got)
+	}
+	// But a second block does wait.
+	if got := f.Send(0, 2, 3, BlockTransfer); got != 544 {
+		t.Fatalf("second block arrived %d, want 544", got)
+	}
+	if f.Stats().QueueCyclesBlock != 272 {
+		t.Fatalf("block queue cycles %d", f.Stats().QueueCyclesBlock)
+	}
+}
+
+func TestIdlePortDoesNotQueue(t *testing.T) {
+	f := New(2, 16, 272)
+	f.Send(0, 0, 1, Request)
+	// Long after the port drained, no queueing.
+	if got := f.Send(1000, 0, 1, Request); got != 1016 {
+		t.Fatalf("arrival %d", got)
+	}
+	if f.Stats().QueueCycles != 0 {
+		t.Fatal("idle port queued")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	f := New(4, 16, 272)
+	f.Send(0, 0, 1, Request)
+	f.Send(0, 0, 2, BlockTransfer)
+	f.Send(0, 1, 2, BlockTransfer)
+	st := f.Stats()
+	if st.Requests != 1 || st.Blocks != 2 {
+		t.Fatalf("counts %+v", st)
+	}
+	if st.TotalCycles != 16+272+272 {
+		t.Fatalf("wire cycles %d", st.TotalCycles)
+	}
+	if f.Nodes() != 4 {
+		t.Fatalf("nodes %d", f.Nodes())
+	}
+	if Request.String() == "" || BlockTransfer.String() == "" || MsgKind(9).String() == "" {
+		t.Fatal("kind strings")
+	}
+}

@@ -1,0 +1,128 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values of 100", same)
+	}
+}
+
+func TestZeroSeed(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced zeros (xorshift fixed point)")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		bound := int(n%100) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.Uint64n(13); v >= 13 {
+			t.Fatalf("Uint64n(13) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := New(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	New(3).Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Coarse chi-square-ish sanity: 16 buckets over 64k draws should each
+	// hold ~4096 +- 10%.
+	s := New(0xBEEF)
+	var buckets [16]int
+	const draws = 1 << 16
+	for i := 0; i < draws; i++ {
+		buckets[s.Uint64()%16]++
+	}
+	for i, n := range buckets {
+		if n < draws/16*9/10 || n > draws/16*11/10 {
+			t.Fatalf("bucket %d has %d of %d draws", i, n, draws)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package report renders experiment results as fixed-width text and
+// Markdown tables, and draws simple ASCII charts for the figure-style
+// results. The cmd tools and the EXPERIMENTS.md generator are built on it.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders an aligned fixed-width text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MarkdownTable renders a GitHub-flavoured Markdown table.
+func MarkdownTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Count formats a float count compactly: integers under 10 exactly,
+// thousands with a k suffix.
+func Count(v float64) string {
+	switch {
+	case v < 0:
+		return ">512"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 10000:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Rate formats a percentage with the paper's Table 2 style: two to four
+// significant digits depending on magnitude.
+func Rate(pct float64) string {
+	switch {
+	case pct >= 1:
+		return fmt.Sprintf("%.2f", pct)
+	case pct >= 0.01:
+		return fmt.Sprintf("%.2f", pct)
+	case pct > 0:
+		return fmt.Sprintf("%.4f", pct)
+	default:
+		return "0"
+	}
+}
+
+// Bar renders a horizontal ASCII bar of the given fraction of width.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Profile renders a sequence of values (e.g. the Figure 11 pressure
+// profile) as a compact multi-row ASCII chart: values are bucketed into
+// groups and each bucket shows min/mean/max as a bar.
+func Profile(values []float64, buckets, width int, format func(float64) string) string {
+	if len(values) == 0 {
+		return "(empty)\n"
+	}
+	if buckets <= 0 || buckets > len(values) {
+		buckets = len(values)
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	per := (len(values) + buckets - 1) / buckets
+	for lo := 0; lo < len(values); lo += per {
+		hi := lo + per
+		if hi > len(values) {
+			hi = len(values)
+		}
+		minV, sum, mx := values[lo], 0.0, values[lo]
+		for _, v := range values[lo:hi] {
+			if v < minV {
+				minV = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+		}
+		mean := sum / float64(hi-lo)
+		fmt.Fprintf(&b, "%4d-%-4d |%s| mean=%s min=%s max=%s\n",
+			lo, hi-1, Bar(mean/maxV, width), format(mean), format(minV), format(mx))
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"xxxxxx", "1"},
+		{"y", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	// All rows render to the same width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("row %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("no separator: %q", lines[1])
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	out := MarkdownTable([]string{"h1", "h2"}, [][]string{{"a", "b"}})
+	want := "| h1 | h2 |\n| --- | --- |\n| a | b |\n"
+	if out != want {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[float64]string{
+		-1:      ">512",
+		0.5:     "0.50",
+		3.25:    "3.2",
+		42:      "42",
+		15000:   "15.0k",
+		2500000: "2.50M",
+	}
+	for v, want := range cases {
+		if got := Count(v); got != want {
+			t.Errorf("Count(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(10.61) != "10.61" || Rate(0.004) != "0.0040" || Rate(0) != "0" {
+		t.Fatalf("rate formats: %q %q %q", Rate(10.61), Rate(0.004), Rate(0))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####....." {
+		t.Fatalf("bar: %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 4) != "...." || Bar(2, 4) != "####" {
+		t.Fatal("bar clamping")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i) / 64
+	}
+	out := Profile(vals, 8, 20, func(v float64) string { return "x" })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("buckets: %d", len(lines))
+	}
+	if Profile(nil, 4, 10, nil) != "(empty)\n" {
+		t.Fatal("empty profile")
+	}
+	// All-zero values must not divide by zero.
+	if out := Profile([]float64{0, 0}, 2, 10, func(v float64) string { return "0" }); out == "" {
+		t.Fatal("zero profile")
+	}
+}

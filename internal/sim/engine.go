@@ -1,0 +1,323 @@
+// Package sim is the execution engine: it interleaves the per-processor
+// event streams of a workload over the machine's memory system under
+// sequential consistency, arbitrates locks and barriers, and accounts each
+// processor's time into the paper's Figure 10 categories — busy, sync,
+// local stall, remote stall, and address-translation overhead.
+//
+// Scheduling is cycle-ordered: at every step the runnable processor with
+// the smallest clock executes its next event atomically. Memory references
+// stall the issuing processor until globally performed (sequential
+// consistency, §5.3); the machine layer returns each reference's latency.
+package sim
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/machine"
+	"vcoma/internal/trace"
+)
+
+// ProcStats is one processor's time breakdown.
+type ProcStats struct {
+	Busy        uint64 // compute cycles
+	Sync        uint64 // lock + barrier waiting and transfer cycles
+	StallLocal  uint64 // SLC hits and local attraction-memory service
+	StallRemote uint64 // coherence transactions
+	Trans       uint64 // address-translation penalties on this proc's path
+	Finish      uint64 // clock value at the processor's last event
+	Refs        uint64 // shared-memory references issued
+}
+
+// Total returns the sum of all time categories.
+func (p ProcStats) Total() uint64 {
+	return p.Busy + p.Sync + p.StallLocal + p.StallRemote + p.Trans
+}
+
+// Result is a finished run.
+type Result struct {
+	Procs []ProcStats
+	// ExecTime is the parallel execution time: the largest finish clock.
+	ExecTime uint64
+	// Events is the total number of events executed.
+	Events uint64
+}
+
+// TotalProc sums the per-processor breakdowns.
+func (r Result) TotalProc() ProcStats {
+	var t ProcStats
+	for _, p := range r.Procs {
+		t.Busy += p.Busy
+		t.Sync += p.Sync
+		t.StallLocal += p.StallLocal
+		t.StallRemote += p.StallRemote
+		t.Trans += p.Trans
+		t.Refs += p.Refs
+		if p.Finish > t.Finish {
+			t.Finish = p.Finish
+		}
+	}
+	return t
+}
+
+type procState struct {
+	stream  trace.Stream
+	clock   uint64
+	stats   ProcStats
+	done    bool
+	waiting bool // blocked at a lock or barrier
+}
+
+type lockState struct {
+	held    bool
+	owner   int
+	queue   []int // waiting processors, FIFO
+	arrival map[int]uint64
+}
+
+type barrierState struct {
+	arrived []int
+	latest  uint64
+}
+
+// Engine drives one run. Build with New, run with Run.
+type Engine struct {
+	m        *machine.Machine
+	procs    []procState
+	locks    map[int]*lockState
+	barriers map[int]*barrierState
+	events   uint64
+}
+
+// New builds an engine for machine m and one event stream per processor.
+// The stream count must equal the machine's node count.
+func New(m *Machine, streams []trace.Stream) (*Engine, error) {
+	return newEngine(m, streams)
+}
+
+// Machine is re-exported so callers need not import internal/machine just
+// for the type name in signatures.
+type Machine = machine.Machine
+
+func newEngine(m *machine.Machine, streams []trace.Stream) (*Engine, error) {
+	if len(streams) != m.Geometry().Nodes() {
+		return nil, fmt.Errorf("sim: %d streams for %d nodes", len(streams), m.Geometry().Nodes())
+	}
+	e := &Engine{
+		m:        m,
+		locks:    make(map[int]*lockState),
+		barriers: make(map[int]*barrierState),
+	}
+	for _, s := range streams {
+		e.procs = append(e.procs, procState{stream: s})
+	}
+	return e, nil
+}
+
+// Run executes the workload to completion and returns the per-processor
+// accounting. Streams are closed on return.
+func (e *Engine) Run() (Result, error) {
+	defer func() {
+		for i := range e.procs {
+			trace.CloseStream(e.procs[i].stream)
+		}
+	}()
+	for {
+		i := e.pickRunnable()
+		if i < 0 {
+			if e.allDone() {
+				break
+			}
+			return Result{}, e.deadlockError()
+		}
+		if err := e.step(i); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Events: e.events}
+	for i := range e.procs {
+		p := &e.procs[i]
+		p.stats.Finish = p.clock
+		res.Procs = append(res.Procs, p.stats)
+		if p.clock > res.ExecTime {
+			res.ExecTime = p.clock
+		}
+	}
+	return res, nil
+}
+
+// pickRunnable returns the runnable processor with the smallest clock
+// (lowest index breaks ties), or -1.
+func (e *Engine) pickRunnable() int {
+	best := -1
+	for i := range e.procs {
+		p := &e.procs[i]
+		if p.done || p.waiting {
+			continue
+		}
+		if best < 0 || p.clock < e.procs[best].clock {
+			best = i
+		}
+	}
+	return best
+}
+
+func (e *Engine) allDone() bool {
+	for i := range e.procs {
+		if !e.procs[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) deadlockError() error {
+	waitingBarrier, waitingLock, done := 0, 0, 0
+	for i := range e.procs {
+		if e.procs[i].done {
+			done++
+		} else if e.procs[i].waiting {
+			waitingLock++ // refined below if it helps debugging
+		}
+	}
+	for _, b := range e.barriers {
+		waitingBarrier += len(b.arrived)
+	}
+	return fmt.Errorf("sim: deadlock: %d done, %d waiting (%d at barriers) of %d processors — unbalanced barriers or a lock never released",
+		done, waitingLock, waitingBarrier, len(e.procs))
+}
+
+func (e *Engine) step(i int) error {
+	p := &e.procs[i]
+	ev, ok := p.stream.Next()
+	if !ok {
+		p.done = true
+		return nil
+	}
+	e.events++
+	switch ev.Kind {
+	case trace.Compute:
+		p.stats.Busy += ev.Cycles
+		p.clock += ev.Cycles
+	case trace.Read, trace.Write:
+		p.stats.Refs++
+		res := e.m.Access(p.clock, addr.Node(i), ev.Addr, ev.Kind == trace.Write)
+		p.clock += res.Cycles
+		p.stats.Trans += res.TransCycles
+		stall := res.Cycles - res.TransCycles
+		if res.Class == machine.ClassRemote {
+			p.stats.StallRemote += stall
+		} else {
+			p.stats.StallLocal += stall
+		}
+	case trace.LockAcquire:
+		e.lockAcquire(i, ev.ID)
+	case trace.LockRelease:
+		if err := e.lockRelease(i, ev.ID); err != nil {
+			return err
+		}
+	case trace.Barrier:
+		e.barrierArrive(i, ev.ID)
+	default:
+		return fmt.Errorf("sim: processor %d: unknown event kind %v", i, ev.Kind)
+	}
+	return nil
+}
+
+// lockTransferCost is the cost of one lock message exchange with the lock's
+// home node, derived from the machine's request timing.
+func (e *Engine) lockTransferCost() uint64 {
+	return 2 * e.m.Config().Timing.NetRequest
+}
+
+func (e *Engine) lockHomeDistance(id int) uint64 {
+	// Locks live at a home node; every operation is a request round trip.
+	return e.lockTransferCost()
+}
+
+func (e *Engine) lockAcquire(i, id int) {
+	l := e.locks[id]
+	if l == nil {
+		l = &lockState{arrival: make(map[int]uint64)}
+		e.locks[id] = l
+	}
+	p := &e.procs[i]
+	if !l.held {
+		cost := e.lockHomeDistance(id)
+		l.held = true
+		l.owner = i
+		p.stats.Sync += cost
+		p.clock += cost
+		return
+	}
+	l.queue = append(l.queue, i)
+	l.arrival[i] = p.clock
+	p.waiting = true
+}
+
+func (e *Engine) lockRelease(i, id int) error {
+	l := e.locks[id]
+	if l == nil || !l.held || l.owner != i {
+		return fmt.Errorf("sim: processor %d releases lock %d it does not hold", i, id)
+	}
+	p := &e.procs[i]
+	cost := e.lockHomeDistance(id)
+	p.stats.Sync += cost
+	p.clock += cost
+	releaseDone := p.clock
+
+	if len(l.queue) == 0 {
+		l.held = false
+		return nil
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	np := &e.procs[next]
+	arrived := l.arrival[next]
+	delete(l.arrival, next)
+	grant := releaseDone
+	if arrived > grant {
+		grant = arrived
+	}
+	grant += e.lockHomeDistance(id)
+	np.stats.Sync += grant - arrived
+	np.clock = grant
+	np.waiting = false
+	l.owner = next
+	return nil
+}
+
+func (e *Engine) barrierArrive(i, id int) {
+	b := e.barriers[id]
+	if b == nil {
+		b = &barrierState{}
+		e.barriers[id] = b
+	}
+	p := &e.procs[i]
+	notify := e.m.Config().Timing.BarrierNotify
+	p.clock += notify
+	p.stats.Sync += notify
+	b.arrived = append(b.arrived, i)
+	if p.clock > b.latest {
+		b.latest = p.clock
+	}
+	if len(b.arrived) < len(e.procs) {
+		p.waiting = true
+		return
+	}
+	// Last arrival: release everyone after the latest arrival. The release
+	// notifications serialize on the barrier home's network port, so each
+	// processor restarts a few cycles after the previous one — without the
+	// stagger every processor would re-issue its first post-barrier miss
+	// in the same cycle, an artificial convoy no real machine exhibits.
+	release := b.latest + notify
+	const releaseStagger = 4
+	for k, j := range b.arrived {
+		q := &e.procs[j]
+		r := release + uint64(k)*releaseStagger
+		q.stats.Sync += r - q.clock
+		q.clock = r
+		q.waiting = false
+	}
+	delete(e.barriers, id)
+}

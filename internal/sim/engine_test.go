@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/machine"
+	"vcoma/internal/trace"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(config.SmallTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preload a working range so accesses resolve.
+	g := m.Geometry()
+	m.VM().Preload(0x10000, 8*1024)
+	for off := uint64(0); off < 8*1024; off += g.AMBlockSize() {
+		va := g.Block(addr.Virtual(0x10000 + off))
+		m.Protocol().Preload(uint64(m.VM().Translate(va)), m.VM().PlacementNode(va))
+	}
+	return m
+}
+
+func streams(events ...[]trace.Event) []trace.Stream {
+	out := make([]trace.Stream, len(events))
+	for i, evs := range events {
+		out[i] = trace.NewSliceStream(evs)
+	}
+	return out
+}
+
+func run(t *testing.T, m *machine.Machine, ss []trace.Stream) Result {
+	t.Helper()
+	e, err := New(m, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStreamCountValidation(t *testing.T) {
+	m := newMachine(t)
+	if _, err := New(m, streams(nil, nil)); err == nil {
+		t.Fatal("wrong stream count accepted")
+	}
+}
+
+func TestComputeAccountsBusy(t *testing.T) {
+	m := newMachine(t)
+	ss := streams(
+		[]trace.Event{{Kind: trace.Compute, Cycles: 123}},
+		nil, nil, nil,
+	)
+	res := run(t, m, ss)
+	if res.Procs[0].Busy != 123 || res.Procs[0].Finish != 123 {
+		t.Fatalf("proc 0: %+v", res.Procs[0])
+	}
+	if res.ExecTime != 123 {
+		t.Fatalf("exec time %d", res.ExecTime)
+	}
+	if res.Events != 1 {
+		t.Fatalf("events %d", res.Events)
+	}
+}
+
+func TestMemoryRefsStallAndCount(t *testing.T) {
+	m := newMachine(t)
+	ss := streams(
+		[]trace.Event{
+			{Kind: trace.Read, Addr: 0x10000},
+			{Kind: trace.Read, Addr: 0x10000}, // FLC hit
+			{Kind: trace.Write, Addr: 0x10100},
+		},
+		nil, nil, nil,
+	)
+	res := run(t, m, ss)
+	p := res.Procs[0]
+	if p.Refs != 3 {
+		t.Fatalf("refs %d", p.Refs)
+	}
+	if p.StallLocal+p.StallRemote+p.Trans == 0 {
+		t.Fatal("no stall recorded for cold accesses")
+	}
+	if got := p.Total(); got != p.Finish {
+		t.Fatalf("breakdown sum %d != finish %d", got, p.Finish)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m := newMachine(t)
+	ss := streams(
+		[]trace.Event{{Kind: trace.Compute, Cycles: 1000}, {Kind: trace.Barrier, ID: 0}},
+		[]trace.Event{{Kind: trace.Barrier, ID: 0}},
+		[]trace.Event{{Kind: trace.Compute, Cycles: 50}, {Kind: trace.Barrier, ID: 0}},
+		[]trace.Event{{Kind: trace.Barrier, ID: 0}},
+	)
+	res := run(t, m, ss)
+	// Everyone finishes at or after the slowest arrival.
+	for i, p := range res.Procs {
+		if p.Finish < 1000 {
+			t.Fatalf("proc %d finished at %d, before the slowest barrier arrival", i, p.Finish)
+		}
+	}
+	// The fast processors accumulated sync time.
+	if res.Procs[1].Sync == 0 || res.Procs[3].Sync == 0 {
+		t.Fatal("waiters recorded no sync time")
+	}
+	if res.Procs[0].Sync >= res.Procs[1].Sync {
+		t.Fatal("the slowest arrival should wait the least")
+	}
+}
+
+func TestLockMutualExclusionAndQueueing(t *testing.T) {
+	m := newMachine(t)
+	// All four processors take the same lock around a compute section.
+	evs := func(pre uint64) []trace.Event {
+		return []trace.Event{
+			{Kind: trace.Compute, Cycles: pre},
+			{Kind: trace.LockAcquire, ID: 5},
+			{Kind: trace.Compute, Cycles: 100},
+			{Kind: trace.LockRelease, ID: 5},
+		}
+	}
+	res := run(t, m, streams(evs(0), evs(1), evs(2), evs(3)))
+	// Critical sections cannot overlap: total span >= 4 * 100.
+	if res.ExecTime < 400 {
+		t.Fatalf("exec %d: critical sections overlapped", res.ExecTime)
+	}
+	var totalSync uint64
+	for _, p := range res.Procs {
+		totalSync += p.Sync
+	}
+	if totalSync == 0 {
+		t.Fatal("no lock sync time recorded")
+	}
+}
+
+func TestUnlockWithoutLockFails(t *testing.T) {
+	m := newMachine(t)
+	e, err := New(m, streams(
+		[]trace.Event{{Kind: trace.LockRelease, ID: 1}},
+		nil, nil, nil,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "releases lock") {
+		t.Fatalf("bad release not detected: %v", err)
+	}
+}
+
+func TestUnbalancedBarrierDeadlocks(t *testing.T) {
+	m := newMachine(t)
+	e, err := New(m, streams(
+		[]trace.Event{{Kind: trace.Barrier, ID: 0}},
+		[]trace.Event{{Kind: trace.Barrier, ID: 0}},
+		[]trace.Event{{Kind: trace.Barrier, ID: 0}},
+		nil, // proc 3 never arrives
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+}
+
+func TestLockNeverGrantedTwice(t *testing.T) {
+	m := newMachine(t)
+	e, err := New(m, streams(
+		[]trace.Event{{Kind: trace.LockAcquire, ID: 9}},
+		[]trace.Event{{Kind: trace.LockAcquire, ID: 9}}, // blocks forever
+		nil, nil,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("lock held at end with a waiter should deadlock")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() (*machine.Machine, []trace.Stream) {
+		m := newMachine(t)
+		var ss []trace.Stream
+		for p := 0; p < 4; p++ {
+			p := p
+			ss = append(ss, trace.NewGenerator(func(e *trace.Emitter) {
+				for i := 0; i < 500; i++ {
+					e.Read(addr.Virtual(0x10000 + (i*13+p*7)%4096))
+					if i%5 == 0 {
+						e.Write(addr.Virtual(0x10000 + (i*29)%4096))
+					}
+					if i%100 == 0 {
+						e.Barrier(i / 100)
+					}
+				}
+			}))
+		}
+		return m, ss
+	}
+	m1, s1 := build()
+	m2, s2 := build()
+	r1 := run(t, m1, s1)
+	r2 := run(t, m2, s2)
+	if r1.ExecTime != r2.ExecTime || r1.Events != r2.Events {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", r1.ExecTime, r1.Events, r2.ExecTime, r2.Events)
+	}
+	for i := range r1.Procs {
+		if r1.Procs[i] != r2.Procs[i] {
+			t.Fatalf("proc %d diverged: %+v vs %+v", i, r1.Procs[i], r2.Procs[i])
+		}
+	}
+}
+
+func TestTotalProc(t *testing.T) {
+	m := newMachine(t)
+	res := run(t, m, streams(
+		[]trace.Event{{Kind: trace.Compute, Cycles: 10}},
+		[]trace.Event{{Kind: trace.Compute, Cycles: 30}},
+		nil, nil,
+	))
+	tot := res.TotalProc()
+	if tot.Busy != 40 || tot.Finish != 30 {
+		t.Fatalf("total %+v", tot)
+	}
+}
+
+func TestLockGrantsAreFIFO(t *testing.T) {
+	m := newMachine(t)
+	// Proc 0 takes the lock; procs 1..3 arrive in a known order (their
+	// compute prefixes stagger the arrivals); grants must follow arrival
+	// order.
+	evs := func(pre uint64) []trace.Event {
+		return []trace.Event{
+			{Kind: trace.Compute, Cycles: pre},
+			{Kind: trace.LockAcquire, ID: 1},
+			{Kind: trace.Compute, Cycles: 10},
+			{Kind: trace.LockRelease, ID: 1},
+		}
+	}
+	res := run(t, m, streams(evs(0), evs(100), evs(200), evs(300)))
+	// Completion order == arrival order: finish times strictly increase.
+	for i := 1; i < 4; i++ {
+		if res.Procs[i].Finish <= res.Procs[i-1].Finish {
+			t.Fatalf("proc %d finished at %d, before proc %d at %d — not FIFO",
+				i, res.Procs[i].Finish, i-1, res.Procs[i-1].Finish)
+		}
+	}
+}
+
+func TestBarrierReleaseStagger(t *testing.T) {
+	m := newMachine(t)
+	var evs [][]trace.Event
+	for p := 0; p < 4; p++ {
+		evs = append(evs, []trace.Event{{Kind: trace.Barrier, ID: 0}})
+	}
+	res := run(t, m, streams(evs...))
+	finishes := map[uint64]bool{}
+	for _, p := range res.Procs {
+		finishes[p.Finish] = true
+	}
+	if len(finishes) < 2 {
+		t.Fatal("all processors released at the same cycle: no stagger")
+	}
+}
+
+func TestEngineRunsGeneratorStreams(t *testing.T) {
+	m := newMachine(t)
+	var ss []trace.Stream
+	for p := 0; p < 4; p++ {
+		ss = append(ss, trace.NewGenerator(func(e *trace.Emitter) {
+			for i := 0; i < 100; i++ {
+				e.Read(addr.Virtual(0x10000 + i*16))
+			}
+			e.Barrier(0)
+		}))
+	}
+	res := run(t, m, ss)
+	if res.Events != 4*101 {
+		t.Fatalf("events %d", res.Events)
+	}
+}

@@ -1,0 +1,313 @@
+// Package tlb implements the translation buffers of the paper: per-node TLBs
+// (schemes L0–L3) and the home-node DLB of V-COMA. Both map virtual page
+// numbers to a translation (frame number or directory page) and differ only
+// in where they sit and what request stream they see, so one set of models
+// serves both.
+//
+// The paper's default organization is fully associative with random
+// replacement (§5.1); direct-mapped variants are the "/DM" systems of
+// Figure 9. An ObserverBank measures many sizes and organizations from a
+// single simulated request stream (Figures 8 and 9, Tables 2 and 3).
+package tlb
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/prng"
+)
+
+// Stats counts buffer activity.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// Hits returns Accesses - Misses.
+func (s Stats) Hits() uint64 { return s.Accesses - s.Misses }
+
+// MissRatio returns Misses/Accesses, or 0 for an untouched buffer.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Buffer is a translation buffer. Access touches the buffer with a page
+// number, fills the entry on a miss, and reports whether it hit.
+type Buffer interface {
+	// Access looks up page p, filling the entry on a miss (the service
+	// itself is charged by the caller). Returns true on a hit.
+	Access(p addr.PageNum) bool
+	// Probe reports whether p is present without changing any state.
+	Probe(p addr.PageNum) bool
+	// Invalidate removes p if present (address-mapping change, §2.2.1).
+	Invalidate(p addr.PageNum)
+	// Flush empties the buffer, keeping statistics.
+	Flush()
+	// Stats returns the access/miss counters.
+	Stats() Stats
+	// Entries returns the configured capacity.
+	Entries() int
+}
+
+// New builds a buffer of the given size and organization. indexShift is the
+// number of low page-number bits skipped when computing a direct-mapped
+// index: 0 for a private TLB; the node-bit count for a home-node DLB, whose
+// resident pages all share their low (home) bits and would otherwise collide
+// into a single set.
+func New(entries int, org config.TLBOrg, indexShift uint, seed uint64) (Buffer, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("tlb: need at least one entry, got %d", entries)
+	}
+	switch org {
+	case config.FullyAssoc:
+		return NewFullyAssoc(entries, seed), nil
+	case config.DirectMapped:
+		if entries&(entries-1) != 0 {
+			return nil, fmt.Errorf("tlb: direct-mapped size %d not a power of two", entries)
+		}
+		return NewDirectMapped(entries, indexShift), nil
+	case config.SetAssoc2:
+		return NewSetAssoc(entries, 2, indexShift, seed)
+	case config.SetAssoc4:
+		return NewSetAssoc(entries, 4, indexShift, seed)
+	default:
+		return nil, fmt.Errorf("tlb: unknown organization %v", org)
+	}
+}
+
+// FullyAssoc is a fully-associative buffer with random replacement.
+type FullyAssoc struct {
+	capacity int
+	slots    []addr.PageNum
+	index    map[addr.PageNum]int
+	rng      *prng.Source
+	stats    Stats
+}
+
+// NewFullyAssoc returns a fully-associative buffer with the given capacity,
+// using a deterministic random replacement stream derived from seed.
+func NewFullyAssoc(entries int, seed uint64) *FullyAssoc {
+	return &FullyAssoc{
+		capacity: entries,
+		slots:    make([]addr.PageNum, 0, entries),
+		index:    make(map[addr.PageNum]int, entries),
+		rng:      prng.New(seed),
+	}
+}
+
+// Access implements Buffer.
+func (b *FullyAssoc) Access(p addr.PageNum) bool {
+	b.stats.Accesses++
+	if _, ok := b.index[p]; ok {
+		return true
+	}
+	b.stats.Misses++
+	if len(b.slots) < b.capacity {
+		b.index[p] = len(b.slots)
+		b.slots = append(b.slots, p)
+		return false
+	}
+	victim := b.rng.Intn(b.capacity)
+	delete(b.index, b.slots[victim])
+	b.slots[victim] = p
+	b.index[p] = victim
+	return false
+}
+
+// Probe implements Buffer.
+func (b *FullyAssoc) Probe(p addr.PageNum) bool {
+	_, ok := b.index[p]
+	return ok
+}
+
+// Invalidate implements Buffer.
+func (b *FullyAssoc) Invalidate(p addr.PageNum) {
+	i, ok := b.index[p]
+	if !ok {
+		return
+	}
+	last := len(b.slots) - 1
+	delete(b.index, p)
+	if i != last {
+		b.slots[i] = b.slots[last]
+		b.index[b.slots[i]] = i
+	}
+	b.slots = b.slots[:last]
+}
+
+// Flush implements Buffer.
+func (b *FullyAssoc) Flush() {
+	b.slots = b.slots[:0]
+	clear(b.index)
+}
+
+// Stats implements Buffer.
+func (b *FullyAssoc) Stats() Stats { return b.stats }
+
+// Entries implements Buffer.
+func (b *FullyAssoc) Entries() int { return b.capacity }
+
+// DirectMapped is a direct-mapped buffer indexed by low page-number bits
+// (after indexShift).
+type DirectMapped struct {
+	mask  uint64
+	shift uint
+	tags  []addr.PageNum
+	valid []bool
+	stats Stats
+}
+
+// NewDirectMapped returns a direct-mapped buffer with entries slots
+// (a power of two), indexing with page-number bits [indexShift,
+// indexShift+log2(entries)).
+func NewDirectMapped(entries int, indexShift uint) *DirectMapped {
+	return &DirectMapped{
+		mask:  uint64(entries - 1),
+		shift: indexShift,
+		tags:  make([]addr.PageNum, entries),
+		valid: make([]bool, entries),
+	}
+}
+
+func (b *DirectMapped) slot(p addr.PageNum) int {
+	return int((uint64(p) >> b.shift) & b.mask)
+}
+
+// Access implements Buffer.
+func (b *DirectMapped) Access(p addr.PageNum) bool {
+	b.stats.Accesses++
+	i := b.slot(p)
+	if b.valid[i] && b.tags[i] == p {
+		return true
+	}
+	b.stats.Misses++
+	b.tags[i] = p
+	b.valid[i] = true
+	return false
+}
+
+// Probe implements Buffer.
+func (b *DirectMapped) Probe(p addr.PageNum) bool {
+	i := b.slot(p)
+	return b.valid[i] && b.tags[i] == p
+}
+
+// Invalidate implements Buffer.
+func (b *DirectMapped) Invalidate(p addr.PageNum) {
+	i := b.slot(p)
+	if b.valid[i] && b.tags[i] == p {
+		b.valid[i] = false
+	}
+}
+
+// Flush implements Buffer.
+func (b *DirectMapped) Flush() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+}
+
+// Stats implements Buffer.
+func (b *DirectMapped) Stats() Stats { return b.stats }
+
+// Entries implements Buffer.
+func (b *DirectMapped) Entries() int { return len(b.tags) }
+
+// SetAssoc is an n-way set-associative buffer with random replacement,
+// generalizing the two organizations above; it backs ablation studies of
+// intermediate associativities.
+type SetAssoc struct {
+	ways  int
+	mask  uint64
+	shift uint
+	tags  []addr.PageNum // sets*ways, set-major
+	valid []bool
+	rng   *prng.Source
+	stats Stats
+}
+
+// NewSetAssoc returns a set-associative buffer with the given total entries
+// (power of two) and ways (power of two dividing entries).
+func NewSetAssoc(entries, ways int, indexShift uint, seed uint64) (*SetAssoc, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("tlb: set-assoc size %d not a power of two", entries)
+	}
+	if ways <= 0 || ways > entries || entries%ways != 0 {
+		return nil, fmt.Errorf("tlb: %d ways invalid for %d entries", ways, entries)
+	}
+	sets := entries / ways
+	return &SetAssoc{
+		ways:  ways,
+		mask:  uint64(sets - 1),
+		shift: indexShift,
+		tags:  make([]addr.PageNum, entries),
+		valid: make([]bool, entries),
+		rng:   prng.New(seed),
+	}, nil
+}
+
+func (b *SetAssoc) setBase(p addr.PageNum) int {
+	return int((uint64(p)>>b.shift)&b.mask) * b.ways
+}
+
+// Access implements Buffer.
+func (b *SetAssoc) Access(p addr.PageNum) bool {
+	b.stats.Accesses++
+	base := b.setBase(p)
+	free := -1
+	for i := base; i < base+b.ways; i++ {
+		if b.valid[i] {
+			if b.tags[i] == p {
+				return true
+			}
+		} else if free < 0 {
+			free = i
+		}
+	}
+	b.stats.Misses++
+	if free < 0 {
+		free = base + b.rng.Intn(b.ways)
+	}
+	b.tags[free] = p
+	b.valid[free] = true
+	return false
+}
+
+// Probe implements Buffer.
+func (b *SetAssoc) Probe(p addr.PageNum) bool {
+	base := b.setBase(p)
+	for i := base; i < base+b.ways; i++ {
+		if b.valid[i] && b.tags[i] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate implements Buffer.
+func (b *SetAssoc) Invalidate(p addr.PageNum) {
+	base := b.setBase(p)
+	for i := base; i < base+b.ways; i++ {
+		if b.valid[i] && b.tags[i] == p {
+			b.valid[i] = false
+			return
+		}
+	}
+}
+
+// Flush implements Buffer.
+func (b *SetAssoc) Flush() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+}
+
+// Stats implements Buffer.
+func (b *SetAssoc) Stats() Stats { return b.stats }
+
+// Entries implements Buffer.
+func (b *SetAssoc) Entries() int { return len(b.tags) }

@@ -1,0 +1,156 @@
+package trace
+
+import "vcoma/internal/addr"
+
+// generatorBatch is the number of events buffered per channel send. Large
+// enough that channel synchronization is negligible per event.
+const generatorBatch = 4096
+
+// Generator adapts a straight-line program function into a pull-based
+// Stream. The program runs in its own goroutine and emits events through an
+// Emitter; the consumer pulls them with Next. Abandoning a Generator without
+// draining it requires Close, which unwinds the producer goroutine.
+type Generator struct {
+	ch     chan []Event
+	done   chan struct{}
+	batch  []Event
+	pos    int
+	closed bool
+	// failure carries a panic raised by the program function; it is
+	// re-raised on the consumer side by Next, so a workload bug surfaces
+	// in the simulation goroutine instead of killing the process from an
+	// anonymous goroutine.
+	failure any
+}
+
+// stopGenerator is the sentinel panic value used to unwind a producer
+// goroutine when the consumer closes the stream early.
+type stopGenerator struct{}
+
+// NewGenerator starts program in a goroutine and returns a Stream of the
+// events it emits. The program function must emit all its events through the
+// provided Emitter and then return.
+func NewGenerator(program func(*Emitter)) *Generator {
+	g := &Generator{
+		ch:   make(chan []Event, 4),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(g.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopGenerator); !ok {
+					g.failure = r // real panic: hand to the consumer
+				}
+			}
+		}()
+		e := &Emitter{gen: g}
+		program(e)
+		e.flush()
+	}()
+	return g
+}
+
+// Next implements Stream. If the program function panicked, Next re-raises
+// that panic once the buffered events are drained.
+func (g *Generator) Next() (Event, bool) {
+	for g.pos >= len(g.batch) {
+		batch, ok := <-g.ch
+		if !ok {
+			if g.failure != nil {
+				panic(g.failure)
+			}
+			return Event{}, false
+		}
+		g.batch, g.pos = batch, 0
+	}
+	e := g.batch[g.pos]
+	g.pos++
+	return e, true
+}
+
+// Close unwinds the producer goroutine. Safe to call multiple times and
+// after the stream is drained.
+func (g *Generator) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	close(g.done)
+	// Drain any in-flight batches so the producer's pending send completes
+	// and it observes done on its next flush.
+	for range g.ch {
+	}
+}
+
+// Emitter is the API workload programs use to emit events. It buffers events
+// into batches; flushes happen automatically.
+type Emitter struct {
+	gen   *Generator
+	batch []Event
+}
+
+func (e *Emitter) emit(ev Event) {
+	e.batch = append(e.batch, ev)
+	if len(e.batch) >= generatorBatch {
+		e.flush()
+	}
+}
+
+func (e *Emitter) flush() {
+	if len(e.batch) == 0 {
+		return
+	}
+	batch := e.batch
+	e.batch = make([]Event, 0, generatorBatch)
+	select {
+	case e.gen.ch <- batch:
+	case <-e.gen.done:
+		panic(stopGenerator{})
+	}
+}
+
+// Read emits a shared-data load at v.
+func (e *Emitter) Read(v addr.Virtual) { e.emit(Event{Kind: Read, Addr: v}) }
+
+// Write emits a shared-data store at v.
+func (e *Emitter) Write(v addr.Virtual) { e.emit(Event{Kind: Write, Addr: v}) }
+
+// Compute emits a compute delay of the given cycles; zero-cycle delays are
+// dropped.
+func (e *Emitter) Compute(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	e.emit(Event{Kind: Compute, Cycles: cycles})
+}
+
+// Lock emits a lock acquisition of lock id.
+func (e *Emitter) Lock(id int) { e.emit(Event{Kind: LockAcquire, ID: id}) }
+
+// Unlock emits a release of lock id.
+func (e *Emitter) Unlock(id int) { e.emit(Event{Kind: LockRelease, ID: id}) }
+
+// Barrier emits arrival at barrier id.
+func (e *Emitter) Barrier(id int) { e.emit(Event{Kind: Barrier, ID: id}) }
+
+// ReadRange emits loads covering [base, base+bytes) at stride-sized steps.
+// Use the FLC block size as stride to model a sequential scan.
+func (e *Emitter) ReadRange(base addr.Virtual, bytes, stride uint64) {
+	if stride == 0 {
+		panic("trace: zero stride")
+	}
+	for off := uint64(0); off < bytes; off += stride {
+		e.Read(base + addr.Virtual(off))
+	}
+}
+
+// WriteRange emits stores covering [base, base+bytes) at stride-sized steps.
+func (e *Emitter) WriteRange(base addr.Virtual, bytes, stride uint64) {
+	if stride == 0 {
+		panic("trace: zero stride")
+	}
+	for off := uint64(0); off < bytes; off += stride {
+		e.Write(base + addr.Virtual(off))
+	}
+}

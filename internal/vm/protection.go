@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+)
+
+// Prot is a page's protection attributes (paper §2.2.4). The simulated
+// machine checks segment-level rights before the cache and page-level
+// rights at translation points; V-COMA keeps page-level bits in the home's
+// page table and DLB (§4.3).
+type Prot uint8
+
+const (
+	// ProtRead permits loads.
+	ProtRead Prot = 1 << iota
+	// ProtWrite permits stores.
+	ProtWrite
+	// ProtExec permits instruction fetches.
+	ProtExec
+)
+
+// ProtRW is the default protection for shared data pages.
+const ProtRW = ProtRead | ProtWrite
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Allows reports whether an access of kind want is permitted.
+func (p Prot) Allows(want Prot) bool { return p&want == want }
+
+// Protection returns v's page protection; unmapped pages default to
+// read-write (they will be mapped with that protection on first touch).
+func (s *System) Protection(v addr.Virtual) Prot {
+	if p := s.Lookup(v); p != nil {
+		return p.Prot
+	}
+	return ProtRW
+}
+
+// SetProtection changes v's page protection, mapping the page if needed,
+// and returns the page record for the caller (the machine layer) to drive
+// the coherence-side effects: TLB shootdowns or DLB/page-table updates and
+// cached-copy invalidations (§4.3).
+func (s *System) SetProtection(v addr.Virtual, prot Prot) *Page {
+	p := s.Ensure(v)
+	p.Prot = prot
+	return p
+}
+
+// Unmap removes v's page mapping entirely — the address-mapping change of
+// §2.2.1. The page's frame (if any) is released, its global-set slot is
+// freed, and the record is returned so the machine can flush stale state
+// (TLB entries, cache blocks, attraction-memory copies). Unmapping an
+// unmapped page is an error: the callers all hold a reason to believe the
+// page exists.
+func (s *System) Unmap(v addr.Virtual) (*Page, error) {
+	pn := s.g.Page(v)
+	p := s.pages[pn]
+	if p == nil {
+		return nil, fmt.Errorf("vm: unmap of unmapped page %#x", uint64(pn))
+	}
+	delete(s.pages, pn)
+	var gps int
+	switch s.mode {
+	case PhysicalRoundRobin:
+		gps = s.g.GlobalPageSetOfFrame(p.Frame)
+		delete(s.frames, p.Frame)
+	case Colored:
+		gps = s.g.GlobalPageSet(pn)
+		delete(s.frames, p.Frame)
+	case VirtualOnly:
+		gps = s.g.GlobalPageSet(pn)
+	}
+	s.gpsPages[gps]--
+	return p, nil
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/prng"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+)
+
+// BarnesParams configures the BARNES benchmark (SPLASH-2 barnes; the paper
+// runs 16384 particles).
+type BarnesParams struct {
+	Bodies    int
+	Timesteps int
+	Seed      uint64
+}
+
+// Barnes is the Barnes-Hut hierarchical N-body method: a shared tree built
+// with per-cell locks, a center-of-mass upward pass, and a force phase in
+// which every body walks the tree — heavy read sharing of the top cells
+// (well served by caches) over an irregular, scattered footprint.
+type Barnes struct {
+	p BarnesParams
+}
+
+// NewBarnes returns the benchmark for the given parameters.
+func NewBarnes(p BarnesParams) *Barnes { return &Barnes{p: p} }
+
+// Name implements Benchmark.
+func (b *Barnes) Name() string { return "BARNES" }
+
+const (
+	barnesBodyBytes = 128
+	barnesCellBytes = 128
+	barnesLockBase  = 5000
+)
+
+// Build implements Benchmark.
+func (b *Barnes) Build(g addr.Geometry, procs int) (*Program, error) {
+	p := b.p
+	if p.Bodies <= 0 || p.Timesteps <= 0 {
+		return nil, fmt.Errorf("workload: bad BARNES parameters %+v", p)
+	}
+	// Reuse the complete-quadtree geometry: leaves sized for ~8 bodies.
+	t := buildFMMTree(p.Bodies, 8)
+	leaves := 1 << (2 * t.depth)
+
+	rng := prng.New(p.Seed)
+	leafBodies := make([][]int, leaves)
+	bodyLeaf := make([]int, p.Bodies)
+	for i := 0; i < p.Bodies; i++ {
+		lf := i % leaves
+		if rng.Intn(8) == 0 {
+			lf = rng.Intn(leaves)
+		}
+		leafBodies[lf] = append(leafBodies[lf], i)
+		bodyLeaf[i] = lf
+	}
+
+	l := vm.NewLayout(g)
+	bodies := l.AllocArray("bodies", p.Bodies, barnesBodyBytes)
+	cells := l.AllocArray("cells", t.boxes, barnesCellBytes)
+
+	readCell := func(e *trace.Emitter, c int) {
+		e.Read(cells.At(uint64(c) * barnesCellBytes))
+		e.Read(cells.At(uint64(c)*barnesCellBytes + 8))
+		e.Read(cells.At(uint64(c)*barnesCellBytes + 64))
+		e.Read(cells.At(uint64(c)*barnesCellBytes + 72))
+	}
+
+	bar := &barrierSeq{}
+	type tsBarriers struct {
+		start  int
+		built  int
+		com    []int
+		forces int
+		update int
+	}
+	var bars []tsBarriers
+	for ts := 0; ts < p.Timesteps; ts++ {
+		sb := tsBarriers{start: bar.id(), built: bar.id()}
+		for lv := t.depth; lv >= 1; lv-- {
+			sb.com = append(sb.com, bar.id())
+		}
+		sb.forces = bar.id()
+		sb.update = bar.id()
+		bars = append(bars, sb)
+	}
+
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			prng := prng.New(p.Seed ^ uint64(proc)<<18)
+			blo, bhi := chunk(p.Bodies, procs, proc)
+			for ts := 0; ts < p.Timesteps; ts++ {
+				sb := bars[ts]
+				e.Barrier(sb.start)
+
+				// Tree build: each body descends from the root to its
+				// leaf, then updates the leaf under its lock.
+				for bd := blo; bd < bhi; bd++ {
+					e.Read(bodies.At(uint64(bd) * barnesBodyBytes))
+					lf := bodyLeaf[bd]
+					x, y := lf%t.levelDim[t.depth], lf/t.levelDim[t.depth]
+					for lv := 0; lv <= t.depth; lv++ {
+						sh := uint(t.depth - lv)
+						readCell(e, t.box(lv, x>>sh, y>>sh))
+						e.Compute(10)
+					}
+					leaf := t.levelBase[t.depth] + lf
+					e.Lock(barnesLockBase + leaf)
+					e.Read(cells.At(uint64(leaf) * barnesCellBytes))
+					e.Write(cells.At(uint64(leaf) * barnesCellBytes))
+					e.Unlock(barnesLockBase + leaf)
+				}
+				e.Barrier(sb.built)
+
+				// Center-of-mass pass, leaves to root, like FMM's upward
+				// pass: read four children, write the parent.
+				bi := 0
+				for lv := t.depth; lv >= 1; lv-- {
+					dim := t.levelDim[lv-1]
+					clo, chi := chunk(dim*dim, procs, proc)
+					for c := clo; c < chi; c++ {
+						cx, cy := c%dim, c/dim
+						for k := 0; k < 4; k++ {
+							readCell(e, t.box(lv, 2*cx+k%2, 2*cy+k/2))
+						}
+						e.Compute(40)
+						e.Write(cells.At(uint64(t.box(lv-1, cx, cy)) * barnesCellBytes))
+					}
+					e.Barrier(sb.com[bi])
+					bi++
+				}
+
+				// Force phase: every body walks the tree. The top levels
+				// are read in full (shared by everyone); deeper levels
+				// open only the 3x3 neighbourhood around the body's cell.
+				for bd := blo; bd < bhi; bd++ {
+					e.Read(bodies.At(uint64(bd) * barnesBodyBytes))
+					e.Read(bodies.At(uint64(bd)*barnesBodyBytes + 8))
+					e.Read(bodies.At(uint64(bd)*barnesBodyBytes + 16))
+					lf := bodyLeaf[bd]
+					lx, ly := lf%t.levelDim[t.depth], lf/t.levelDim[t.depth]
+					for lv := 0; lv <= t.depth; lv++ {
+						dim := t.levelDim[lv]
+						sh := uint(t.depth - lv)
+						cx, cy := lx>>sh, ly>>sh
+						if dim <= 4 {
+							for y := 0; y < dim; y++ {
+								for x := 0; x < dim; x++ {
+									readCell(e, t.box(lv, x, y))
+									e.Compute(25)
+								}
+							}
+							continue
+						}
+						for y := cy - 1; y <= cy+1; y++ {
+							for x := cx - 1; x <= cx+1; x++ {
+								if x < 0 || y < 0 || x >= dim || y >= dim {
+									continue
+								}
+								readCell(e, t.box(lv, x, y))
+								e.Compute(25)
+							}
+						}
+					}
+					// Direct interactions with bodies in the home and
+					// adjacent leaves (a deterministic random sample keeps
+					// the stream size representative).
+					dim := t.levelDim[t.depth]
+					for k := 0; k < 3; k++ {
+						nx := lx + prng.Intn(3) - 1
+						ny := ly + prng.Intn(3) - 1
+						if nx < 0 || ny < 0 || nx >= dim || ny >= dim {
+							continue
+						}
+						for _, ob := range leafBodies[ny*dim+nx] {
+							e.Read(bodies.At(uint64(ob) * barnesBodyBytes))
+							e.Read(bodies.At(uint64(ob)*barnesBodyBytes + 8))
+							e.Compute(25)
+						}
+					}
+					e.Write(bodies.At(uint64(bd)*barnesBodyBytes + 64))
+				}
+				e.Barrier(sb.forces)
+
+				// Position update.
+				for bd := blo; bd < bhi; bd++ {
+					e.Read(bodies.At(uint64(bd) * barnesBodyBytes))
+					e.Write(bodies.At(uint64(bd) * barnesBodyBytes))
+					e.Compute(8)
+				}
+				e.Barrier(sb.update)
+			}
+		}
+	}
+	return NewProgram("BARNES", l, procs, gen), nil
+}

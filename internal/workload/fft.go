@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+)
+
+// FFTParams configures the FFT benchmark (SPLASH-2 fft; the paper runs
+// -m20 -t: a 2^20-point transform with explicit transposes).
+type FFTParams struct {
+	LogPoints int // log2 of the number of complex points
+	Seed      uint64
+}
+
+// FFT is the six-step FFT: the n points live in a rows x cols matrix of
+// complex doubles partitioned by contiguous rows; the algorithm alternates
+// all-to-all transposes (column-strided reads from every other node's
+// partition — the TLB-hostile phase) with local row FFTs and a twiddle
+// multiplication.
+type FFT struct {
+	p FFTParams
+}
+
+// NewFFT returns the benchmark for the given parameters.
+func NewFFT(p FFTParams) *FFT { return &FFT{p: p} }
+
+// Name implements Benchmark.
+func (f *FFT) Name() string { return "FFT" }
+
+const complexBytes = 16
+
+// fftComputePerElement is the charged butterfly cost per element per FFT
+// stage, in processor cycles.
+const fftComputePerElement = 5
+
+// Build implements Benchmark.
+func (f *FFT) Build(g addr.Geometry, procs int) (*Program, error) {
+	m := f.p.LogPoints
+	if m < 4 || m > 26 {
+		return nil, fmt.Errorf("workload: FFT LogPoints %d out of range [4,26]", m)
+	}
+	logRows := (m + 1) / 2
+	rows := 1 << logRows
+	cols := 1 << (m - logRows)
+	if rows < procs {
+		return nil, fmt.Errorf("workload: FFT with %d rows cannot be partitioned over %d processors", rows, procs)
+	}
+
+	l := vm.NewLayout(g)
+	x := l.AllocArray("x", rows*cols, complexBytes)
+	trans := l.AllocArray("trans", rows*cols, complexBytes)
+	umain := l.AllocArray("umain", rows*cols, complexBytes)
+
+	at := func(r vm.Region, row, col int) addr.Virtual {
+		return r.At(uint64(row*cols+col) * complexBytes)
+	}
+
+	bar := &barrierSeq{}
+	bStart := bar.id()
+	bT1 := bar.id()
+	bF1 := bar.id()
+	bTw := bar.id()
+	bT2 := bar.id()
+	bF2 := bar.id()
+	bT3 := bar.id()
+
+	// transpose is the blocked all-to-all of SPLASH-2 FFT: the owned dest
+	// rows are filled patch by patch, each patch reading a B x B square of
+	// the source. Within a patch the column-strided source reads revisit
+	// the same B source rows (and pages), which is what keeps the real
+	// code's TLB and cache behaviour sane; without blocking every read
+	// would touch a new page.
+	const transposeBlock = 8
+	transpose := func(e *trace.Emitter, proc int, src, dst vm.Region) {
+		rlo, rhi := chunk(rows, procs, proc)
+		for jb := 0; jb < cols; jb += transposeBlock {
+			jhi := min(jb+transposeBlock, cols)
+			for i := rlo; i < rhi; i++ {
+				for j := jb; j < jhi; j++ {
+					e.Read(at(src, j%rows, i%cols))
+					e.Read(at(src, j%rows, i%cols) + 8)
+					e.Write(at(dst, i, j))
+					e.Write(at(dst, i, j) + 8)
+				}
+				e.Compute(uint64(3 * (jhi - jb)))
+			}
+		}
+	}
+
+	// rowFFT models the 1D FFT over each owned row: the row streams
+	// through the processor once (at cache-line granularity — later
+	// stages hit the caches) with the butterfly work charged as compute.
+	rowFFT := func(e *trace.Emitter, proc int, data vm.Region) {
+		rlo, rhi := chunk(rows, procs, proc)
+		stages := 0
+		for c := cols; c > 1; c >>= 1 {
+			stages++
+		}
+		for i := rlo; i < rhi; i++ {
+			for j := 0; j < cols; j++ {
+				e.Read(at(data, i, j))
+				e.Read(at(data, i, j) + 8)
+			}
+			e.Compute(uint64(fftComputePerElement * cols * stages))
+			for j := 0; j < cols; j++ {
+				e.Write(at(data, i, j))
+				e.Write(at(data, i, j) + 8)
+			}
+		}
+	}
+
+	// twiddle multiplies owned rows by the root-of-unity matrix.
+	twiddle := func(e *trace.Emitter, proc int) {
+		rlo, rhi := chunk(rows, procs, proc)
+		for i := rlo; i < rhi; i++ {
+			for j := 0; j < cols; j++ {
+				e.Read(at(umain, i, j))
+				e.Read(at(trans, i, j))
+				e.Write(at(trans, i, j))
+			}
+			e.Compute(uint64(4 * cols))
+		}
+	}
+
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			e.Barrier(bStart)
+			transpose(e, proc, x, trans)
+			e.Barrier(bT1)
+			rowFFT(e, proc, trans)
+			e.Barrier(bF1)
+			twiddle(e, proc)
+			e.Barrier(bTw)
+			transpose(e, proc, trans, x)
+			e.Barrier(bT2)
+			rowFFT(e, proc, x)
+			e.Barrier(bF2)
+			transpose(e, proc, x, trans)
+			e.Barrier(bT3)
+		}
+	}
+	return NewProgram("FFT", l, procs, gen), nil
+}

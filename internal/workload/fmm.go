@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/prng"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+)
+
+// FMMParams configures the FMM benchmark (SPLASH-2 fmm; the paper runs
+// 16384 particles).
+type FMMParams struct {
+	Particles        int
+	ParticlesPerLeaf int
+	Timesteps        int
+	Seed             uint64
+}
+
+// FMM is the adaptive fast multipole method on a 2D particle set,
+// reproduced here over a complete quadtree: an upward pass computing
+// multipole expansions, a same-level interaction-list pass (scattered reads
+// of up to 27 sibling boxes per box — the irregular pointer-chasing that
+// gives FMM its huge L0-TLB miss rate), a downward pass, and a particle
+// phase with direct neighbor interactions.
+type FMM struct {
+	p FMMParams
+}
+
+// NewFMM returns the benchmark for the given parameters.
+func NewFMM(p FMMParams) *FMM { return &FMM{p: p} }
+
+// Name implements Benchmark.
+func (f *FMM) Name() string { return "FMM" }
+
+const (
+	fmmBoxBytes      = 4352 // full box record; not a power of two, like a real allocator's heap layout, so boxes do not alias cache sets
+	fmmParticleBytes = 512  // position, velocity, field, padding
+	fmmExpansionSpan = 320  // bytes of expansion terms actually read
+	fmmExpansionStep = 16   // one complex coefficient per read
+	fmmLocalOffset   = 1024 // offset of the local expansion in a box
+)
+
+// fmmTree captures the complete quadtree geometry: levels, box indexing and
+// per-level processor ownership.
+type fmmTree struct {
+	depth     int   // leaf level
+	levelBase []int // box-array base index per level
+	levelDim  []int // boxes per side per level
+	boxes     int
+}
+
+func buildFMMTree(particles, perLeaf int) fmmTree {
+	depth := 0
+	for (1<<(2*depth))*perLeaf < particles {
+		depth++
+	}
+	t := fmmTree{depth: depth}
+	base := 0
+	for lv := 0; lv <= depth; lv++ {
+		t.levelBase = append(t.levelBase, base)
+		t.levelDim = append(t.levelDim, 1<<lv)
+		base += 1 << (2 * lv)
+	}
+	t.boxes = base
+	return t
+}
+
+// box returns the global box index for grid cell (bx, by) at level lv.
+func (t fmmTree) box(lv, bx, by int) int {
+	return t.levelBase[lv] + by*t.levelDim[lv] + bx
+}
+
+// Build implements Benchmark.
+func (f *FMM) Build(g addr.Geometry, procs int) (*Program, error) {
+	p := f.p
+	if p.Particles <= 0 || p.ParticlesPerLeaf <= 0 || p.Timesteps <= 0 {
+		return nil, fmt.Errorf("workload: bad FMM parameters %+v", p)
+	}
+	t := buildFMMTree(p.Particles, p.ParticlesPerLeaf)
+	leaves := 1 << (2 * t.depth)
+
+	// Deterministic particle-to-leaf assignment: uniform positions mean a
+	// near-even spread; a seeded PRNG assigns the remainder.
+	rng := prng.New(p.Seed)
+	leafParts := make([][]int, leaves)
+	for i := 0; i < p.Particles; i++ {
+		lf := i % leaves
+		if rng.Intn(8) == 0 { // a little nonuniformity, as in a real set
+			lf = rng.Intn(leaves)
+		}
+		leafParts[lf] = append(leafParts[lf], i)
+	}
+
+	l := vm.NewLayout(g)
+	boxes := l.AllocArray("boxes", t.boxes, fmmBoxBytes)
+	parts := l.AllocArray("particles", p.Particles, fmmParticleBytes)
+	counters := l.Alloc("sched", 4096, 0) // dynamic-scheduling counters
+
+	readExpansion := func(e *trace.Emitter, box int, local bool) {
+		base := uint64(box) * fmmBoxBytes
+		if local {
+			base += fmmLocalOffset
+		}
+		for off := uint64(0); off < fmmExpansionSpan; off += fmmExpansionStep {
+			e.Read(boxes.At(base + off))
+		}
+	}
+	writeExpansion := func(e *trace.Emitter, box int, local bool) {
+		base := uint64(box) * fmmBoxBytes
+		if local {
+			base += fmmLocalOffset
+		}
+		for off := uint64(0); off < fmmExpansionSpan; off += fmmExpansionStep {
+			e.Write(boxes.At(base + off))
+		}
+	}
+
+	bar := &barrierSeq{}
+	type stepBarriers struct {
+		start    int
+		upward   []int // one per level, leaf..root
+		interact int
+		downward []int // one per level, root..leaf
+		direct   int
+		update   int
+	}
+	var bars []stepBarriers
+	for ts := 0; ts < p.Timesteps; ts++ {
+		sb := stepBarriers{start: bar.id()}
+		for lv := t.depth; lv >= 1; lv-- {
+			sb.upward = append(sb.upward, bar.id())
+		}
+		sb.interact = bar.id()
+		for lv := 1; lv <= t.depth; lv++ {
+			sb.downward = append(sb.downward, bar.id())
+		}
+		sb.direct = bar.id()
+		sb.update = bar.id()
+		bars = append(bars, sb)
+	}
+
+	const schedLock = 100
+
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			for ts := 0; ts < p.Timesteps; ts++ {
+				sb := bars[ts]
+				e.Barrier(sb.start)
+
+				// Upward pass: leaves from particles, then each level's
+				// owners read the four children and write the parent.
+				llo, lhi := chunk(leaves, procs, proc)
+				for lf := llo; lf < lhi; lf++ {
+					for _, pi := range leafParts[lf] {
+						e.Read(parts.At(uint64(pi) * fmmParticleBytes))
+						e.Read(parts.At(uint64(pi)*fmmParticleBytes + 8))
+						e.Read(parts.At(uint64(pi)*fmmParticleBytes + 32))
+						e.Read(parts.At(uint64(pi)*fmmParticleBytes + 40))
+					}
+					e.Compute(uint64(60 * len(leafParts[lf])))
+					writeExpansion(e, t.levelBase[t.depth]+lf, false)
+				}
+				bi := 0
+				for lv := t.depth; lv >= 1; lv-- {
+					e.Barrier(sb.upward[bi])
+					bi++
+					dim := t.levelDim[lv-1]
+					blo, bhi := chunk(dim*dim, procs, proc)
+					for b := blo; b < bhi; b++ {
+						bx, by := b%dim, b/dim
+						for c := 0; c < 4; c++ {
+							child := t.box(lv, 2*bx+c%2, 2*by+c/2)
+							readExpansion(e, child, false)
+						}
+						e.Compute(400)
+						writeExpansion(e, t.box(lv-1, bx, by), false)
+					}
+				}
+
+				// Interaction lists: for every owned box at every level,
+				// read the expansions of the well-separated children of
+				// the parent's neighbors (up to 27 boxes), accumulate into
+				// the local expansion.
+				for lv := 2; lv <= t.depth; lv++ {
+					dim := t.levelDim[lv]
+					blo, bhi := chunk(dim*dim, procs, proc)
+					for b := blo; b < bhi; b++ {
+						bx, by := b%dim, b/dim
+						px, py := bx/2, by/2
+						for nx := px - 1; nx <= px+1; nx++ {
+							for ny := py - 1; ny <= py+1; ny++ {
+								if nx < 0 || ny < 0 || nx >= dim/2 || ny >= dim/2 {
+									continue
+								}
+								for c := 0; c < 4; c++ {
+									cx, cy := 2*nx+c%2, 2*ny+c/2
+									if cx >= bx-1 && cx <= bx+1 && cy >= by-1 && cy <= by+1 {
+										continue // adjacent: handled directly
+									}
+									readExpansion(e, t.box(lv, cx, cy), false)
+									e.Compute(500)
+								}
+							}
+						}
+						writeExpansion(e, t.box(lv, bx, by), true)
+					}
+					e.Compute(32)
+				}
+				e.Barrier(sb.interact)
+
+				// Downward pass: parents push local expansions to children.
+				bi = 0
+				for lv := 1; lv <= t.depth; lv++ {
+					dim := t.levelDim[lv]
+					blo, bhi := chunk(dim*dim, procs, proc)
+					for b := blo; b < bhi; b++ {
+						bx, by := b%dim, b/dim
+						readExpansion(e, t.box(lv-1, bx/2, by/2), true)
+						e.Compute(300)
+						writeExpansion(e, t.box(lv, bx, by), true)
+					}
+					e.Barrier(sb.downward[bi])
+					bi++
+				}
+
+				// Direct interactions: each owned leaf evaluates its local
+				// expansion at its particles and interacts with adjacent
+				// leaves' particles. A scheduling counter is taken per
+				// work batch, as in the dynamic costzones of the original.
+				dim := t.levelDim[t.depth]
+				for lf := llo; lf < lhi; lf++ {
+					if (lf-llo)%64 == 0 {
+						e.Lock(schedLock)
+						e.Read(counters.At(0))
+						e.Write(counters.At(0))
+						e.Unlock(schedLock)
+					}
+					bx, by := lf%dim, lf/dim
+					readExpansion(e, t.levelBase[t.depth]+lf, true)
+					for nx := bx - 1; nx <= bx+1; nx++ {
+						for ny := by - 1; ny <= by+1; ny++ {
+							if nx < 0 || ny < 0 || nx >= dim || ny >= dim {
+								continue
+							}
+							nl := ny*dim + nx
+							for _, pi := range leafParts[nl] {
+								e.Read(parts.At(uint64(pi) * fmmParticleBytes))
+								e.Read(parts.At(uint64(pi)*fmmParticleBytes + 8))
+								e.Read(parts.At(uint64(pi)*fmmParticleBytes + 16))
+								e.Compute(30)
+							}
+						}
+					}
+					for _, pi := range leafParts[lf] {
+						e.Read(parts.At(uint64(pi)*fmmParticleBytes + 64))
+						e.Write(parts.At(uint64(pi)*fmmParticleBytes + 64))
+						e.Compute(60)
+					}
+				}
+				e.Barrier(sb.direct)
+
+				// Position update over owned particles.
+				plo, phi := chunk(p.Particles, procs, proc)
+				for pi := plo; pi < phi; pi++ {
+					e.Read(parts.At(uint64(pi) * fmmParticleBytes))
+					e.Write(parts.At(uint64(pi) * fmmParticleBytes))
+					e.Compute(8)
+				}
+				e.Barrier(sb.update)
+			}
+		}
+	}
+	return NewProgram("FMM", l, procs, gen), nil
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/prng"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+)
+
+// This file provides three controlled microbenchmarks alongside the six
+// SPLASH-2 reproductions. They isolate single behaviours — streaming
+// bandwidth, dependent-load latency, and coherence contention — and are the
+// fastest way to probe a translation scheme's corner cases.
+
+// StreamParams configures the STREAM-style sequential scan.
+type StreamParams struct {
+	BytesPerProc uint64 // private array size per processor
+	Passes       int    // read+write sweeps
+	Seed         uint64
+}
+
+// MicroStream is a bandwidth kernel: each processor sweeps its own slice of
+// a large shared array with unit-stride reads and writes. Perfect spatial
+// locality; the TLB working set is exactly one page at a time.
+type MicroStream struct{ p StreamParams }
+
+// NewMicroStream returns the STREAM-style benchmark.
+func NewMicroStream(p StreamParams) *MicroStream { return &MicroStream{p: p} }
+
+// Name implements Benchmark.
+func (m *MicroStream) Name() string { return "µSTREAM" }
+
+// Build implements Benchmark.
+func (m *MicroStream) Build(g addr.Geometry, procs int) (*Program, error) {
+	p := m.p
+	if p.BytesPerProc == 0 || p.Passes <= 0 {
+		return nil, fmt.Errorf("workload: bad µSTREAM parameters %+v", p)
+	}
+	l := vm.NewLayout(g)
+	data := l.Alloc("stream", p.BytesPerProc*uint64(procs), 0)
+	bar := &barrierSeq{}
+	start, end := bar.id(), bar.id()
+
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			base := uint64(proc) * p.BytesPerProc
+			e.Barrier(start)
+			for pass := 0; pass < p.Passes; pass++ {
+				for off := uint64(0); off < p.BytesPerProc; off += 8 {
+					e.Read(data.At(base + off))
+					e.Write(data.At(base + off))
+				}
+				e.Compute(p.BytesPerProc / 8)
+			}
+			e.Barrier(end)
+		}
+	}
+	return NewProgram(m.Name(), l, procs, gen), nil
+}
+
+// ChaseParams configures the pointer chase.
+type ChaseParams struct {
+	Nodes  int  // linked-list nodes per processor
+	Steps  int  // dependent loads per processor
+	Shared bool // true: one list shared by all; false: private lists
+	Seed   uint64
+}
+
+// MicroChase is a dependent-load latency kernel: a pseudo-random
+// permutation cycle walked one node at a time. Every access is a cache and
+// TLB surprise once the list exceeds their reach — the worst case for every
+// translation scheme, and the pattern where V-COMA's shared DLB shows its
+// largest advantage when the list is shared.
+type MicroChase struct{ p ChaseParams }
+
+// NewMicroChase returns the pointer-chase benchmark.
+func NewMicroChase(p ChaseParams) *MicroChase { return &MicroChase{p: p} }
+
+// Name implements Benchmark.
+func (m *MicroChase) Name() string { return "µCHASE" }
+
+const chaseNodeBytes = 64
+
+// Build implements Benchmark.
+func (m *MicroChase) Build(g addr.Geometry, procs int) (*Program, error) {
+	p := m.p
+	if p.Nodes <= 1 || p.Steps <= 0 {
+		return nil, fmt.Errorf("workload: bad µCHASE parameters %+v", p)
+	}
+	l := vm.NewLayout(g)
+	lists := 1
+	if !p.Shared {
+		lists = procs
+	}
+	region := l.AllocArray("chain", p.Nodes*lists, chaseNodeBytes)
+
+	// One permutation cycle per list, deterministic.
+	perms := make([][]int, lists)
+	for i := range perms {
+		rng := prng.New(p.Seed + uint64(i)*977)
+		perm := rng.Perm(p.Nodes)
+		next := make([]int, p.Nodes)
+		for j := 0; j < p.Nodes; j++ {
+			next[perm[j]] = perm[(j+1)%p.Nodes]
+		}
+		perms[i] = next
+	}
+
+	bar := &barrierSeq{}
+	start, end := bar.id(), bar.id()
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			list := 0
+			if !p.Shared {
+				list = proc
+			}
+			next := perms[list]
+			base := list * p.Nodes
+			e.Barrier(start)
+			cur := proc % p.Nodes
+			for s := 0; s < p.Steps; s++ {
+				e.Read(region.At(uint64(base+cur) * chaseNodeBytes))
+				e.Compute(2)
+				cur = next[cur]
+			}
+			e.Barrier(end)
+		}
+	}
+	return NewProgram(m.Name(), l, procs, gen), nil
+}
+
+// HotSpotParams configures the contention kernel.
+type HotSpotParams struct {
+	Counters   int // shared counters, each on its own block
+	Iterations int // lock/update/unlock rounds per processor
+	Seed       uint64
+}
+
+// MicroHotSpot is a coherence-contention kernel: processors repeatedly
+// lock a random shared counter, read-modify-write it, and release. The
+// counters' blocks ping-pong between nodes; translation happens on almost
+// every access — coherence misses are the traffic that no cache level can
+// filter (paper §2.2.2).
+type MicroHotSpot struct{ p HotSpotParams }
+
+// NewMicroHotSpot returns the contention benchmark.
+func NewMicroHotSpot(p HotSpotParams) *MicroHotSpot { return &MicroHotSpot{p: p} }
+
+// Name implements Benchmark.
+func (m *MicroHotSpot) Name() string { return "µHOTSPOT" }
+
+// Build implements Benchmark.
+func (m *MicroHotSpot) Build(g addr.Geometry, procs int) (*Program, error) {
+	p := m.p
+	if p.Counters <= 0 || p.Iterations <= 0 {
+		return nil, fmt.Errorf("workload: bad µHOTSPOT parameters %+v", p)
+	}
+	l := vm.NewLayout(g)
+	counters := l.AllocArray("counters", p.Counters, g.AMBlockSize())
+	bar := &barrierSeq{}
+	start, end := bar.id(), bar.id()
+
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			rng := prng.New(p.Seed ^ uint64(proc)<<13)
+			e.Barrier(start)
+			for i := 0; i < p.Iterations; i++ {
+				c := rng.Intn(p.Counters)
+				e.Lock(c)
+				e.Read(counters.At(uint64(c) * g.AMBlockSize()))
+				e.Compute(10)
+				e.Write(counters.At(uint64(c) * g.AMBlockSize()))
+				e.Unlock(c)
+				e.Compute(20)
+			}
+			e.Barrier(end)
+		}
+	}
+	return NewProgram(m.Name(), l, procs, gen), nil
+}
+
+// Micro returns the three microbenchmarks at sizes proportionate to the
+// given scale.
+func Micro(scale Scale) []Benchmark {
+	mul := uint64(1)
+	switch scale {
+	case ScaleSmall:
+		mul = 8
+	case ScalePaper:
+		mul = 32
+	}
+	return []Benchmark{
+		NewMicroStream(StreamParams{BytesPerProc: 64 << 10 * mul, Passes: 2, Seed: 1}),
+		NewMicroChase(ChaseParams{Nodes: int(4096 * mul), Steps: int(16384 * mul), Shared: true, Seed: 2}),
+		NewMicroHotSpot(HotSpotParams{Counters: 64, Iterations: int(256 * mul), Seed: 3}),
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+)
+
+// OceanParams configures the OCEAN benchmark (SPLASH-2 ocean; the paper
+// runs a 258x258 grid).
+type OceanParams struct {
+	N           int // grid side including boundary (paper: 258)
+	Timesteps   int
+	RelaxSweeps int // red-black sweeps per multigrid level visit
+	Seed        uint64
+}
+
+// Ocean simulates eddy currents in an ocean basin: many 2D double-precision
+// grids partitioned by rows, swept with 5-point stencils (halo reads from
+// the neighboring processors' rows), and a multigrid V-cycle with red-black
+// relaxation. The full-partition writes of every sweep produce the steady
+// SLC writeback stream that makes OCEAN a worst case for L2-TLB (§5.2).
+type Ocean struct {
+	p OceanParams
+}
+
+// NewOcean returns the benchmark for the given parameters.
+func NewOcean(p OceanParams) *Ocean { return &Ocean{p: p} }
+
+// Name implements Benchmark.
+func (o *Ocean) Name() string { return "OCEAN" }
+
+const oceanElem = 8 // double
+
+// oceanMainGrids is the number of full-size state grids (psi, psim, psib,
+// vorticity, gamma, work arrays...), sized to match the paper's 15.5 MB
+// footprint at N=258.
+const oceanMainGrids = 22
+
+// Build implements Benchmark.
+func (o *Ocean) Build(g addr.Geometry, procs int) (*Program, error) {
+	p := o.p
+	if p.N < 10 || p.Timesteps <= 0 || p.RelaxSweeps <= 0 {
+		return nil, fmt.Errorf("workload: bad OCEAN parameters %+v", p)
+	}
+	n := p.N
+
+	l := vm.NewLayout(g)
+	var grids []vm.Region
+	for i := 0; i < oceanMainGrids; i++ {
+		grids = append(grids, l.AllocArray(fmt.Sprintf("grid%02d", i), n*n, oceanElem))
+	}
+	// Multigrid hierarchy: q (solution) and rhs per level, finest first.
+	type level struct {
+		q, rhs vm.Region
+		side   int
+	}
+	var levels []level
+	for side := n; side >= 10; side = side/2 + 1 {
+		levels = append(levels, level{
+			q:    l.AllocArray(fmt.Sprintf("q_multi%d", len(levels)), side*side, oceanElem),
+			rhs:  l.AllocArray(fmt.Sprintf("rhs_multi%d", len(levels)), side*side, oceanElem),
+			side: side,
+		})
+	}
+
+	at := func(r vm.Region, side, row, col int) addr.Virtual {
+		return r.At(uint64(row*side+col) * oceanElem)
+	}
+
+	bar := &barrierSeq{}
+	// The barrier schedule must be identical for every processor; compute
+	// the per-timestep counts up front.
+	type tsBarriers struct {
+		start   int
+		stencil []int // one per stencil pass
+		relax   []int // one per red/black half sweep across the V-cycle
+		finish  int
+	}
+	const stencilPasses = 12
+	relaxHalves := 0
+	for range levels {
+		relaxHalves += 2 * p.RelaxSweeps // down leg
+	}
+	relaxHalves += 2 * p.RelaxSweeps * (len(levels) - 1) // up leg
+	transferBarriers := 2 * (len(levels) - 1)            // restrict + prolongate
+
+	var bars []tsBarriers
+	for ts := 0; ts < p.Timesteps; ts++ {
+		b := tsBarriers{start: bar.id()}
+		for i := 0; i < stencilPasses; i++ {
+			b.stencil = append(b.stencil, bar.id())
+		}
+		for i := 0; i < relaxHalves+transferBarriers; i++ {
+			b.relax = append(b.relax, bar.id())
+		}
+		b.finish = bar.id()
+		bars = append(bars, b)
+	}
+
+	// stencilPass sweeps dst = f(src, aux1, aux2) with a 5-point stencil
+	// over the processor's interior rows: north and south reads cross into
+	// neighbors' partitions at the block edges. Like the real OCEAN inner
+	// loops, each point combines several state grids, so the active page
+	// working set spans many arrays — the reason OCEAN stresses small
+	// TLBs in the paper's Table 2.
+	stencilPass := func(e *trace.Emitter, proc int, srcs []vm.Region, dst vm.Region, side int) {
+		rlo, rhi := chunk(side-2, procs, proc)
+		for i := rlo + 1; i < rhi+1; i++ {
+			for j := 1; j < side-1; j++ {
+				e.Read(at(srcs[0], side, i, j))
+				e.Read(at(srcs[0], side, i-1, j))
+				e.Read(at(srcs[0], side, i+1, j))
+				for _, a := range srcs[1:] {
+					e.Read(at(a, side, i, j))
+				}
+				e.Write(at(dst, side, i, j))
+			}
+			e.Compute(uint64(22 * (side - 2)))
+		}
+	}
+
+	// relaxHalf is one colour of a red-black Gauss-Seidel sweep at one
+	// multigrid level.
+	relaxHalf := func(e *trace.Emitter, proc int, lv level, colour int) {
+		side := lv.side
+		rlo, rhi := chunk(side-2, procs, proc)
+		for i := rlo + 1; i < rhi+1; i++ {
+			start := 1 + (i+colour)%2
+			for j := start; j < side-1; j += 2 {
+				e.Read(at(lv.q, side, i-1, j))
+				e.Read(at(lv.q, side, i+1, j))
+				e.Read(at(lv.rhs, side, i, j))
+				e.Write(at(lv.q, side, i, j))
+			}
+			e.Compute(uint64(12 * (side - 2)))
+		}
+	}
+
+	// restrict moves the residual to the next coarser level; prolongate
+	// interpolates the correction back.
+	restrict := func(e *trace.Emitter, proc int, fine, coarse level) {
+		side := coarse.side
+		rlo, rhi := chunk(side-2, procs, proc)
+		for i := rlo + 1; i < rhi+1; i++ {
+			for j := 1; j < side-1; j++ {
+				e.Read(at(fine.q, fine.side, min(2*i, fine.side-1), min(2*j, fine.side-1)))
+				e.Write(at(coarse.rhs, side, i, j))
+			}
+			e.Compute(uint64(8 * (side - 2)))
+		}
+	}
+	prolongate := func(e *trace.Emitter, proc int, coarse, fine level) {
+		side := fine.side
+		rlo, rhi := chunk(side-2, procs, proc)
+		for i := rlo + 1; i < rhi+1; i++ {
+			for j := 1; j < side-1; j++ {
+				e.Read(at(coarse.q, coarse.side, min(i/2+1, coarse.side-1), min(j/2+1, coarse.side-1)))
+				e.Read(at(fine.q, side, i, j))
+				e.Write(at(fine.q, side, i, j))
+			}
+			e.Compute(uint64(8 * (side - 2)))
+		}
+	}
+
+	gen := func(proc int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			for ts := 0; ts < p.Timesteps; ts++ {
+				b := bars[ts]
+				e.Barrier(b.start)
+
+				// State-update stencil passes cycling through the grids:
+				// laplacians, vorticity, time integration.
+				for s := 0; s < stencilPasses; s++ {
+					// The real inner loops combine up to nine state grids
+					// per point; that breadth is what pressures small TLBs
+					// (Table 2's OCEAN row).
+					// Alternate narrow and wide passes: the real code mixes
+					// two-grid laplacians with nine-grid time-integration
+					// loops, so the active page set straddles small TLBs.
+					width := 5
+					if s%4 == 1 {
+						width = 8
+					}
+					srcs := make([]vm.Region, 0, width)
+					for k := 0; k < width; k++ {
+						srcs = append(srcs, grids[(3*s+ts+3*k)%len(grids)])
+					}
+					dst := grids[(3*s+ts+1)%len(grids)]
+					stencilPass(e, proc, srcs, dst, n)
+					e.Barrier(b.stencil[s])
+				}
+
+				// Multigrid V-cycle on the elliptic equation.
+				bi := 0
+				for li := 0; li < len(levels); li++ {
+					for s := 0; s < p.RelaxSweeps; s++ {
+						for colour := 0; colour < 2; colour++ {
+							relaxHalf(e, proc, levels[li], colour)
+							e.Barrier(b.relax[bi])
+							bi++
+						}
+					}
+					if li < len(levels)-1 {
+						restrict(e, proc, levels[li], levels[li+1])
+						e.Barrier(b.relax[bi])
+						bi++
+					}
+				}
+				for li := len(levels) - 2; li >= 0; li-- {
+					prolongate(e, proc, levels[li+1], levels[li])
+					e.Barrier(b.relax[bi])
+					bi++
+					for s := 0; s < p.RelaxSweeps; s++ {
+						for colour := 0; colour < 2; colour++ {
+							relaxHalf(e, proc, levels[li], colour)
+							e.Barrier(b.relax[bi])
+							bi++
+						}
+					}
+				}
+				e.Barrier(b.finish)
+			}
+		}
+	}
+	return NewProgram("OCEAN", l, procs, gen), nil
+}
