@@ -2,7 +2,13 @@
 // and figure — and emits a Markdown report with paper-vs-measured numbers.
 // This is the tool that regenerates EXPERIMENTS.md.
 //
+// Passes run in parallel on a bounded worker pool (-jobs) with an on-disk
+// result cache (-cache, default .vcoma-cache); the rendered report is
+// byte-identical regardless of worker count or cache state.
+//
 //	vcoma-report -scale small -o EXPERIMENTS.md
+//	vcoma-report -scale small -jobs 8 -progress-json progress.json
+//	vcoma-report -clear-cache
 package main
 
 import (
@@ -10,19 +16,38 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"vcoma"
 	"vcoma/internal/experiments"
+	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
 
 func main() {
 	var (
-		scaleStr  = flag.String("scale", "small", "workload scale: test, small, paper")
-		outPath   = flag.String("o", "", "output file (default stdout)")
-		benchList = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
+		scaleStr   = flag.String("scale", "small", "workload scale: test, small, paper")
+		outPath    = flag.String("o", "", "output file (default stdout)")
+		benchList  = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
+		jobs       = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache", ".vcoma-cache", "result cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the result cache")
+		clearCache = flag.Bool("clear-cache", false, "remove all cached results and exit")
+		progPath   = flag.String("progress-json", "", "write the run's job-level progress summary as JSON to this file")
 	)
 	flag.Parse()
+
+	if *clearCache {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Clear(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cleared result cache under %s\n", *cacheDir)
+		return
+	}
 
 	var scale workload.Scale
 	switch strings.ToLower(*scaleStr) {
@@ -36,10 +61,15 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleStr))
 	}
 
+	prog := runner.NewProgress(os.Stderr)
 	suite := &experiments.Suite{
-		Cfg:   vcoma.Baseline(),
-		Scale: scale,
-		Log:   os.Stderr,
+		Cfg:      vcoma.Baseline(),
+		Scale:    scale,
+		Jobs:     *jobs,
+		Progress: prog,
+	}
+	if !*noCache {
+		suite.CacheDir = *cacheDir
 	}
 	if *benchList != "" {
 		for _, n := range strings.Split(*benchList, ",") {
@@ -48,9 +78,26 @@ func main() {
 	}
 
 	res, err := suite.Run()
+	if *progPath != "" {
+		// The progress export is useful even for failed runs: it records
+		// which job broke and what was skipped.
+		f, ferr := os.Create(*progPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if werr := prog.Summary().WriteJSON(f); werr != nil {
+			fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "suite: %v wall, %d cache hits\n",
+		res.Elapsed.Round(time.Millisecond), res.CacheHits)
+
 	md := res.RenderMarkdown()
 	if *outPath == "" {
 		fmt.Print(md)

@@ -6,9 +6,11 @@
 //
 //	vcoma-sim -bench RADIX -scheme vcoma -scale small
 //	vcoma-sim -bench FFT -scheme l0 -tlb 16 -org dm -scale test
+//	vcoma-sim -bench OCEAN -scheme vcoma -json | jq .breakdown
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ func main() {
 		orgStr    = flag.String("org", "fa", "TLB/DLB organization: fa (fully associative) or dm (direct mapped)")
 		seed      = flag.Uint64("seed", 0, "override the configuration seed (0 = default)")
 		verbose   = flag.Bool("v", false, "print per-node statistics")
+		jsonOut   = flag.Bool("json", false, "emit the run summary as JSON (report.RunSummary schema)")
 	)
 	flag.Parse()
 
@@ -64,6 +67,75 @@ func main() {
 	ms := res.Machine.TotalStats()
 	ps := res.Machine.Protocol().Stats()
 	ns := res.Machine.Protocol().Fabric().Stats()
+
+	if *jsonOut {
+		nproc := float64(len(res.Sim.Procs))
+		sum := report.RunSummary{
+			Benchmark:  bench.Name(),
+			Scheme:     scheme.String(),
+			Scale:      scale.String(),
+			TLBEntries: *entries,
+			TLBOrg:     org.String(),
+			Seed:       cfg.Seed,
+			SharedMB:   res.SharedMB(),
+			Regions:    len(res.Layout().Regions()),
+			ExecCycles: res.ExecTime(),
+			SimSeconds: elapsed.Seconds(),
+			Breakdown: report.Breakdown{
+				Busy:   float64(tot.Busy) / nproc,
+				Sync:   float64(tot.Sync) / nproc,
+				Local:  float64(tot.StallLocal) / nproc,
+				Remote: float64(tot.StallRemote) / nproc,
+				Trans:  float64(tot.Trans) / nproc,
+				Exec:   res.ExecTime(),
+			},
+			Refs:     ms.Refs,
+			WritePct: 100 * float64(ms.Writes) / float64(ms.Refs),
+			Hits: report.HitRates{
+				FLC:     100 * float64(ms.FLCHits) / float64(ms.Refs),
+				SLC:     100 * float64(ms.SLCHits) / float64(ms.Refs),
+				LocalAM: 100 * float64(ms.LocalAM) / float64(ms.Refs),
+				Remote:  100 * float64(ms.Remote) / float64(ms.Refs),
+			},
+			Protocol: report.ProtocolSummary{
+				RemoteReads:   ps.RemoteReads,
+				Upgrades:      ps.Upgrades,
+				WriteFetches:  ps.WriteFetches,
+				Invalidations: ps.Invalidations,
+				SharedDrops:   ps.SharedDrops,
+				Relocations:   ps.Relocations,
+				Injections:    ps.Injections,
+				InjectionHops: ps.InjectionHops,
+				Swaps:         ps.Swaps,
+			},
+		}
+		if ms.TLBAccesses > 0 {
+			sum.TLB = &report.TranslationStats{
+				Accesses:      ms.TLBAccesses,
+				Misses:        ms.TLBMisses,
+				MissPctOfRefs: 100 * float64(ms.TLBMisses) / float64(ms.Refs),
+			}
+		}
+		if scheme == vcoma.VCOMA {
+			var lookups, misses uint64
+			for n := 0; n < cfg.Geometry.Nodes(); n++ {
+				st := res.Machine.Engine(vcoma.Node(n)).Stats()
+				lookups += st.Lookups
+				misses += st.Misses
+			}
+			sum.DLB = &report.TranslationStats{
+				Accesses:      lookups,
+				Misses:        misses,
+				MissPctOfRefs: 100 * float64(misses) / float64(ms.Refs),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("%s on %v (%d entries, %v), scale %v — simulated in %v\n\n",
 		bench.Name(), scheme, *entries, org, scale, elapsed.Round(time.Millisecond))

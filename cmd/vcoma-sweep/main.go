@@ -1,14 +1,19 @@
 // Command vcoma-sweep regenerates one of the paper's tables or figures.
+// Passes run through the experiment runner: in parallel on a bounded worker
+// pool (-jobs) with an on-disk result cache (-cache) shared with
+// vcoma-report. Output order follows the benchmark list, never completion
+// order.
 //
 // Examples:
 //
 //	vcoma-sweep -exp fig8 -bench RADIX -scale small
 //	vcoma-sweep -exp table2 -scale small          # all six benchmarks
-//	vcoma-sweep -exp fig10 -bench RAYTRACE -scale small
+//	vcoma-sweep -exp fig10 -bench RAYTRACE -scale small -jobs 4
 //	vcoma-sweep -exp fig11 -bench FFT
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 
 	"vcoma"
 	"vcoma/internal/experiments"
+	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
 
@@ -25,6 +31,9 @@ func main() {
 		benchList = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
 		scaleStr  = flag.String("scale", "small", "workload scale: test, small, paper")
 		markdown  = flag.Bool("md", false, "emit Markdown tables")
+		jobs      = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", ".vcoma-cache", "result cache directory")
+		noCache   = flag.Bool("no-cache", false, "disable the result cache")
 	)
 	flag.Parse()
 
@@ -40,22 +49,71 @@ func main() {
 		}
 	}
 	cfg := experiments.ConfigForScale(vcoma.Baseline(), scale)
+	exp := strings.ToLower(*expName)
 
-	switch strings.ToLower(*expName) {
-	case "fig8", "fig9", "table2", "table3":
-		var t2 []experiments.Table2Row
-		var t3 []experiments.Table3Row
-		for _, name := range names {
-			bench, err := workload.ByName(name, scale)
+	if exp == "tags" {
+		// Analytic table; nothing to simulate.
+		fmt.Println(experiments.RenderTagOverhead(*markdown))
+		return
+	}
+
+	dlbSizes := []int{8, 16, 32, 64}
+
+	// Enumerate the experiment's passes as runner jobs.
+	plan := experiments.NewPlan(cfg, scale)
+	for _, name := range names {
+		var err error
+		switch exp {
+		case "fig8", "fig9", "table2", "table3":
+			err = plan.AddObserve(name)
+		case "table4":
+			err = plan.AddTable4(name)
+		case "fig10":
+			err = plan.AddFigure10(name)
+		case "fig11":
+			err = plan.AddFigure11(name)
+		case "mgmt":
+			err = plan.AddMgmt(name, experiments.MgmtSamplePages)
+		case "ablation":
+			err = plan.AddAblation(name)
+		case "dlborg":
+			err = plan.AddDLBOrg(name, dlbSizes)
+		default:
+			err = fmt.Errorf("unknown experiment %q", *expName)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var cache *runner.Cache
+	if !*noCache {
+		if cache, err = runner.OpenCache(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := plan.Run(context.Background(), runner.Options{
+		Workers:  *jobs,
+		Cache:    cache,
+		Policy:   runner.FailFast,
+		Progress: runner.NewProgress(os.Stderr),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Render in benchmark-list order, never completion order.
+	var t2 []experiments.Table2Row
+	var t3 []experiments.Table3Row
+	var t4 []experiments.Table4Row
+	for _, name := range names {
+		switch exp {
+		case "fig8", "fig9", "table2", "table3":
+			obs, err := res.Observed(name)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "observing %s (5 scheme passes)...\n", name)
-			obs, err := experiments.Observe(cfg, bench)
-			if err != nil {
-				fatal(err)
-			}
-			switch strings.ToLower(*expName) {
+			switch exp {
 			case "fig8":
 				fmt.Println(experiments.Figure8(obs).Render(*markdown))
 			case "fig9":
@@ -65,93 +123,52 @@ func main() {
 			case "table3":
 				t3 = append(t3, experiments.Table3(obs))
 			}
-		}
-		if t2 != nil {
-			fmt.Println(experiments.RenderTable2(t2, *markdown))
-		}
-		if t3 != nil {
-			fmt.Println(experiments.RenderTable3(t3, *markdown))
-		}
-	case "table4":
-		var rows []experiments.Table4Row
-		for _, name := range names {
-			bench, err := workload.ByName(name, scale)
+		case "table4":
+			row, err := res.Table4(name)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "timing %s (4 configurations)...\n", name)
-			row, err := experiments.Table4(cfg, bench)
-			if err != nil {
-				fatal(err)
-			}
-			rows = append(rows, row)
-		}
-		fmt.Println(experiments.RenderTable4(rows, *markdown))
-	case "fig10":
-		for _, name := range names {
-			fmt.Fprintf(os.Stderr, "timing %s (Figure 10 configurations)...\n", name)
-			r, err := experiments.Figure10(cfg, name, scale)
+			t4 = append(t4, row)
+		case "fig10":
+			r, err := res.Figure10(name)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Println(r.Render(*markdown))
-		}
-	case "fig11":
-		for _, name := range names {
-			bench, err := workload.ByName(name, scale)
-			if err != nil {
-				fatal(err)
-			}
-			r, err := experiments.Figure11(cfg, bench)
+		case "fig11":
+			r, err := res.Figure11(name)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Println(r.Render(*markdown))
-		}
-	case "mgmt":
-		for _, name := range names {
-			bench, err := workload.ByName(name, scale)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "management study on %s (5 schemes)...\n", name)
-			rows, err := experiments.MgmtStudy(cfg, bench, 16)
+		case "mgmt":
+			rows, err := res.Mgmt(name)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("(%s)\n%s\n", name, experiments.RenderMgmt(rows, *markdown))
-		}
-	case "tags":
-		fmt.Println(experiments.RenderTagOverhead(*markdown))
-	case "ablation":
-		for _, name := range names {
-			bench, err := workload.ByName(name, scale)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "ablation study on %s (4 variants)...\n", name)
-			rows, err := experiments.AblationStudy(cfg, bench)
+		case "ablation":
+			rows, err := res.Ablation(name)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("(%s)\n%s\n", name, experiments.RenderAblation(rows, *markdown))
-		}
-	case "dlborg":
-		sizes := []int{8, 16, 32, 64}
-		for _, name := range names {
-			bench, err := workload.ByName(name, scale)
+		case "dlborg":
+			data, err := res.DLBOrg(name)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "DLB organization sweep on %s...\n", name)
-			data, err := experiments.DLBOrgStudy(cfg, bench, sizes)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("(%s)\n%s\n", name, experiments.RenderDLBOrg(data, sizes, *markdown))
+			fmt.Printf("(%s)\n%s\n", name, experiments.RenderDLBOrg(data, dlbSizes, *markdown))
 		}
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *expName))
+	}
+	if t2 != nil {
+		fmt.Println(experiments.RenderTable2(t2, *markdown))
+	}
+	if t3 != nil {
+		fmt.Println(experiments.RenderTable3(t3, *markdown))
+	}
+	if t4 != nil {
+		fmt.Println(experiments.RenderTable4(t4, *markdown))
 	}
 }
 

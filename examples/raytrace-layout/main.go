@@ -49,7 +49,7 @@ func main() {
 		rows = append(rows, []string{
 			v.label,
 			report.Count(b.Busy), report.Count(b.Sync), report.Count(b.Local),
-			report.Count(b.Remot), report.Count(b.Trans),
+			report.Count(b.Remote), report.Count(b.Trans),
 			fmt.Sprintf("%.3f", b.Total()/base),
 		})
 	}

@@ -25,45 +25,75 @@ type AblationRow struct {
 	Relative float64
 }
 
+// AblationVariant is one design knob disabled in isolation: a label and
+// the exact configuration the timed pass runs.
+type AblationVariant struct {
+	Label string
+	Cfg   config.Config
+}
+
+// AblationVariants enumerates the study's configurations on the V-COMA
+// machine, baseline first (DESIGN.md's ablation list): master relocation in
+// the replacement protocol, split request/reply networks, and
+// protocol-engine occupancy.
+func AblationVariants(cfg config.Config) []AblationVariant {
+	base := cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc)
+	noReloc := base
+	noReloc.Ablation.NoMasterRelocation = true
+	shared := base
+	shared.Ablation.SharedNetworkChannel = true
+	infPE := base
+	infPE.Ablation.InfinitePEBandwidth = true
+	return []AblationVariant{
+		{"baseline (evaluated design)", base},
+		{"no master relocation", noReloc},
+		{"shared request/reply channel", shared},
+		{"infinite PE bandwidth", infPE},
+	}
+}
+
+// AblationRun executes one variant's pass. Relative is left zero; the
+// assembly normalizes against the baseline row.
+func AblationRun(v AblationVariant, bench workload.Benchmark) (AblationRow, error) {
+	m, res, err := runPass(v.Cfg, bench, nil)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	tot := res.TotalProc()
+	return AblationRow{
+		Label:       v.Label,
+		ExecTime:    res.ExecTime,
+		RemoteStall: tot.StallRemote,
+		Injections:  m.Protocol().Stats().Injections,
+		QueueCycles: m.Protocol().Fabric().Stats().QueueCycles,
+	}, nil
+}
+
+// NormalizeAblation fills each row's Relative against the first (baseline)
+// row and returns rows for chaining.
+func NormalizeAblation(rows []AblationRow) []AblationRow {
+	if len(rows) == 0 || rows[0].ExecTime == 0 {
+		return rows
+	}
+	base := float64(rows[0].ExecTime)
+	for i := range rows {
+		rows[i].Relative = float64(rows[i].ExecTime) / base
+	}
+	return rows
+}
+
 // AblationStudy quantifies the simulator's own design choices on the
-// V-COMA machine (DESIGN.md's ablation list): master relocation in the
-// replacement protocol, split request/reply networks, and protocol-engine
-// occupancy. Each knob is disabled in isolation.
+// V-COMA machine, each knob disabled in isolation.
 func AblationStudy(cfg config.Config, bench workload.Benchmark) ([]AblationRow, error) {
-	type variant struct {
-		label string
-		mut   func(*config.Config)
-	}
-	variants := []variant{
-		{"baseline (evaluated design)", func(*config.Config) {}},
-		{"no master relocation", func(c *config.Config) { c.Ablation.NoMasterRelocation = true }},
-		{"shared request/reply channel", func(c *config.Config) { c.Ablation.SharedNetworkChannel = true }},
-		{"infinite PE bandwidth", func(c *config.Config) { c.Ablation.InfinitePEBandwidth = true }},
-	}
 	var rows []AblationRow
-	var base uint64
-	for _, v := range variants {
-		c := cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc)
-		v.mut(&c)
-		m, res, err := runPass(c, bench, nil)
+	for _, v := range AblationVariants(cfg) {
+		row, err := AblationRun(v, bench)
 		if err != nil {
 			return nil, err
 		}
-		tot := res.TotalProc()
-		row := AblationRow{
-			Label:       v.label,
-			ExecTime:    res.ExecTime,
-			RemoteStall: tot.StallRemote,
-			Injections:  m.Protocol().Stats().Injections,
-			QueueCycles: m.Protocol().Fabric().Stats().QueueCycles,
-		}
-		if base == 0 {
-			base = res.ExecTime
-		}
-		row.Relative = float64(res.ExecTime) / float64(base)
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return NormalizeAblation(rows), nil
 }
 
 // RenderAblation renders the ablation study.
@@ -87,22 +117,35 @@ func RenderAblation(rows []AblationRow, markdown bool) string {
 	return title + report.Table(headers, out)
 }
 
+// DLBOrgs are the organizations the associativity sweep covers.
+var DLBOrgs = []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAssoc2, config.DirectMapped}
+
+// DLBOrgCell runs one (organization, size) cell of the sweep on the V-COMA
+// machine and returns the machine-wide DLB miss count.
+func DLBOrgCell(cfg config.Config, bench workload.Benchmark, size int, org config.TLBOrg) (uint64, error) {
+	c := cfg.WithScheme(config.VCOMA).WithTLB(size, org)
+	m, _, err := runPass(c, bench, nil)
+	if err != nil {
+		return 0, err
+	}
+	var misses uint64
+	for n := 0; n < c.Geometry.Nodes(); n++ {
+		misses += m.Engine(addr.Node(n)).Stats().Misses
+	}
+	return misses, nil
+}
+
 // DLBOrgStudy sweeps the DLB organization (the associativity dimension the
 // paper only samples at its two extremes in Figure 9) on the V-COMA
 // machine: fully associative, 4-way, 2-way and direct mapped at each size.
 func DLBOrgStudy(cfg config.Config, bench workload.Benchmark, sizes []int) (map[config.TLBOrg]map[int]uint64, error) {
 	out := make(map[config.TLBOrg]map[int]uint64)
-	for _, org := range []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAssoc2, config.DirectMapped} {
+	for _, org := range DLBOrgs {
 		out[org] = make(map[int]uint64)
 		for _, size := range sizes {
-			c := cfg.WithScheme(config.VCOMA).WithTLB(size, org)
-			m, _, err := runPass(c, bench, nil)
+			misses, err := DLBOrgCell(cfg, bench, size, org)
 			if err != nil {
 				return nil, err
-			}
-			var misses uint64
-			for n := 0; n < c.Geometry.Nodes(); n++ {
-				misses += m.Engine(addr.Node(n)).Stats().Misses
 			}
 			out[org][size] = misses
 		}
@@ -117,7 +160,7 @@ func RenderDLBOrg(data map[config.TLBOrg]map[int]uint64, sizes []int, markdown b
 		headers = append(headers, fmt.Sprint(s))
 	}
 	var out [][]string
-	for _, org := range []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAssoc2, config.DirectMapped} {
+	for _, org := range DLBOrgs {
 		row := []string{org.String()}
 		for _, s := range sizes {
 			row = append(row, fmt.Sprint(data[org][s]))

@@ -70,29 +70,79 @@ func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*ma
 	return m, res, nil
 }
 
-// Observe runs the five scheme passes for one benchmark with the full
-// paper observer grid attached.
-func Observe(cfg config.Config, bench workload.Benchmark) (*Observed, error) {
-	specs := tlb.PaperSpecs()
+// SchemePass is the serializable result of one observer pass: one
+// (benchmark, scheme) simulation with the paper's observer grid attached.
+// It is the unit the experiment runner schedules and caches; five passes
+// assemble into an Observed.
+type SchemePass struct {
+	// RefsPerNode is the average number of processor references per node.
+	RefsPerNode float64 `json:"refsPerNode"`
+	// Bank is the merged per-node observer statistics of the pass.
+	Bank *tlb.MergedBank `json:"bank"`
+	// NoWb is the L2-TLB stream without SLC writebacks (L2-TLB pass only).
+	NoWb *tlb.MergedBank `json:"noWb,omitempty"`
+}
+
+// ObservePassConfig returns the exact machine configuration an observer
+// pass runs: the scheme under study with a large timed TLB so the in-loop
+// translation penalty is negligible.
+func ObservePassConfig(cfg config.Config, sch config.Scheme) config.Config {
+	return cfg.WithScheme(sch).WithTLB(ObserveTLBEntries, config.FullyAssoc)
+}
+
+// ObserveScheme runs one benchmark under one scheme with the full paper
+// observer grid attached.
+func ObserveScheme(cfg config.Config, bench workload.Benchmark, sch config.Scheme) (SchemePass, error) {
+	m, _, err := runPass(ObservePassConfig(cfg, sch), bench, tlb.PaperSpecs())
+	if err != nil {
+		return SchemePass{}, err
+	}
+	pass := SchemePass{
+		RefsPerNode: float64(m.TotalStats().Refs) / float64(cfg.Geometry.Nodes()),
+		Bank:        tlb.Merge(m.ObserverBanks()),
+	}
+	if sch == config.L2TLB {
+		pass.NoWb = tlb.Merge(m.NoWritebackBanks())
+	}
+	return pass, nil
+}
+
+// AssembleObserved combines the five scheme passes of one benchmark. The
+// reference streams are deterministic and scheme-independent, so
+// RefsPerNode is taken from the first scheme in paper order.
+func AssembleObserved(benchmark string, passes map[config.Scheme]SchemePass) *Observed {
 	obs := &Observed{
-		Benchmark: bench.Name(),
+		Benchmark: benchmark,
 		Banks:     make(map[config.Scheme]*tlb.MergedBank),
 	}
 	for _, sch := range config.Schemes() {
-		pc := cfg.WithScheme(sch).WithTLB(ObserveTLBEntries, config.FullyAssoc)
-		m, _, err := runPass(pc, bench, specs)
+		p, ok := passes[sch]
+		if !ok {
+			continue
+		}
+		obs.Banks[sch] = p.Bank
+		if sch == config.L2TLB {
+			obs.L2NoWb = p.NoWb
+		}
+		if obs.RefsPerNode == 0 {
+			obs.RefsPerNode = p.RefsPerNode
+		}
+	}
+	return obs
+}
+
+// Observe runs the five scheme passes for one benchmark with the full
+// paper observer grid attached.
+func Observe(cfg config.Config, bench workload.Benchmark) (*Observed, error) {
+	passes := make(map[config.Scheme]SchemePass)
+	for _, sch := range config.Schemes() {
+		pass, err := ObserveScheme(cfg, bench, sch)
 		if err != nil {
 			return nil, err
 		}
-		obs.Banks[sch] = tlb.Merge(m.ObserverBanks())
-		if sch == config.L2TLB {
-			obs.L2NoWb = tlb.Merge(m.NoWritebackBanks())
-		}
-		if obs.RefsPerNode == 0 {
-			obs.RefsPerNode = float64(m.TotalStats().Refs) / float64(cfg.Geometry.Nodes())
-		}
+		passes[sch] = pass
 	}
-	return obs, nil
+	return AssembleObserved(bench.Name(), passes), nil
 }
 
 // --- Figure 8: translation misses per node vs TLB/DLB size ---

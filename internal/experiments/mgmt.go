@@ -28,57 +28,67 @@ type MgmtRow struct {
 	DemapCopies float64
 }
 
-// MgmtStudy warms each scheme's machine with the benchmark, then changes
-// protection on — and afterwards unmaps — a sample of the workload's pages,
-// reporting mean costs per scheme.
+// MgmtStudyScheme warms one scheme's machine with the benchmark, then
+// changes protection on — and afterwards unmaps — a sample of the
+// workload's pages, reporting mean costs. It is the per-scheme pass the
+// experiment runner schedules and caches.
+func MgmtStudyScheme(cfg config.Config, bench workload.Benchmark, sch config.Scheme, samplePages int) (MgmtRow, error) {
+	c := cfg.WithScheme(sch).WithTLB(64, config.FullyAssoc)
+	m, _, err := runPass(c, bench, nil)
+	if err != nil {
+		return MgmtRow{}, err
+	}
+	// Sample pages across the workload's regions.
+	prog, err := bench.Build(c.Geometry, c.Geometry.Nodes())
+	if err != nil {
+		return MgmtRow{}, err
+	}
+	var pages []addr.Virtual
+	for _, r := range prog.Layout().Regions() {
+		for off := uint64(0); off < r.Bytes && len(pages) < samplePages; off += c.Geometry.PageSize() * 7 {
+			pages = append(pages, c.Geometry.PageBase(r.Base+addr.Virtual(off)))
+		}
+		if len(pages) >= samplePages {
+			break
+		}
+	}
+	if len(pages) == 0 {
+		return MgmtRow{}, fmt.Errorf("experiments: no pages to sample for %s", bench.Name())
+	}
+
+	row := MgmtRow{Scheme: sch}
+	now := uint64(1 << 30)
+	for _, v := range pages {
+		res := m.ChangeProtection(now, 0, v, vm.ProtRead)
+		row.ProtChangeCycles += float64(res.Cycles)
+		row.ProtShootdowns += float64(res.TLBShootdowns)
+		now += res.Cycles + 1000
+	}
+	for _, v := range pages {
+		res, err := m.Demap(now, 0, v)
+		if err != nil {
+			return MgmtRow{}, err
+		}
+		row.DemapCycles += float64(res.Cycles)
+		row.DemapCopies += float64(res.CopiesDropped)
+		now += res.Cycles + 1000
+	}
+	n := float64(len(pages))
+	row.ProtChangeCycles /= n
+	row.ProtShootdowns /= n
+	row.DemapCycles /= n
+	row.DemapCopies /= n
+	return row, nil
+}
+
+// MgmtStudy runs MgmtStudyScheme for every scheme in paper order.
 func MgmtStudy(cfg config.Config, bench workload.Benchmark, samplePages int) ([]MgmtRow, error) {
 	var rows []MgmtRow
 	for _, sch := range config.Schemes() {
-		c := cfg.WithScheme(sch).WithTLB(64, config.FullyAssoc)
-		m, _, err := runPass(c, bench, nil)
+		row, err := MgmtStudyScheme(cfg, bench, sch, samplePages)
 		if err != nil {
 			return nil, err
 		}
-		// Sample pages across the workload's regions.
-		prog, err := bench.Build(c.Geometry, c.Geometry.Nodes())
-		if err != nil {
-			return nil, err
-		}
-		var pages []addr.Virtual
-		for _, r := range prog.Layout().Regions() {
-			for off := uint64(0); off < r.Bytes && len(pages) < samplePages; off += c.Geometry.PageSize() * 7 {
-				pages = append(pages, c.Geometry.PageBase(r.Base+addr.Virtual(off)))
-			}
-			if len(pages) >= samplePages {
-				break
-			}
-		}
-		if len(pages) == 0 {
-			return nil, fmt.Errorf("experiments: no pages to sample for %s", bench.Name())
-		}
-
-		row := MgmtRow{Scheme: sch}
-		now := uint64(1 << 30)
-		for _, v := range pages {
-			res := m.ChangeProtection(now, 0, v, vm.ProtRead)
-			row.ProtChangeCycles += float64(res.Cycles)
-			row.ProtShootdowns += float64(res.TLBShootdowns)
-			now += res.Cycles + 1000
-		}
-		for _, v := range pages {
-			res, err := m.Demap(now, 0, v)
-			if err != nil {
-				return nil, err
-			}
-			row.DemapCycles += float64(res.Cycles)
-			row.DemapCopies += float64(res.CopiesDropped)
-			now += res.Cycles + 1000
-		}
-		n := float64(len(pages))
-		row.ProtChangeCycles /= n
-		row.ProtShootdowns /= n
-		row.DemapCycles /= n
-		row.DemapCopies /= n
 		rows = append(rows, row)
 	}
 	return rows, nil

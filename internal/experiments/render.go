@@ -152,7 +152,7 @@ func (r Figure10Result) Render(markdown bool) string {
 		out = append(out, []string{
 			b.Label,
 			report.Count(b.Busy), report.Count(b.Sync), report.Count(b.Local),
-			report.Count(b.Remot), report.Count(b.Trans), report.Count(b.Total()),
+			report.Count(b.Remote), report.Count(b.Trans), report.Count(b.Total()),
 			fmt.Sprintf("%.3f", b.Total()/base),
 		})
 	}

@@ -1,29 +1,43 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"vcoma/internal/config"
 	"vcoma/internal/report"
+	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
 
+// MgmtSamplePages is the number of pages the suite's management study
+// samples per scheme.
+const MgmtSamplePages = 16
+
 // Suite runs the paper's complete evaluation and renders a Markdown report
-// with paper-vs-measured numbers for every table and figure.
+// with paper-vs-measured numbers for every table and figure. Passes execute
+// through the experiment runner: in parallel on a bounded worker pool, with
+// optional on-disk result caching. The rendered report is byte-identical
+// regardless of worker count or cache state.
 type Suite struct {
 	Cfg        config.Config
 	Scale      workload.Scale
 	Benchmarks []string // nil = all six
-	// Log, if non-nil, receives progress lines.
+	// Log, if non-nil, receives per-job progress lines.
 	Log io.Writer
-}
-
-func (s *Suite) logf(format string, args ...any) {
-	if s.Log != nil {
-		fmt.Fprintf(s.Log, format+"\n", args...)
-	}
+	// Jobs is the worker-pool width; 0 means GOMAXPROCS.
+	Jobs int
+	// CacheDir, if non-empty, enables the content-addressed result cache
+	// rooted there.
+	CacheDir string
+	// Progress, if non-nil, observes the run (overrides the reporter the
+	// suite would otherwise build from Log).
+	Progress *runner.Progress
+	// Context, if non-nil, bounds the run; cancellation skips pending
+	// passes and returns the cause.
+	Context context.Context
 }
 
 // ConfigForScale adapts a machine configuration to a workload scale by
@@ -52,22 +66,77 @@ type SuiteResult struct {
 	Fig10    []Figure10Result
 	Fig11    []Figure11Result
 	Mgmt     []MgmtRow
-	Elapsed  time.Duration
+	// Elapsed and CacheHits describe the run, not the results; neither
+	// appears in the rendered report.
+	Elapsed   time.Duration
+	CacheHits int
 }
 
-// Run executes every experiment.
+// Plan enumerates the full evaluation as runner jobs.
+func (s *Suite) Plan() (*Plan, error) {
+	cfg := ConfigForScale(s.Cfg, s.Scale)
+	p := NewPlan(cfg, s.Scale)
+	names := s.names()
+	for _, name := range names {
+		if err := p.AddObserve(name); err != nil {
+			return nil, err
+		}
+		if err := p.AddTable4(name); err != nil {
+			return nil, err
+		}
+		if err := p.AddFigure10(name); err != nil {
+			return nil, err
+		}
+		if err := p.AddFigure11(name); err != nil {
+			return nil, err
+		}
+	}
+	// The management study runs once, on the first benchmark.
+	if len(names) > 0 {
+		if err := p.AddMgmt(names[0], MgmtSamplePages); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Run executes every experiment through the runner and assembles the
+// results in benchmark order.
 func (s *Suite) Run() (*SuiteResult, error) {
 	start := time.Now()
-	cfg := ConfigForScale(s.Cfg, s.Scale)
-	res := &SuiteResult{Scale: s.Scale, Observed: make(map[string]*Observed)}
-	for _, name := range s.names() {
-		bench, err := workload.ByName(name, s.Scale)
+	ctx := s.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plan, err := s.Plan()
+	if err != nil {
+		return nil, err
+	}
+	prog := s.Progress
+	if prog == nil {
+		prog = runner.NewProgress(s.Log)
+	}
+	var cache *runner.Cache
+	if s.CacheDir != "" {
+		cache, err = runner.OpenCache(s.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+	}
+	pr, err := plan.Run(ctx, runner.Options{
+		Workers:  s.Jobs,
+		Cache:    cache,
+		Policy:   runner.FailFast,
+		Progress: prog,
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		s.logf("[%s] observer passes (5 schemes)...", name)
-		obs, err := Observe(cfg, bench)
+	res := &SuiteResult{Scale: s.Scale, Observed: make(map[string]*Observed)}
+	names := s.names()
+	for _, name := range names {
+		obs, err := pr.Observed(name)
 		if err != nil {
 			return nil, err
 		}
@@ -77,41 +146,40 @@ func (s *Suite) Run() (*SuiteResult, error) {
 		res.Tab2 = append(res.Tab2, Table2(obs))
 		res.Tab3 = append(res.Tab3, Table3(obs))
 
-		s.logf("[%s] timed passes (Table 4)...", name)
-		t4, err := Table4(cfg, bench)
+		t4, err := pr.Table4(name)
 		if err != nil {
 			return nil, err
 		}
 		res.Tab4 = append(res.Tab4, t4)
 
-		s.logf("[%s] timed passes (Figure 10)...", name)
-		f10, err := Figure10(cfg, name, s.Scale)
+		f10, err := pr.Figure10(name)
 		if err != nil {
 			return nil, err
 		}
 		res.Fig10 = append(res.Fig10, f10)
 
-		f11, err := Figure11(cfg, bench)
+		f11, err := pr.Figure11(name)
 		if err != nil {
 			return nil, err
 		}
 		res.Fig11 = append(res.Fig11, f11)
 	}
-	// The management study runs once, on the first benchmark.
-	if len(s.names()) > 0 {
-		bench, err := workload.ByName(s.names()[0], s.Scale)
-		if err == nil {
-			s.logf("[%s] management study (5 schemes)...", bench.Name())
-			if rows, err := MgmtStudy(cfg, bench, 16); err == nil {
-				res.Mgmt = rows
-			}
+	if len(names) > 0 {
+		rows, err := pr.Mgmt(names[0])
+		if err != nil {
+			return nil, err
 		}
+		res.Mgmt = rows
 	}
 	res.Elapsed = time.Since(start)
+	res.CacheHits = pr.Raw().CacheHits
 	return res, nil
 }
 
-// RenderMarkdown produces the full paper-vs-measured report.
+// RenderMarkdown produces the full paper-vs-measured report. The output
+// depends only on the results, never on how they were computed: no wall
+// times, worker counts or cache statistics appear, so reruns with any
+// `-jobs` value or cache state render byte-identical reports.
 func (r *SuiteResult) RenderMarkdown() string {
 	var b []byte
 	w := func(format string, args ...any) {
@@ -121,7 +189,7 @@ func (r *SuiteResult) RenderMarkdown() string {
 	w("# Experiments — paper vs. measured")
 	w("")
 	w("Workload scale: **%v** (see `internal/workload.Scale`; `paper` is Table 1 of the paper).", r.Scale)
-	w("Suite wall time: %v. All numbers regenerate with `go run ./cmd/vcoma-report -scale %v`.", r.Elapsed.Round(time.Second), r.Scale)
+	w("All numbers regenerate with `go run ./cmd/vcoma-report -scale %v`.", r.Scale)
 	w("")
 
 	w("## Figure 8 — translation misses per node vs TLB/DLB size")

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"vcoma/internal/config"
+	"vcoma/internal/workload"
+)
+
+// TestSuiteDeterministicAcrossWorkersAndCache is the report-determinism
+// guarantee: the rendered Markdown must be byte-identical whether the suite
+// runs on one worker, on many, against a cold cache, or entirely from a
+// warm one.
+func TestSuiteDeterministicAcrossWorkersAndCache(t *testing.T) {
+	run := func(jobs int, cacheDir string) (string, int) {
+		s := &Suite{
+			Cfg:        config.Baseline(),
+			Scale:      workload.ScaleTest,
+			Benchmarks: []string{"RADIX"},
+			Jobs:       jobs,
+			CacheDir:   cacheDir,
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RenderMarkdown(), res.CacheHits
+	}
+
+	serial, _ := run(1, "")
+	parallel, _ := run(4, "")
+	if serial != parallel {
+		t.Error("1-worker and 4-worker reports differ")
+	}
+
+	cache := t.TempDir()
+	cold, _ := run(4, cache)
+	if cold != serial {
+		t.Error("cold-cache report differs from uncached")
+	}
+	warm, hits := run(4, cache)
+	if warm != serial {
+		t.Error("warm-cache report differs from uncached")
+	}
+	if hits == 0 {
+		t.Error("second cached run recomputed everything: no cache hits")
+	}
+}

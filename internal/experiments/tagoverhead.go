@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"vcoma/internal/report"
 )
@@ -48,13 +49,21 @@ func PaperTagOverheads() map[string][]TagOverheadRow {
 	}
 }
 
-// RenderTagOverhead renders the tag-overhead analysis.
+// RenderTagOverhead renders the tag-overhead analysis. Architectures render
+// in sorted-name order so the output is deterministic.
 func RenderTagOverhead(markdown bool) string {
 	out := "Tag-memory overhead of virtual tagging (§6)\n"
 	if markdown {
 		out += "\n"
 	}
-	for name, rows := range PaperTagOverheads() {
+	overheads := PaperTagOverheads()
+	names := make([]string, 0, len(overheads))
+	for name := range overheads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := overheads[name]
 		var cells [][]string
 		for _, r := range rows {
 			cells = append(cells, []string{

@@ -1,27 +1,19 @@
 package experiments
 
 import (
+	"fmt"
+
 	"vcoma/internal/config"
+	"vcoma/internal/report"
 	"vcoma/internal/sim"
 	"vcoma/internal/vm"
 	"vcoma/internal/workload"
 )
 
 // Breakdown is a Figure 10 execution-time decomposition, averaged per
-// processor, in cycles.
-type Breakdown struct {
-	Label string
-	Busy  float64
-	Sync  float64
-	Local float64 // loc-stall: SLC hits and local attraction memory
-	Remot float64 // rem-stall: attraction-memory misses
-	Trans float64 // address-translation overhead
-	// Exec is the parallel execution time (max processor finish).
-	Exec uint64
-}
-
-// Total returns the per-processor cycle sum.
-func (b Breakdown) Total() float64 { return b.Busy + b.Sync + b.Local + b.Remot + b.Trans }
+// processor, in cycles. It is the shared report schema so runner cache
+// entries and vcoma-sim -json output serialize identically.
+type Breakdown = report.Breakdown
 
 // Timed runs one exact configuration and returns its breakdown.
 func Timed(cfg config.Config, bench workload.Benchmark, label string) (Breakdown, error) {
@@ -36,13 +28,13 @@ func breakdownOf(label string, res sim.Result, cfg config.Config) Breakdown {
 	t := res.TotalProc()
 	n := float64(cfg.Geometry.Nodes())
 	return Breakdown{
-		Label: label,
-		Busy:  float64(t.Busy) / n,
-		Sync:  float64(t.Sync) / n,
-		Local: float64(t.StallLocal) / n,
-		Remot: float64(t.StallRemote) / n,
-		Trans: float64(t.Trans) / n,
-		Exec:  res.ExecTime,
+		Label:  label,
+		Busy:   float64(t.Busy) / n,
+		Sync:   float64(t.Sync) / n,
+		Local:  float64(t.StallLocal) / n,
+		Remote: float64(t.StallRemote) / n,
+		Trans:  float64(t.Trans) / n,
+		Exec:   res.ExecTime,
 	}
 }
 
@@ -59,29 +51,55 @@ type Table4Row struct {
 	Ratio map[int]map[string]float64
 }
 
+// table4Cell names one timed pass behind a Table 4 row.
+type table4Cell struct {
+	Size   int
+	Scheme config.Scheme
+	System string // "L0-TLB" or "DLB", the paper's row labels
+}
+
+func (c table4Cell) key() string { return fmt.Sprintf("%s/%d", c.System, c.Size) }
+
+// table4Cells enumerates the timed passes behind one benchmark's Table 4
+// row: the L0-TLB and V-COMA machines at each size.
+func table4Cells() []table4Cell {
+	var cells []table4Cell
+	for _, size := range Table4Sizes {
+		cells = append(cells,
+			table4Cell{size, config.L0TLB, "L0-TLB"},
+			table4Cell{size, config.VCOMA, "DLB"})
+	}
+	return cells
+}
+
+// table4FromBreakdowns assembles a Table 4 row from its four timed cells,
+// keyed "system/size" (e.g. "DLB/16").
+func table4FromBreakdowns(bench string, cells map[string]Breakdown) Table4Row {
+	row := Table4Row{Benchmark: bench, Ratio: make(map[int]map[string]float64)}
+	for _, c := range table4Cells() {
+		if row.Ratio[c.Size] == nil {
+			row.Ratio[c.Size] = make(map[string]float64)
+		}
+		b := cells[c.key()]
+		if stall := b.Local + b.Remote; stall > 0 {
+			row.Ratio[c.Size][c.System] = 100 * b.Trans / stall
+		}
+	}
+	return row
+}
+
 // Table4 runs the timed L0-TLB and V-COMA configurations at sizes 8 and 16
 // and reports the paper's stall-ratio metric.
 func Table4(cfg config.Config, bench workload.Benchmark) (Table4Row, error) {
-	row := Table4Row{Benchmark: bench.Name(), Ratio: make(map[int]map[string]float64)}
-	for _, size := range Table4Sizes {
-		row.Ratio[size] = make(map[string]float64)
-		for _, sch := range []config.Scheme{config.L0TLB, config.VCOMA} {
-			c := cfg.WithScheme(sch).WithTLB(size, config.FullyAssoc)
-			b, err := Timed(c, bench, "")
-			if err != nil {
-				return Table4Row{}, err
-			}
-			name := "L0-TLB"
-			if sch == config.VCOMA {
-				name = "DLB"
-			}
-			stall := b.Local + b.Remot
-			if stall > 0 {
-				row.Ratio[size][name] = 100 * b.Trans / stall
-			}
+	cells := make(map[string]Breakdown)
+	for _, c := range table4Cells() {
+		b, err := Timed(cfg.WithScheme(c.Scheme).WithTLB(c.Size, config.FullyAssoc), bench, "")
+		if err != nil {
+			return Table4Row{}, err
 		}
+		cells[c.key()] = b
 	}
-	return row, nil
+	return table4FromBreakdowns(bench.Name(), cells), nil
 }
 
 // --- Figure 10: execution time breakdown ---
@@ -94,41 +112,54 @@ type Figure10Result struct {
 	Breakdowns []Breakdown
 }
 
-// Figure10 runs the paper's Figure 10 configurations for one benchmark at
-// the given scale (the V2 variant needs to rebuild RAYTRACE with a 4 KB
-// stack alignment, hence the scale rather than a prebuilt Benchmark).
-func Figure10(cfg config.Config, name string, scale workload.Scale) (Figure10Result, error) {
+// Fig10Variant is one timed configuration of Figure 10: a label, the exact
+// machine configuration, and the benchmark instance to run (the V2 variant
+// rebuilds RAYTRACE with page-aligned ray stacks, so the benchmark is part
+// of the variant, not shared).
+type Fig10Variant struct {
+	Label string
+	Cfg   config.Config
+	Bench workload.Benchmark
+}
+
+// Figure10Variants enumerates the paper's Figure 10 configurations for one
+// benchmark at the given scale, in rendering order.
+func Figure10Variants(cfg config.Config, name string, scale workload.Scale) ([]Fig10Variant, error) {
 	bench, err := workload.ByName(name, scale)
 	if err != nil {
-		return Figure10Result{}, err
+		return nil, err
 	}
-	r := Figure10Result{Benchmark: name}
-	type variant struct {
-		label  string
-		scheme config.Scheme
-		org    config.TLBOrg
-	}
-	for _, v := range []variant{
-		{"TLB/8", config.L0TLB, config.FullyAssoc},
-		{"TLB/8/DM", config.L0TLB, config.DirectMapped},
-		{"DLB/8", config.VCOMA, config.FullyAssoc},
-		{"DLB/8/DM", config.VCOMA, config.DirectMapped},
-	} {
-		c := cfg.WithScheme(v.scheme).WithTLB(8, v.org)
-		b, err := Timed(c, bench, v.label)
-		if err != nil {
-			return Figure10Result{}, err
-		}
-		r.Breakdowns = append(r.Breakdowns, b)
+	variants := []Fig10Variant{
+		{"TLB/8", cfg.WithScheme(config.L0TLB).WithTLB(8, config.FullyAssoc), bench},
+		{"TLB/8/DM", cfg.WithScheme(config.L0TLB).WithTLB(8, config.DirectMapped), bench},
+		{"DLB/8", cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc), bench},
+		{"DLB/8/DM", cfg.WithScheme(config.VCOMA).WithTLB(8, config.DirectMapped), bench},
 	}
 	if name == "RAYTRACE" {
 		// V2: the raystruct padding aligned to one page instead of 32 KB,
 		// spreading the stacks' page colours across global sets (§5.3).
 		p := scale.Raytrace()
 		p.StackAlign = cfg.Geometry.PageSize()
-		v2 := workload.NewRaytrace(p)
-		c := cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc)
-		b, err := Timed(c, v2, "DLB/8/V2")
+		variants = append(variants, Fig10Variant{
+			"DLB/8/V2",
+			cfg.WithScheme(config.VCOMA).WithTLB(8, config.FullyAssoc),
+			workload.NewRaytrace(p),
+		})
+	}
+	return variants, nil
+}
+
+// Figure10 runs the paper's Figure 10 configurations for one benchmark at
+// the given scale (the V2 variant needs to rebuild RAYTRACE with a 4 KB
+// stack alignment, hence the scale rather than a prebuilt Benchmark).
+func Figure10(cfg config.Config, name string, scale workload.Scale) (Figure10Result, error) {
+	variants, err := Figure10Variants(cfg, name, scale)
+	if err != nil {
+		return Figure10Result{}, err
+	}
+	r := Figure10Result{Benchmark: name}
+	for _, v := range variants {
+		b, err := Timed(v.Cfg, v.Bench, v.Label)
 		if err != nil {
 			return Figure10Result{}, err
 		}

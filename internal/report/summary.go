@@ -1,0 +1,76 @@
+package report
+
+// Breakdown is a per-processor execution-time decomposition in cycles: the
+// unit of Figure 10 and Table 4, of the runner's cached timed-pass results,
+// and of the vcoma-sim -json output. One schema serves all three, so a
+// cached cell and a CLI summary are directly comparable.
+type Breakdown struct {
+	Label  string  `json:"label,omitempty"`
+	Busy   float64 `json:"busy"`
+	Sync   float64 `json:"sync"`
+	Local  float64 `json:"locStall"` // SLC hits and local attraction memory
+	Remote float64 `json:"remStall"` // attraction-memory misses
+	Trans  float64 `json:"translation"`
+	// Exec is the parallel execution time (max processor finish).
+	Exec uint64 `json:"execCycles"`
+}
+
+// Total returns the per-processor cycle sum.
+func (b Breakdown) Total() float64 { return b.Busy + b.Sync + b.Local + b.Remote + b.Trans }
+
+// HitRates are the memory-hierarchy hit fractions of a run, in percent of
+// processor references.
+type HitRates struct {
+	FLC     float64 `json:"flc"`
+	SLC     float64 `json:"slc"`
+	LocalAM float64 `json:"localAM"`
+	Remote  float64 `json:"remote"`
+}
+
+// TranslationStats summarizes TLB or DLB behaviour for a run.
+type TranslationStats struct {
+	Accesses uint64 `json:"accesses"`
+	Misses   uint64 `json:"misses"`
+	// MissPctOfRefs is misses as a percentage of processor references.
+	MissPctOfRefs float64 `json:"missPctOfRefs"`
+}
+
+// ProtocolSummary is the coherence-protocol activity of a run.
+type ProtocolSummary struct {
+	RemoteReads   uint64 `json:"remoteReads"`
+	Upgrades      uint64 `json:"upgrades"`
+	WriteFetches  uint64 `json:"writeFetches"`
+	Invalidations uint64 `json:"invalidations"`
+	SharedDrops   uint64 `json:"sharedDrops"`
+	Relocations   uint64 `json:"relocations"`
+	Injections    uint64 `json:"injections"`
+	InjectionHops uint64 `json:"injectionHops"`
+	Swaps         uint64 `json:"swaps"`
+}
+
+// RunSummary is the machine-readable form of one simulation run, emitted by
+// vcoma-sim -json.
+type RunSummary struct {
+	Benchmark  string `json:"benchmark"`
+	Scheme     string `json:"scheme"`
+	Scale      string `json:"scale"`
+	TLBEntries int    `json:"tlbEntries"`
+	TLBOrg     string `json:"tlbOrg"`
+	Seed       uint64 `json:"seed"`
+
+	SharedMB   float64 `json:"sharedMB"`
+	Regions    int     `json:"regions"`
+	ExecCycles uint64  `json:"execCycles"`
+	// SimSeconds is the host wall time of the simulation.
+	SimSeconds float64 `json:"simSeconds"`
+
+	Breakdown Breakdown `json:"breakdown"`
+
+	Refs     uint64            `json:"refs"`
+	WritePct float64           `json:"writePct"`
+	Hits     HitRates          `json:"hitPct"`
+	TLB      *TranslationStats `json:"tlb,omitempty"`
+	DLB      *TranslationStats `json:"dlb,omitempty"`
+
+	Protocol ProtocolSummary `json:"protocol"`
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// cacheSchema versions the on-disk entry envelope. Bumping it orphans every
+// existing entry (they fail validation and are recomputed), which is the
+// intended cache-invalidation path for format changes.
+const cacheSchema = "vcoma-cache-v1"
+
+// Cache is a content-addressed on-disk store of job results. Each entry is
+// one JSON file named after the job key, so the layout is transparent:
+//
+//	<dir>/<first two key hex digits>/<key>.json
+//
+// Entries are self-describing (they embed the schema version, the key and
+// the job name that produced them) and are written atomically via a
+// temporary file and rename, so concurrent runners sharing a directory
+// never observe torn writes. A corrupted, truncated or mismatched entry is
+// treated as a miss: the job recomputes and overwrites it.
+type Cache struct {
+	dir string
+}
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	Schema string          `json:"schema"`
+	Key    Key             `json:"key"`
+	Job    string          `json:"job"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenCache creates (if needed) and opens a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, string(key[:2]), string(key)+".json")
+}
+
+// get returns the raw result bytes for key, or false on a miss. Unreadable
+// and malformed entries are misses.
+func (c *Cache) get(key Key) (json.RawMessage, bool) {
+	if len(key) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != cacheSchema || e.Key != key || e.Result == nil {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Get decodes the cached result for key into out (a pointer). It returns
+// false — never an error — when the entry is absent or unusable; the caller
+// recomputes.
+func (c *Cache) Get(key Key, out any) bool {
+	raw, ok := c.get(key)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Put stores a job result under key, atomically replacing any previous
+// entry.
+func (c *Cache) Put(key Key, job string, v any) error {
+	if len(key) < 2 {
+		return fmt.Errorf("runner: invalid cache key %q", key)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: encoding result for %s: %w", job, err)
+	}
+	data, err := json.Marshal(envelope{Schema: cacheSchema, Key: key, Job: job, Result: raw})
+	if err != nil {
+		return err
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// remove deletes the entry for key, if present. Used when an entry is
+// found corrupt so the rewrite is not racing a reader of the bad file.
+func (c *Cache) remove(key Key) {
+	if len(key) >= 2 {
+		os.Remove(c.path(key))
+	}
+}
+
+// Clear removes every entry (but keeps the directory).
+func (c *Cache) Clear() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		// Only touch the two-hex-digit shard directories and stray JSON
+		// files the cache itself lays out; a mistaken -cache pointing at a
+		// source tree must not delete unrelated files.
+		name := e.Name()
+		isShard := e.IsDir() && len(name) == 2 && isHex(name)
+		isEntry := !e.IsDir() && strings.HasSuffix(name, ".json")
+		if !isShard && !isEntry {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(c.dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Len counts the entries currently stored.
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

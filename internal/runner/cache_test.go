@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "nested", "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("roundtrip", 1)
+	want := payload{N: 42, S: "x"}
+	if err := c.Put(key, "job", want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !c.Get(key, &got) || got != want {
+		t.Fatalf("got %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+	// A different key misses.
+	if c.Get(KeyOf("other"), &got) {
+		t.Fatal("miss reported as hit")
+	}
+}
+
+// entryPath locates the single entry file of a one-entry cache.
+func entryPath(t *testing.T, c *Cache, key Key) string {
+	t.Helper()
+	p := filepath.Join(c.Dir(), string(key[:2]), string(key)+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCacheCorruptedEntriesFallBackToRecompute(t *testing.T) {
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":      func([]byte) []byte { return []byte("not json at all {{{") },
+		"empty":        func([]byte) []byte { return nil },
+		"wrong-key":    func(b []byte) []byte { return []byte(strings.Replace(string(b), `"key":"`, `"key":"00`, 1)) },
+		"wrong-schema": func(b []byte) []byte { return []byte(strings.Replace(string(b), cacheSchema, "vcoma-cache-v0", 1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			c, err := OpenCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := KeyOf("corrupt", name)
+			var executions atomic.Int64
+			j := New("j", key, func(context.Context) (payload, error) {
+				executions.Add(1)
+				return payload{N: 9}, nil
+			})
+			// Warm the cache, then corrupt the entry on disk.
+			if _, err := Run(context.Background(), []Job{j}, Options{Cache: c}); err != nil {
+				t.Fatal(err)
+			}
+			path := entryPath(t, c, key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// The corrupted entry must be a miss: the job recomputes.
+			rr, err := Run(context.Background(), []Job{j}, Options{Cache: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rr.CacheHits != 0 || executions.Load() != 2 {
+				t.Fatalf("corrupt entry served: hits=%d execs=%d", rr.CacheHits, executions.Load())
+			}
+			v, err := ValueOf[payload](rr, "j")
+			if err != nil || v.N != 9 {
+				t.Fatalf("recomputed value %+v, %v", v, err)
+			}
+			// And the recomputation repaired the entry.
+			rr, err = Run(context.Background(), []Job{j}, Options{Cache: c})
+			if err != nil || rr.CacheHits != 1 {
+				t.Fatalf("entry not repaired: hits=%d, %v", rr.CacheHits, err)
+			}
+		})
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Put(KeyOf("clear", i), "j", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated file in the directory must survive Clear.
+	keep := filepath.Join(dir, "README")
+	if err := os.WriteFile(keep, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len after clear %d", c.Len())
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatal("Clear removed an unrelated file")
+	}
+	// The cache still works after clearing.
+	if err := c.Put(KeyOf("clear", 99), "j", 99); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if !c.Get(KeyOf("clear", 99), &v) || v != 99 {
+		t.Fatal("cache unusable after Clear")
+	}
+}
+
+func TestCacheFailedJobsAreNotCached(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("failing")
+	calls := 0
+	j := New("j", key, func(context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			panic("first attempt dies")
+		}
+		return 5, nil
+	})
+	if _, err := Run(context.Background(), []Job{j}, Options{Cache: c}); err == nil {
+		t.Fatal("panic not reported")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed job left a cache entry")
+	}
+	rr, err := Run(context.Background(), []Job{j}, Options{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ValueOf[int](rr, "j"); v != 5 {
+		t.Fatalf("retry value %d", v)
+	}
+}

@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress streams per-job completion lines to a writer and accumulates a
+// machine-readable summary of the run: jobs done/total, cache hits, per-job
+// wall time and an ETA extrapolated from the throughput so far. It is safe
+// for concurrent use by the worker pool.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer // nil = collect silently
+	total int
+	done  int
+	hits  int
+	fails int
+	skips int
+	start time.Time
+	jobs  []JobReport
+}
+
+// JobReport is one job's outcome in the exported summary.
+type JobReport struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Cached  bool    `json:"cached,omitempty"`
+	Skipped bool    `json:"skipped,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Summary is the JSON-exportable view of a finished (or failed) run.
+type Summary struct {
+	Total          int         `json:"total"`
+	Done           int         `json:"done"`
+	CacheHits      int         `json:"cacheHits"`
+	Failed         int         `json:"failed"`
+	Skipped        int         `json:"skipped"`
+	ElapsedSeconds float64     `json:"elapsedSeconds"`
+	Jobs           []JobReport `json:"jobs"`
+}
+
+// NewProgress returns a reporter writing one line per finished job to w.
+// A nil w collects the summary without emitting lines.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+func (p *Progress) begin(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.start = time.Now()
+}
+
+// observe records one finished job and emits its progress line.
+func (p *Progress) observe(r Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	rep := JobReport{Name: r.Name, Seconds: r.Wall.Seconds(), Cached: r.Cached, Skipped: r.Skipped}
+	if r.Err != nil {
+		rep.Error = r.Err.Error()
+		if r.Skipped {
+			p.skips++
+		} else {
+			p.fails++
+		}
+	} else if r.Cached {
+		p.hits++
+	}
+	p.jobs = append(p.jobs, rep)
+	if p.w == nil {
+		return
+	}
+	prefix := fmt.Sprintf("[%*d/%d] %s", digits(p.total), p.done, p.total, r.Name)
+	switch {
+	case r.Skipped:
+		fmt.Fprintf(p.w, "%s skipped: %v\n", prefix, r.Err)
+	case r.Err != nil:
+		fmt.Fprintf(p.w, "%s FAILED after %v: %v\n", prefix, r.Wall.Round(time.Millisecond), r.Err)
+	case r.Cached:
+		fmt.Fprintf(p.w, "%s cached%s\n", prefix, p.etaLocked())
+	default:
+		fmt.Fprintf(p.w, "%s %v%s\n", prefix, r.Wall.Round(time.Millisecond), p.etaLocked())
+	}
+}
+
+// etaLocked extrapolates the remaining wall time from throughput so far.
+// Must be called with p.mu held.
+func (p *Progress) etaLocked() string {
+	left := p.total - p.done
+	if left <= 0 || p.done == 0 {
+		return ""
+	}
+	elapsed := time.Since(p.start)
+	eta := time.Duration(float64(elapsed) / float64(p.done) * float64(left))
+	return fmt.Sprintf("  (eta %v)", eta.Round(time.Second))
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
+// Summary snapshots the run's accounting. Jobs are sorted by name so the
+// export is deterministic regardless of completion order.
+func (p *Progress) Summary() Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	jobs := append([]JobReport(nil), p.jobs...)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+	elapsed := 0.0
+	if !p.start.IsZero() {
+		elapsed = time.Since(p.start).Seconds()
+	}
+	return Summary{
+		Total:          p.total,
+		Done:           p.done,
+		CacheHits:      p.hits,
+		Failed:         p.fails,
+		Skipped:        p.skips,
+		ElapsedSeconds: elapsed,
+		Jobs:           jobs,
+	}
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestProgressLinesAndSummary(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("progress")
+	if err := cache.Put(key, "warm", 7); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		New("warm", key, func(context.Context) (int, error) { return 7, nil }),
+		job("cold", func(context.Context) (int, error) { return 1, nil }),
+		job("broken", func(context.Context) (int, error) { return 0, errors.New("sim diverged") }),
+	}
+	rr, err := Run(context.Background(), jobs, Options{Workers: 1, Policy: CollectAll, Cache: cache, Progress: p})
+	if err == nil {
+		t.Fatal("expected the broken job's error")
+	}
+	if rr.CacheHits != 1 {
+		t.Fatalf("cache hits %d", rr.CacheHits)
+	}
+	out := buf.String()
+	for _, want := range []string{"[", "/3] ", "warm cached", "broken FAILED", "sim diverged"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+
+	s := p.Summary()
+	if s.Total != 3 || s.Done != 3 || s.CacheHits != 1 || s.Failed != 1 || s.Skipped != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Jobs are sorted by name for a deterministic export.
+	if len(s.Jobs) != 3 || s.Jobs[0].Name != "broken" || s.Jobs[1].Name != "cold" || s.Jobs[2].Name != "warm" {
+		t.Fatalf("jobs %+v", s.Jobs)
+	}
+	if !s.Jobs[2].Cached || s.Jobs[0].Error == "" {
+		t.Fatalf("job detail lost: %+v", s.Jobs)
+	}
+
+	var buf2 bytes.Buffer
+	if err := s.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf2.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total != 3 || back.CacheHits != 1 || len(back.Jobs) != 3 {
+		t.Fatalf("JSON round trip %+v", back)
+	}
+}
+
+func TestProgressETAOnlyWhileRunning(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	jobs := []Job{constJob("a", 1), constJob("b", 2)}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 1, Progress: p}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.Contains(lines[0], "eta") {
+		t.Fatalf("first line has no ETA: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "eta") {
+		t.Fatalf("final line still shows an ETA: %q", lines[1])
+	}
+}

@@ -1,0 +1,405 @@
+// Package runner is a generic parallel experiment scheduler: it takes a DAG
+// of named simulation jobs, executes them on a bounded worker pool, and
+// layers three cross-cutting services over the execution — a
+// content-addressed on-disk result cache (Cache), robustness (per-job panic
+// recovery, context cancellation, fail-fast or collect-all error policies),
+// and observability (a Progress reporter with per-job wall times, cache-hit
+// counts and an ETA).
+//
+// Jobs are pure functions keyed by a deterministic content hash of their
+// inputs (KeyOf), so results are position-independent: the same suite
+// produces byte-identical reports at any worker count and from any cache
+// state. The experiment harness (internal/experiments) enumerates the
+// paper's evaluation grid as runner jobs; cmd/vcoma-report and
+// cmd/vcoma-sweep execute them through this package.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one schedulable unit of work. Construct jobs with New so the
+// result type is captured for cache decoding; the zero Job is invalid.
+type Job struct {
+	// Name uniquely identifies the job within one Run and labels it in
+	// progress output and results.
+	Name string
+	// Key is the content hash of the job's inputs. Jobs with equal keys
+	// compute equal results and share cache entries. Empty = uncacheable.
+	Key Key
+	// Deps names jobs that must succeed before this one starts.
+	Deps []string
+
+	run    func(context.Context) (any, error)
+	decode func(json.RawMessage) (any, error)
+}
+
+// New builds a job from a typed function. The result type T must be
+// JSON-round-trippable if the job is to be cached: a cache hit yields
+// exactly the value json.Unmarshal reconstructs, and the runner relies on
+// that being indistinguishable from a fresh computation.
+func New[T any](name string, key Key, fn func(context.Context) (T, error)) Job {
+	return Job{
+		Name: name,
+		Key:  key,
+		run: func(ctx context.Context) (any, error) {
+			return fn(ctx)
+		},
+		decode: func(raw json.RawMessage) (any, error) {
+			var v T
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+}
+
+// Policy selects how the pool reacts to a failing job.
+type Policy int
+
+const (
+	// FailFast cancels the whole run at the first job error; queued jobs
+	// are skipped and Run returns that first error.
+	FailFast Policy = iota
+	// CollectAll keeps running every job whose dependencies succeeded and
+	// returns the joined errors at the end.
+	CollectAll
+)
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, if non-nil, serves and stores results of keyed jobs.
+	Cache *Cache
+	// Policy is the error policy; the zero value is FailFast.
+	Policy Policy
+	// Progress, if non-nil, receives per-job completion events.
+	Progress *Progress
+}
+
+// Result is one job's outcome.
+type Result struct {
+	Name string
+	// Value is the job's result (the T passed to New), either freshly
+	// computed or decoded from the cache.
+	Value any
+	Err   error
+	// Cached reports that Value was served from the cache.
+	Cached bool
+	// Skipped reports that the job never ran (failed dependency or
+	// cancelled run); Err carries the reason.
+	Skipped bool
+	// Wall is the job's observed wall time (≈0 for cache hits and skips).
+	Wall time.Duration
+}
+
+// RunResult is the outcome of a whole Run.
+type RunResult struct {
+	// Jobs holds every job's result by name.
+	Jobs map[string]Result
+	// CacheHits counts jobs served from the cache.
+	CacheHits int
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+}
+
+// ValueOf extracts the typed result of a named job.
+func ValueOf[T any](r *RunResult, name string) (T, error) {
+	var zero T
+	res, ok := r.Jobs[name]
+	if !ok {
+		return zero, fmt.Errorf("runner: no job %q in run", name)
+	}
+	if res.Err != nil {
+		return zero, res.Err
+	}
+	v, ok := res.Value.(T)
+	if !ok {
+		return zero, fmt.Errorf("runner: job %q produced %T, want %T", name, res.Value, zero)
+	}
+	return v, nil
+}
+
+// PanicError wraps a panic recovered inside a job so one diverging
+// simulation cannot take down the whole sweep.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %v", e.Job, e.Value)
+}
+
+// ErrSkipped is wrapped into the Err of jobs that never ran.
+var ErrSkipped = errors.New("job skipped")
+
+// jobState tracks one job through the scheduler.
+type jobState struct {
+	job     *Job
+	waiting int      // unfinished dependencies
+	deps    []string // resolved dependency names
+}
+
+// Run executes the job DAG and returns every job's result. The returned
+// error is nil only if every job succeeded; under FailFast it is the first
+// job error, under CollectAll the join of all of them. The Jobs map is
+// complete in either case (failed and skipped jobs carry their Err), so
+// callers can render partial results.
+func Run(ctx context.Context, jobs []Job, opt Options) (*RunResult, error) {
+	start := time.Now()
+	states := make(map[string]*jobState, len(jobs))
+	dependents := make(map[string][]string)
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Name == "" || j.run == nil {
+			return nil, fmt.Errorf("runner: job %d is invalid (empty name or not built with New)", i)
+		}
+		if _, dup := states[j.Name]; dup {
+			return nil, fmt.Errorf("runner: duplicate job name %q", j.Name)
+		}
+		states[j.Name] = &jobState{job: j, waiting: len(j.Deps), deps: j.Deps}
+	}
+	for _, j := range jobs {
+		for _, d := range j.Deps {
+			if _, ok := states[d]; !ok {
+				return nil, fmt.Errorf("runner: job %q depends on unknown job %q", j.Name, d)
+			}
+			dependents[d] = append(dependents[d], j.Name)
+		}
+	}
+	if err := checkAcyclic(states, dependents); err != nil {
+		return nil, err
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	if opt.Progress != nil {
+		opt.Progress.begin(len(jobs))
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		results   = make(map[string]Result, len(jobs))
+		remaining = len(jobs)
+		firstErr  error
+		ready     = make(chan *Job, len(jobs))
+		closed    bool
+	)
+	closeReady := func() { // with mu held
+		if !closed {
+			closed = true
+			close(ready)
+		}
+	}
+	// finish records a result and releases or skips dependents. Skip
+	// cascades are handled iteratively with a local queue to keep the
+	// critical section simple.
+	finish := func(r Result) {
+		mu.Lock()
+		queue := []Result{r}
+		for len(queue) > 0 {
+			res := queue[0]
+			queue = queue[1:]
+			if _, done := results[res.Name]; done {
+				continue
+			}
+			results[res.Name] = res
+			remaining--
+			if res.Err != nil && !res.Skipped && firstErr == nil {
+				firstErr = res.Err
+				if opt.Policy == FailFast {
+					cancel()
+				}
+			}
+			for _, depName := range dependents[res.Name] {
+				if _, done := results[depName]; done {
+					continue // already skipped via another failed dependency
+				}
+				ds := states[depName]
+				ds.waiting--
+				if res.Err != nil {
+					queue = append(queue, Result{
+						Name:    depName,
+						Err:     fmt.Errorf("%w: dependency %s failed: %v", ErrSkipped, res.Name, res.Err),
+						Skipped: true,
+					})
+				} else if ds.waiting == 0 {
+					ready <- ds.job
+				}
+			}
+			if opt.Progress != nil {
+				opt.Progress.observe(res)
+			}
+		}
+		if remaining == 0 {
+			closeReady()
+		}
+		mu.Unlock()
+	}
+
+	// Seed the pool with dependency-free jobs.
+	mu.Lock()
+	seeded := false
+	for _, st := range states {
+		if st.waiting == 0 {
+			ready <- st.job
+			seeded = true
+		}
+	}
+	if len(jobs) == 0 {
+		closeReady()
+	} else if !seeded {
+		mu.Unlock()
+		return nil, errors.New("runner: no runnable jobs (dependency deadlock)")
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok := <-ready:
+					if !ok {
+						return
+					}
+					if ctx.Err() != nil {
+						finish(Result{Name: j.Name, Err: fmt.Errorf("%w: %v", ErrSkipped, ctx.Err()), Skipped: true})
+						continue
+					}
+					finish(execute(ctx, j, opt))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A cancelled run leaves jobs that never reached the pool; record them
+	// as skipped so the result map is total.
+	mu.Lock()
+	for name := range states {
+		if _, ok := results[name]; !ok {
+			r := Result{Name: name, Err: fmt.Errorf("%w: %v", ErrSkipped, context.Cause(ctx)), Skipped: true}
+			results[name] = r
+			if opt.Progress != nil {
+				opt.Progress.observe(r)
+			}
+		}
+	}
+	mu.Unlock()
+
+	rr := &RunResult{Jobs: results, Elapsed: time.Since(start)}
+	var errs []error
+	for _, r := range results {
+		if r.Cached {
+			rr.CacheHits++
+		}
+		if r.Err != nil && !r.Skipped {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Name, r.Err))
+		}
+	}
+	if opt.Policy == FailFast && firstErr != nil {
+		return rr, firstErr
+	}
+	if len(errs) > 0 {
+		return rr, errors.Join(errs...)
+	}
+	if anySkipped(results) {
+		// No job failed but some never ran: the parent context was
+		// cancelled.
+		return rr, context.Cause(ctx)
+	}
+	return rr, nil
+}
+
+func anySkipped(results map[string]Result) bool {
+	for _, r := range results {
+		if r.Skipped {
+			return true
+		}
+	}
+	return false
+}
+
+// execute runs one job: cache probe, recovery-wrapped call, cache fill.
+func execute(ctx context.Context, j *Job, opt Options) (res Result) {
+	start := time.Now()
+	res.Name = j.Name
+	if opt.Cache != nil && j.Key != "" && j.decode != nil {
+		if raw, ok := opt.Cache.get(j.Key); ok {
+			if v, err := j.decode(raw); err == nil {
+				res.Value, res.Cached = v, true
+				res.Wall = time.Since(start)
+				return res
+			}
+			// The entry exists but does not decode into the job's result
+			// type: treat as corrupt, drop it, and recompute.
+			opt.Cache.remove(j.Key)
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Err = &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		res.Value, res.Err = j.run(ctx)
+	}()
+	res.Wall = time.Since(start)
+	if res.Err == nil && opt.Cache != nil && j.Key != "" {
+		// A failed write only costs a recomputation next run.
+		_ = opt.Cache.Put(j.Key, j.Name, res.Value)
+	}
+	return res
+}
+
+// checkAcyclic runs Kahn's algorithm over the dependency graph.
+func checkAcyclic(states map[string]*jobState, dependents map[string][]string) error {
+	indeg := make(map[string]int, len(states))
+	var queue []string
+	for name, st := range states {
+		indeg[name] = len(st.deps)
+		if len(st.deps) == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, d := range dependents[n] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != len(states) {
+		return errors.New("runner: dependency cycle among jobs")
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func job(name string, fn func(context.Context) (int, error)) Job {
+	return New(name, "", fn)
+}
+
+func constJob(name string, v int) Job {
+	return job(name, func(context.Context) (int, error) { return v, nil })
+}
+
+func TestRunAllJobsSucceed(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		i := i
+		jobs = append(jobs, constJob(fmt.Sprintf("j%d", i), i*i))
+	}
+	rr, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Jobs) != 20 {
+		t.Fatalf("got %d results", len(rr.Jobs))
+	}
+	for i := 0; i < 20; i++ {
+		v, err := ValueOf[int](rr, fmt.Sprintf("j%d", i))
+		if err != nil || v != i*i {
+			t.Fatalf("j%d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestRunRespectsWorkerBound(t *testing.T) {
+	var cur, max atomic.Int64
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, job(fmt.Sprintf("j%d", i), func(context.Context) (int, error) {
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		}))
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > 3 {
+		t.Fatalf("observed %d concurrent jobs with Workers=3", got)
+	}
+}
+
+func TestRunDependencyOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	rec := func(name string) Job {
+		j := job(name, func(context.Context) (int, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return 0, nil
+		})
+		return j
+	}
+	a, b, c := rec("a"), rec("b"), rec("c")
+	b.Deps = []string{"a"}
+	c.Deps = []string{"a", "b"}
+	rr, err := Run(context.Background(), []Job{c, b, a}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Jobs) != 3 {
+		t.Fatalf("results: %d", len(rr.Jobs))
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos["a"] < pos["b"] && pos["b"] < pos["c"]) {
+		t.Fatalf("order %v violates DAG", order)
+	}
+}
+
+func TestRunDetectsBadGraphs(t *testing.T) {
+	a := constJob("a", 1)
+	a.Deps = []string{"b"}
+	b := constJob("b", 2)
+	b.Deps = []string{"a"}
+	if _, err := Run(context.Background(), []Job{a, b}, Options{}); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	c := constJob("c", 3)
+	c.Deps = []string{"nope"}
+	if _, err := Run(context.Background(), []Job{c}, Options{}); err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Fatalf("unknown dep not detected: %v", err)
+	}
+	if _, err := Run(context.Background(), []Job{constJob("d", 1), constJob("d", 2)}, Options{}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate not detected: %v", err)
+	}
+	if _, err := Run(context.Background(), []Job{{Name: "raw"}}, Options{}); err == nil {
+		t.Fatal("job not built with New accepted")
+	}
+}
+
+// A panicking job must not take down the pool: its result carries a
+// PanicError and, under CollectAll, every other job still completes.
+func TestRunPanicIsolation(t *testing.T) {
+	jobs := []Job{
+		job("boom", func(context.Context) (int, error) { panic("translation fault") }),
+		constJob("ok1", 1),
+		constJob("ok2", 2),
+	}
+	rr, err := Run(context.Background(), jobs, Options{Workers: 2, Policy: CollectAll})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not reported: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(rr.Jobs["boom"].Err, &pe) {
+		t.Fatalf("boom error %T", rr.Jobs["boom"].Err)
+	}
+	if pe.Value != "translation fault" || len(pe.Stack) == 0 {
+		t.Fatalf("panic detail lost: %+v", pe)
+	}
+	for _, name := range []string{"ok1", "ok2"} {
+		if rr.Jobs[name].Err != nil {
+			t.Fatalf("%s did not survive the panic: %v", name, rr.Jobs[name].Err)
+		}
+	}
+}
+
+// Under FailFast, a failure cancels jobs that have not started and skips
+// dependents; the first error is returned.
+func TestRunFailFastSkipsPending(t *testing.T) {
+	bad := errors.New("bad cell")
+	started := make(chan struct{})
+	jobs := []Job{
+		job("fail", func(context.Context) (int, error) {
+			<-started // ensure the slow job is in flight first
+			return 0, bad
+		}),
+		job("slow", func(ctx context.Context) (int, error) {
+			close(started)
+			<-ctx.Done() // cancelled by the failure
+			return 0, ctx.Err()
+		}),
+		constJob("late1", 1), constJob("late2", 2), constJob("late3", 3),
+	}
+	dep := constJob("dependent", 4)
+	dep.Deps = []string{"fail"}
+	jobs = append(jobs, dep)
+	rr, err := Run(context.Background(), jobs, Options{Workers: 2, Policy: FailFast})
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want %v", err, bad)
+	}
+	if !errors.Is(rr.Jobs["dependent"].Err, ErrSkipped) || !rr.Jobs["dependent"].Skipped {
+		t.Fatalf("dependent not skipped: %+v", rr.Jobs["dependent"])
+	}
+	if len(rr.Jobs) != 6 {
+		t.Fatalf("result map not total: %d entries", len(rr.Jobs))
+	}
+}
+
+// A dependent of a failed job must not run even when its other
+// dependencies complete later.
+func TestRunDependentOfFailureNeverRuns(t *testing.T) {
+	var ran atomic.Bool
+	fail := job("fail", func(context.Context) (int, error) { return 0, errors.New("x") })
+	ok := constJob("ok", 1)
+	dep := job("dep", func(context.Context) (int, error) { ran.Store(true); return 0, nil })
+	dep.Deps = []string{"fail", "ok"}
+	rr, err := Run(context.Background(), []Job{fail, ok, dep}, Options{Workers: 1, Policy: CollectAll})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran.Load() {
+		t.Fatal("dependent of failed job executed")
+	}
+	if !rr.Jobs["dep"].Skipped {
+		t.Fatalf("dep: %+v", rr.Jobs["dep"])
+	}
+	if rr.Jobs["ok"].Err != nil {
+		t.Fatalf("ok: %+v", rr.Jobs["ok"])
+	}
+}
+
+// Cancelling the parent context mid-pool stops the run: in-flight jobs see
+// the cancellation, queued jobs are skipped, and Run reports the cause.
+func TestRunContextCancellationMidPool(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inFlight := make(chan struct{})
+	var jobs []Job
+	jobs = append(jobs, job("inflight", func(ctx context.Context) (int, error) {
+		close(inFlight)
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}))
+	// The gate releases the queued jobs only once the run is already
+	// cancelled, so they deterministically reach the pool post-cancel.
+	jobs = append(jobs, job("gate", func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, nil
+	}))
+	for i := 0; i < 10; i++ {
+		q := job(fmt.Sprintf("queued%d", i), func(context.Context) (int, error) {
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		})
+		q.Deps = []string{"gate"}
+		jobs = append(jobs, q)
+	}
+	go func() {
+		<-inFlight
+		cancel()
+	}()
+	rr, err := Run(ctx, jobs, Options{Workers: 2, Policy: FailFast})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(rr.Jobs["inflight"].Err, context.Canceled) {
+		t.Fatalf("inflight: %+v", rr.Jobs["inflight"])
+	}
+	skipped := 0
+	for _, r := range rr.Jobs {
+		if r.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no queued job was skipped after cancellation")
+	}
+	if len(rr.Jobs) != len(jobs) {
+		t.Fatalf("result map not total: %d/%d", len(rr.Jobs), len(jobs))
+	}
+}
+
+type payload struct {
+	N int
+	S string
+}
+
+// Cached jobs are served without executing; equal keys share entries.
+func TestRunServesFromCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int64
+	mk := func(name string) Job {
+		return New(name, KeyOf("payload", 7), func(context.Context) (payload, error) {
+			executions.Add(1)
+			return payload{N: 7, S: "seven"}, nil
+		})
+	}
+	rr, err := Run(context.Background(), []Job{mk("a")}, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CacheHits != 0 || executions.Load() != 1 {
+		t.Fatalf("cold run: hits=%d execs=%d", rr.CacheHits, executions.Load())
+	}
+	// Second run, different job name, same key: served from cache.
+	rr, err = Run(context.Background(), []Job{mk("b")}, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CacheHits != 1 || executions.Load() != 1 {
+		t.Fatalf("warm run: hits=%d execs=%d", rr.CacheHits, executions.Load())
+	}
+	v, err := ValueOf[payload](rr, "b")
+	if err != nil || v != (payload{N: 7, S: "seven"}) {
+		t.Fatalf("cached value %+v, %v", v, err)
+	}
+	// Unkeyed jobs never touch the cache.
+	rr, err = Run(context.Background(), []Job{job("nokey", func(context.Context) (int, error) { return 1, nil })},
+		Options{Cache: cache})
+	if err != nil || rr.CacheHits != 0 {
+		t.Fatalf("unkeyed job interacted with cache: %+v, %v", rr, err)
+	}
+}
+
+// An entry that decodes into the wrong type is dropped and recomputed.
+func TestRunRecomputesOnUndecodableEntry(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("shape-change")
+	if err := cache.Put(key, "old", "a string, not a payload"); err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int64
+	j := New("j", key, func(context.Context) (payload, error) {
+		executions.Add(1)
+		return payload{N: 1}, nil
+	})
+	rr, err := Run(context.Background(), []Job{j}, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executions.Load() != 1 || rr.CacheHits != 0 {
+		t.Fatalf("undecodable entry served: execs=%d hits=%d", executions.Load(), rr.CacheHits)
+	}
+	// The recomputed value replaced the bad entry.
+	var p payload
+	if !cache.Get(key, &p) || p.N != 1 {
+		t.Fatalf("cache not repaired: %+v", p)
+	}
+}
+
+func TestKeyOfIsStableAndDiscriminating(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	k1 := KeyOf("kind", cfg{1, "x"}, "RADIX")
+	k2 := KeyOf("kind", cfg{1, "x"}, "RADIX")
+	if k1 != k2 {
+		t.Fatal("KeyOf not deterministic")
+	}
+	if KeyOf("kind", cfg{2, "x"}, "RADIX") == k1 {
+		t.Fatal("config change did not change key")
+	}
+	if KeyOf("kind", cfg{1, "x"}, "FFT") == k1 {
+		t.Fatal("benchmark change did not change key")
+	}
+	if KeyOf("other", cfg{1, "x"}, "RADIX") == k1 {
+		t.Fatal("kind change did not change key")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length %d", len(k1))
+	}
+}
+
+func TestRunEmptyJobList(t *testing.T) {
+	rr, err := Run(context.Background(), nil, Options{})
+	if err != nil || len(rr.Jobs) != 0 {
+		t.Fatalf("empty run: %+v, %v", rr, err)
+	}
+}

@@ -1,8 +1,11 @@
 package tlb
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"vcoma/internal/addr"
 	"vcoma/internal/config"
@@ -15,6 +18,37 @@ type Spec struct {
 }
 
 func (s Spec) String() string { return fmt.Sprintf("%d/%v", s.Entries, s.Org) }
+
+// MarshalText encodes the spec as "<entries>/<org>" so Spec can key JSON
+// maps — the experiment runner caches merged observer banks on disk.
+func (s Spec) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the "<entries>/<org>" form produced by MarshalText.
+func (s *Spec) UnmarshalText(text []byte) error {
+	parts := strings.SplitN(string(text), "/", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("tlb: malformed spec %q", text)
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("tlb: malformed spec %q: %v", text, err)
+	}
+	var org config.TLBOrg
+	switch parts[1] {
+	case "FA":
+		org = config.FullyAssoc
+	case "DM":
+		org = config.DirectMapped
+	case "2W":
+		org = config.SetAssoc2
+	case "4W":
+		org = config.SetAssoc4
+	default:
+		return fmt.Errorf("tlb: unknown organization %q in spec", parts[1])
+	}
+	*s = Spec{Entries: n, Org: org}
+	return nil
+}
 
 // PaperSizes are the TLB/DLB sizes swept in the paper's Figures 8 and 9.
 var PaperSizes = []int{8, 16, 32, 64, 128, 256, 512}
@@ -140,6 +174,35 @@ func (m *MergedBank) MissesPerNode(sp Spec) float64 {
 		return 0
 	}
 	return float64(m.misses[sp]) / float64(m.nodes)
+}
+
+// mergedBankJSON is the serialized form of a MergedBank. The experiment
+// runner persists merged banks in its result cache; the JSON form must
+// round-trip exactly so reports rendered from cached results are
+// byte-identical to freshly computed ones (all fields are integers).
+type mergedBankJSON struct {
+	Specs  []Spec          `json:"specs"`
+	Misses map[Spec]uint64 `json:"misses"`
+	Acc    uint64          `json:"accesses"`
+	Nodes  int             `json:"nodes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MergedBank) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mergedBankJSON{Specs: m.specs, Misses: m.misses, Acc: m.acc, Nodes: m.nodes})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MergedBank) UnmarshalJSON(data []byte) error {
+	var j mergedBankJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Misses == nil {
+		j.Misses = make(map[Spec]uint64)
+	}
+	*m = MergedBank{specs: j.Specs, misses: j.Misses, acc: j.Acc, nodes: j.Nodes}
+	return nil
 }
 
 // Sizes returns the sorted distinct entry counts present in the merged grid.

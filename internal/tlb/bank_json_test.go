@@ -1,0 +1,77 @@
+package tlb
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+)
+
+func TestSpecTextRoundTrip(t *testing.T) {
+	for _, sp := range []Spec{
+		{Entries: 8, Org: config.FullyAssoc},
+		{Entries: 512, Org: config.DirectMapped},
+		{Entries: 32, Org: config.SetAssoc2},
+		{Entries: 64, Org: config.SetAssoc4},
+	} {
+		text, err := sp.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if back != sp {
+			t.Fatalf("round trip %v -> %s -> %v", sp, text, back)
+		}
+	}
+	var sp Spec
+	for _, bad := range []string{"", "8", "8/XX", "x/FA", "8/FA/extra"} {
+		if err := sp.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("accepted malformed spec %q", bad)
+		}
+	}
+}
+
+func TestMergedBankJSONRoundTrip(t *testing.T) {
+	specs := PaperSpecs()
+	var banks []*Bank
+	for node := 0; node < 3; node++ {
+		b, err := NewBank(specs, 0, uint64(node)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 4; round++ {
+			for p := 0; p < 40+10*node; p++ {
+				b.Access(addr.PageNum(p))
+			}
+		}
+		banks = append(banks, b)
+	}
+	m := Merge(banks)
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MergedBank
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Nodes() != m.Nodes() || back.TotalAccesses() != m.TotalAccesses() {
+		t.Fatalf("totals changed: %d/%d vs %d/%d", back.Nodes(), back.TotalAccesses(), m.Nodes(), m.TotalAccesses())
+	}
+	for _, sp := range specs {
+		if back.TotalMisses(sp) != m.TotalMisses(sp) {
+			t.Fatalf("%v: misses %d != %d", sp, back.TotalMisses(sp), m.TotalMisses(sp))
+		}
+		if back.MissesPerNode(sp) != m.MissesPerNode(sp) {
+			t.Fatalf("%v: per-node misses diverge", sp)
+		}
+	}
+	if len(back.Sizes()) != len(m.Sizes()) {
+		t.Fatalf("sizes %v vs %v", back.Sizes(), m.Sizes())
+	}
+}
