@@ -15,6 +15,7 @@ import (
 	"vcoma/internal/cache"
 	"vcoma/internal/config"
 	"vcoma/internal/experiments"
+	"vcoma/internal/obs"
 	"vcoma/internal/prng"
 	"vcoma/internal/tlb"
 	"vcoma/internal/trace"
@@ -159,6 +160,68 @@ func BenchmarkTimedRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs an
+// end-to-end RADIX run at test scale. "plain" is the uninstrumented Run;
+// "disabled" routes through RunInstrumented with a nil observer, so every
+// instrument call site executes its nil-receiver no-op — the two must be
+// within noise of each other (the <2% overhead contract). "enabled" turns on
+// the sampler and tracer to show the full price of observation. The
+// "noop-calls" sub-benchmark isolates the per-call no-op cost itself, which
+// must report 0 allocs/op (the same contract TestObsDisabledZeroAlloc gates
+// in CI).
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := benchConfig()
+	bench := mustBench(b, "RADIX")
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Run(cfg, bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Sim.Events), "events/run")
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := RunInstrumented(cfg, bench, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Sim.Events), "events/run")
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := NewObserver(ObserverOptions{MetricsInterval: 10000, TraceCapacity: 1 << 16})
+			res, err := RunInstrumented(cfg, bench, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Sim.Events), "events/run")
+			b.ReportMetric(float64(o.Tracer.Len()), "traceEvents/run")
+		}
+	})
+	b.Run("noop-calls", func(b *testing.B) {
+		b.ReportAllocs()
+		var (
+			c *obs.Counter
+			h *obs.Histogram
+			t *obs.Tracer
+			s *obs.Sampler
+		)
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			c.Add(3)
+			h.Observe(uint64(i))
+			if t.Enabled("coh") {
+				b.Fatal("nil tracer claims enabled")
+			}
+			t.Instant("coh", "remote-read", 0, 0, uint64(i))
+			s.Tick(uint64(i))
+		}
+	})
 }
 
 // --- microbenchmarks of the simulator substrate ---

@@ -20,6 +20,7 @@ import (
 
 	"vcoma"
 	"vcoma/internal/experiments"
+	"vcoma/internal/obs"
 	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
@@ -34,8 +35,14 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the result cache")
 		clearCache = flag.Bool("clear-cache", false, "remove all cached results and exit")
 		progPath   = flag.String("progress-json", "", "write the run's job-level progress summary as JSON to this file")
+		metrics    = flag.Bool("job-metrics", false, "sample each freshly-computed pass and write its time series next to the cache entry")
+		metricsInt = flag.Uint64("metrics-interval", 0, "sampling epoch in simulated cycles for -job-metrics (0 = default)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if err := obs.StartPprof(*pprofAddr); err != nil {
+		fatal(err)
+	}
 
 	if *clearCache {
 		c, err := runner.OpenCache(*cacheDir)
@@ -63,10 +70,12 @@ func main() {
 
 	prog := runner.NewProgress(os.Stderr)
 	suite := &experiments.Suite{
-		Cfg:      vcoma.Baseline(),
-		Scale:    scale,
-		Jobs:     *jobs,
-		Progress: prog,
+		Cfg:             vcoma.Baseline(),
+		Scale:           scale,
+		Jobs:            *jobs,
+		Progress:        prog,
+		Metrics:         *metrics,
+		MetricsInterval: *metricsInt,
 	}
 	if !*noCache {
 		suite.CacheDir = *cacheDir

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vcoma"
+	"vcoma/internal/obs"
 	"vcoma/internal/report"
 )
 
@@ -31,8 +32,18 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override the configuration seed (0 = default)")
 		verbose   = flag.Bool("v", false, "print per-node statistics")
 		jsonOut   = flag.Bool("json", false, "emit the run summary as JSON (report.RunSummary schema)")
+
+		metricsOut      = flag.String("metrics-out", "", "write epoch-sampled metrics to this file (.csv for CSV, else JSON)")
+		metricsInterval = flag.Uint64("metrics-interval", 10000, "sampling epoch in simulated cycles for -metrics-out")
+		traceOut        = flag.String("trace-out", "", "write Chrome trace-event JSON (open in Perfetto) to this file")
+		traceCats       = flag.String("trace-categories", "", "comma-separated trace categories to keep: trans,dlb,coh,repl,sync (empty = all)")
+		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if err := obs.StartPprof(*pprofAddr); err != nil {
+		fatal(err)
+	}
 
 	cfg := vcoma.Baseline()
 	scheme, err := parseScheme(*schemeStr)
@@ -56,12 +67,35 @@ func main() {
 		fatal(err)
 	}
 
+	var o *vcoma.Observer
+	if *metricsOut != "" || *traceOut != "" {
+		opt := vcoma.ObserverOptions{TraceCategories: *traceCats}
+		if *metricsOut != "" {
+			opt.MetricsInterval = *metricsInterval
+		}
+		if *traceOut != "" {
+			opt.TraceCapacity = 1 << 16
+		}
+		o = vcoma.NewObserver(opt)
+	}
+
 	start := time.Now()
-	res, err := vcoma.Run(cfg, bench)
+	res, err := vcoma.RunInstrumented(cfg, bench, o)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if *metricsOut != "" {
+		if err := o.Sampler.Export().WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := o.Tracer.WriteFile(*traceOut, "node"); err != nil {
+			fatal(err)
+		}
+	}
 
 	tot := res.Sim.TotalProc()
 	ms := res.Machine.TotalStats()
@@ -129,6 +163,13 @@ func main() {
 				MissPctOfRefs: 100 * float64(misses) / float64(ms.Refs),
 			}
 		}
+		if o != nil {
+			if o.Sampler != nil {
+				ts := o.Sampler.Export()
+				sum.TimeSeries = &ts
+			}
+			sum.Latency = o.Registry.Histograms()
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sum); err != nil {
@@ -177,6 +218,15 @@ func main() {
 		ps.SharedDrops, ps.Relocations, ps.Injections, ps.InjectionHops, ps.Swaps)
 	fmt.Printf("network: %d requests, %d blocks, %.1f queue cycles/message\n",
 		ns.Requests, ns.Blocks, float64(ns.QueueCycles)/float64(ns.Requests+ns.Blocks))
+
+	if o != nil {
+		for _, h := range o.Registry.Histograms() {
+			fmt.Printf("\n%s\n", h.Render())
+		}
+		if tr := o.Tracer; tr != nil && tr.Dropped() > 0 {
+			fmt.Printf("\ntrace: ring buffer full, %d oldest events dropped\n", tr.Dropped())
+		}
+	}
 
 	if *verbose {
 		fmt.Println("\nper-node references and stalls:")

@@ -21,21 +21,28 @@ import (
 
 	"vcoma"
 	"vcoma/internal/experiments"
+	"vcoma/internal/obs"
 	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
 
 func main() {
 	var (
-		expName   = flag.String("exp", "fig8", "experiment: fig8, fig9, table2, table3, table4, fig10, fig11, mgmt, tags, ablation, dlborg")
-		benchList = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
-		scaleStr  = flag.String("scale", "small", "workload scale: test, small, paper")
-		markdown  = flag.Bool("md", false, "emit Markdown tables")
-		jobs      = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cache", ".vcoma-cache", "result cache directory")
-		noCache   = flag.Bool("no-cache", false, "disable the result cache")
+		expName    = flag.String("exp", "fig8", "experiment: fig8, fig9, table2, table3, table4, fig10, fig11, mgmt, tags, ablation, dlborg")
+		benchList  = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
+		scaleStr   = flag.String("scale", "small", "workload scale: test, small, paper")
+		markdown   = flag.Bool("md", false, "emit Markdown tables")
+		jobs       = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache", ".vcoma-cache", "result cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the result cache")
+		metrics    = flag.Bool("job-metrics", false, "sample each freshly-computed pass and write its time series next to the cache entry")
+		metricsInt = flag.Uint64("metrics-interval", 0, "sampling epoch in simulated cycles for -job-metrics (0 = default)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if err := obs.StartPprof(*pprofAddr); err != nil {
+		fatal(err)
+	}
 
 	scale, err := parseScale(*scaleStr)
 	if err != nil {
@@ -93,10 +100,12 @@ func main() {
 		}
 	}
 	res, err := plan.Run(context.Background(), runner.Options{
-		Workers:  *jobs,
-		Cache:    cache,
-		Policy:   runner.FailFast,
-		Progress: runner.NewProgress(os.Stderr),
+		Workers:         *jobs,
+		Cache:           cache,
+		Policy:          runner.FailFast,
+		Progress:        runner.NewProgress(os.Stderr),
+		Metrics:         *metrics,
+		MetricsInterval: *metricsInt,
 	})
 	if err != nil {
 		fatal(err)

@@ -5,6 +5,7 @@
 //
 //	vcoma-trace -record -bench RADIX -scale test -dir /tmp/radix
 //	vcoma-trace -replay -dir /tmp/radix -scheme vcoma -tlb 8
+//	vcoma-trace -replay -dir /tmp/radix -trace-out radix.trace.json -metrics-out radix.csv
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"vcoma/internal/addr"
 	"vcoma/internal/experiments"
 	"vcoma/internal/machine"
+	"vcoma/internal/obs"
+	"vcoma/internal/report"
 	"vcoma/internal/sim"
 	"vcoma/internal/trace"
 	"vcoma/internal/vm"
@@ -34,10 +37,19 @@ func main() {
 		scaleStr  = flag.String("scale", "test", "workload scale: test, small, paper")
 		schemeStr = flag.String("scheme", "vcoma", "scheme for -replay: l0, l1, l2, l3, vcoma")
 		entries   = flag.Int("tlb", 8, "TLB/DLB entries for -replay")
+
+		metricsOut      = flag.String("metrics-out", "", "replay: write epoch-sampled metrics to this file (.csv for CSV, else JSON)")
+		metricsInterval = flag.Uint64("metrics-interval", 10000, "sampling epoch in simulated cycles for -metrics-out")
+		traceOut        = flag.String("trace-out", "", "replay: write Chrome trace-event JSON (open in Perfetto) to this file")
+		traceCats       = flag.String("trace-categories", "", "comma-separated trace categories to keep: trans,dlb,coh,repl,sync (empty = all)")
+		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *dir == "" || *record == *replay {
 		fatal(fmt.Errorf("need exactly one of -record/-replay, and -dir"))
+	}
+	if err := obs.StartPprof(*pprofAddr); err != nil {
+		fatal(err)
 	}
 
 	scale := map[string]workload.Scale{
@@ -55,7 +67,18 @@ func main() {
 		"l0": vcoma.L0TLB, "l1": vcoma.L1TLB, "l2": vcoma.L2TLB,
 		"l3": vcoma.L3TLB, "vcoma": vcoma.VCOMA,
 	}[strings.ToLower(*schemeStr)]
-	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir); err != nil {
+	var o *obs.Observer
+	if *metricsOut != "" || *traceOut != "" {
+		opt := obs.Options{TraceCategories: *traceCats}
+		if *metricsOut != "" {
+			opt.MetricsInterval = *metricsInterval
+		}
+		if *traceOut != "" {
+			opt.TraceCapacity = 1 << 16
+		}
+		o = obs.New(opt)
+	}
+	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir, o, *metricsOut, *traceOut); err != nil {
 		fatal(err)
 	}
 }
@@ -113,11 +136,12 @@ func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir stri
 	return nil
 }
 
-func doReplay(cfg vcoma.Config, dir string) error {
+func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOut string) error {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return err
 	}
+	m.AttachObserver(o)
 
 	// Preload from the saved layout.
 	layBytes, err := os.ReadFile(filepath.Join(dir, layoutFile))
@@ -163,6 +187,7 @@ func doReplay(cfg vcoma.Config, dir string) error {
 	if err != nil {
 		return err
 	}
+	eng.SetObserver(o)
 	start := time.Now()
 	res, err := eng.Run()
 	if err != nil {
@@ -172,7 +197,50 @@ func doReplay(cfg vcoma.Config, dir string) error {
 	fmt.Printf("replayed %d events on %v in %v\n", res.Events, cfg.Scheme, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("exec=%d cycles  busy=%d sync=%d loc=%d rem=%d trans=%d\n",
 		res.ExecTime, tot.Busy, tot.Sync, tot.StallLocal, tot.StallRemote, tot.Trans)
+
+	fmt.Printf("\n%s", replaySummary(res))
+	if o != nil {
+		for _, h := range o.Registry.Histograms() {
+			fmt.Printf("\n%s\n", h.Render())
+		}
+	}
+
+	if metricsOut != "" && o.Sampler != nil {
+		if err := o.Sampler.Export().WriteFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote metrics to %s\n", metricsOut)
+	}
+	if traceOut != "" && o.Tracer != nil {
+		if err := o.Tracer.WriteFile(traceOut, "node"); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace to %s (open at https://ui.perfetto.dev)\n", traceOut)
+		if n := o.Tracer.Dropped(); n > 0 {
+			fmt.Printf("trace: ring buffer full, %d oldest events dropped\n", n)
+		}
+	}
 	return nil
+}
+
+// replaySummary renders the per-processor cycle breakdown as a table: where
+// each processor spent its time, and when it finished relative to the rest.
+func replaySummary(res sim.Result) string {
+	headers := []string{"proc", "refs", "busy", "sync", "loc", "rem", "trans", "finish"}
+	var rows [][]string
+	for p, st := range res.Procs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", st.Refs),
+			fmt.Sprintf("%d", st.Busy),
+			fmt.Sprintf("%d", st.Sync),
+			fmt.Sprintf("%d", st.StallLocal),
+			fmt.Sprintf("%d", st.StallRemote),
+			fmt.Sprintf("%d", st.Trans),
+			fmt.Sprintf("%d", st.Finish),
+		})
+	}
+	return report.Table(headers, rows)
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"vcoma/internal/config"
+	"vcoma/internal/obs"
 )
 
 // Stats counts cache activity.
@@ -117,6 +118,20 @@ func (c *Cache) WriteBack() bool { return c.writeBack }
 
 // Stats returns the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// RegisterMetrics registers this cache's counters under prefix (e.g.
+// "node03/slc") with an observability registry. Pull-style probes read the
+// existing Stats fields, so the access fast paths gain no new work.
+func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.Probe(prefix+".readMisses", func() float64 { return float64(c.stats.ReadMisses) })
+	r.Probe(prefix+".writeMisses", func() float64 { return float64(c.stats.WriteMisses) })
+	r.Probe(prefix+".accesses", func() float64 { return float64(c.stats.Accesses()) })
+	r.Probe(prefix+".writebacks", func() float64 { return float64(c.stats.Writebacks) })
+	r.Probe(prefix+".invalidates", func() float64 { return float64(c.stats.Invalidates) })
+}
 
 func (c *Cache) setBase(a uint64) int {
 	return int((a>>c.blockBits)&c.setMask) * c.ways

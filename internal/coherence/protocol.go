@@ -7,6 +7,7 @@ import (
 	"vcoma/internal/config"
 	"vcoma/internal/mem"
 	"vcoma/internal/network"
+	"vcoma/internal/obs"
 	"vcoma/internal/prng"
 )
 
@@ -14,32 +15,34 @@ import (
 // the protocol knowing about TLBs, DLBs or processor caches.
 type Hooks interface {
 	// DirLookup fires on every directory operation at a home node's
-	// protocol engine. The returned cycles extend the engine's service
-	// time — V-COMA returns its DLB miss penalty here, other schemes 0.
-	// onCriticalPath is true when a requesting processor is stalled on
-	// this operation (false for replacement hints and injections).
-	DirLookup(home addr.Node, block uint64, onCriticalPath bool) uint64
+	// protocol engine, at simulated time now. The returned cycles extend
+	// the engine's service time — V-COMA returns its DLB miss penalty
+	// here, other schemes 0. onCriticalPath is true when a requesting
+	// processor is stalled on this operation (false for replacement hints
+	// and injections).
+	DirLookup(now uint64, home addr.Node, block uint64, onCriticalPath bool) uint64
 	// BackInvalidate fires when node loses an attraction-memory block
 	// (invalidation or replacement); the machine must invalidate the
 	// processor caches above to maintain inclusion.
 	BackInvalidate(node addr.Node, block uint64)
-	// ReplacementTranslate fires when node must translate a victim
-	// block's address to send replacement traffic (L3-TLB counts these
-	// TLB accesses; other schemes return 0). Off the critical path.
-	ReplacementTranslate(node addr.Node, block uint64) uint64
+	// ReplacementTranslate fires at simulated time now when node must
+	// translate a victim block's address to send replacement traffic
+	// (L3-TLB counts these TLB accesses; other schemes return 0). Off the
+	// critical path.
+	ReplacementTranslate(now uint64, node addr.Node, block uint64) uint64
 }
 
 // NopHooks is a Hooks implementation that does nothing; useful in tests.
 type NopHooks struct{}
 
 // DirLookup implements Hooks.
-func (NopHooks) DirLookup(addr.Node, uint64, bool) uint64 { return 0 }
+func (NopHooks) DirLookup(uint64, addr.Node, uint64, bool) uint64 { return 0 }
 
 // BackInvalidate implements Hooks.
 func (NopHooks) BackInvalidate(addr.Node, uint64) {}
 
 // ReplacementTranslate implements Hooks.
-func (NopHooks) ReplacementTranslate(addr.Node, uint64) uint64 { return 0 }
+func (NopHooks) ReplacementTranslate(uint64, addr.Node, uint64) uint64 { return 0 }
 
 // Stats counts protocol activity machine-wide.
 type Stats struct {
@@ -85,6 +88,7 @@ type Protocol struct {
 	rng    *prng.Source
 	peBusy []uint64
 	stats  Stats
+	tracer *obs.Tracer
 
 	noRelocation bool
 	infinitePE   bool
@@ -138,6 +142,32 @@ func (p *Protocol) Fabric() *network.Fabric { return p.fabric }
 // Stats returns the protocol counters.
 func (p *Protocol) Stats() Stats { return p.stats }
 
+// SetTracer attaches an event tracer. Coherence transactions become
+// "coh"-category complete events on the requester's track and replacement
+// actions become "repl" instants on the evicting node's track. A nil
+// tracer (the default) keeps the protocol event-free.
+func (p *Protocol) SetTracer(tr *obs.Tracer) { p.tracer = tr }
+
+// RegisterMetrics registers machine-wide protocol counters ("coh/" series)
+// with an observability registry, alongside the fabric's own series.
+func (p *Protocol) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Probe("coh/localReadHits", func() float64 { return float64(p.stats.LocalReadHits) })
+	r.Probe("coh/localWriteHits", func() float64 { return float64(p.stats.LocalWriteHits) })
+	r.Probe("coh/remoteReads", func() float64 { return float64(p.stats.RemoteReads) })
+	r.Probe("coh/upgrades", func() float64 { return float64(p.stats.Upgrades) })
+	r.Probe("coh/writeFetches", func() float64 { return float64(p.stats.WriteFetches) })
+	r.Probe("coh/invalidations", func() float64 { return float64(p.stats.Invalidations) })
+	r.Probe("coh/sharedDrops", func() float64 { return float64(p.stats.SharedDrops) })
+	r.Probe("coh/relocations", func() float64 { return float64(p.stats.Relocations) })
+	r.Probe("coh/injections", func() float64 { return float64(p.stats.Injections) })
+	r.Probe("coh/swaps", func() float64 { return float64(p.stats.Swaps) })
+	r.Probe("coh/swapRefetches", func() float64 { return float64(p.stats.SwapRefetches) })
+	p.fabric.RegisterMetrics(r)
+}
+
 // Home returns the home node of a protocol block address.
 func (p *Protocol) Home(block uint64) addr.Node { return p.home(p.align(block)) }
 
@@ -179,7 +209,7 @@ func (p *Protocol) peService(t uint64, h addr.Node, block uint64, critical bool)
 	if !p.infinitePE && p.peBusy[h] > start {
 		start = p.peBusy[h]
 	}
-	extra := p.hooks.DirLookup(h, block, critical)
+	extra := p.hooks.DirLookup(start, h, block, critical)
 	done := start + p.timing.DirLookup + extra
 	if !p.infinitePE {
 		p.peBusy[h] = done
@@ -246,6 +276,13 @@ func (p *Protocol) refetch(now, t, trans uint64, n addr.Node, e *Entry, b uint64
 	e.Copyset = p.bit(n)
 	e.Swapped = false
 	p.installAt(t, n, b, newState)
+	if p.tracer.Enabled("coh") {
+		name := "cold-fetch"
+		if swapped {
+			name = "swap-refetch"
+		}
+		p.tracer.Complete("coh", name, int(n), 0, now, t-now)
+	}
 	return Result{Latency: t - now, TransCycles: trans}
 }
 
@@ -268,6 +305,9 @@ func (p *Protocol) remoteRead(now, t, trans uint64, n, h addr.Node, e *Entry, b 
 	t = p.fabric.Send(t, m, n, network.BlockTransfer)
 	e.Add(n)
 	p.installAt(t, n, b, mem.Shared)
+	if p.tracer.Enabled("coh") {
+		p.tracer.Complete("coh", "remote-read", int(n), 0, now, t-now)
+	}
 	return Result{Latency: t - now, TransCycles: trans}
 }
 
@@ -320,6 +360,13 @@ func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b
 	e.Master = n
 	e.Copyset = p.bit(n)
 	p.installAt(tDone, n, b, mem.Exclusive)
+	if p.tracer.Enabled("coh") {
+		name := "upgrade"
+		if !hasData {
+			name = "write-fetch"
+		}
+		p.tracer.Complete("coh", name, int(n), 0, now, tDone-now)
+	}
 	return Result{Latency: tDone - now, TransCycles: trans}
 }
 
@@ -351,7 +398,10 @@ func (p *Protocol) dropShared(now uint64, n addr.Node, b uint64) {
 	}
 	e.Remove(n)
 	h := p.home(b)
-	t := now + p.hooks.ReplacementTranslate(n, b)
+	if p.tracer.Enabled("repl") {
+		p.tracer.Instant("repl", "drop-shared", int(n), 0, now)
+	}
+	t := now + p.hooks.ReplacementTranslate(now, n, b)
 	t = p.fabric.Send(t, n, h, network.Request)
 	p.peService(t, h, b, false)
 }
@@ -367,12 +417,15 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 	if e == nil || e.Master != n {
 		panic(fmt.Sprintf("coherence: master replacement of block %#x but directory master is not node %d", b, n))
 	}
-	t := now + p.hooks.ReplacementTranslate(n, b)
+	t := now + p.hooks.ReplacementTranslate(now, n, b)
 	h := p.home(b)
 
 	if o, ok := e.AnyHolderExcept(n); ok && !p.noRelocation {
 		// Promote an existing Shared copy to master: directory update only.
 		p.stats.Relocations++
+		if p.tracer.Enabled("repl") {
+			p.tracer.Instant("repl", "relocate", int(n), 0, now)
+		}
 		e.Remove(n)
 		e.Master = o
 		t = p.fabric.Send(t, n, h, network.Request)
@@ -406,6 +459,9 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 		if accept {
 			p.stats.Injections++
 			p.stats.InjectionHops += hops
+			if p.tracer.Enabled("repl") {
+				p.tracer.Instant("repl", "inject", int(n), 0, now)
+			}
 			e.Master = cur
 			e.Add(cur)
 			p.installVictimAt(t, cur, b)
@@ -429,6 +485,9 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 			}
 			// The block leaves the machine (would be paged out).
 			p.stats.Swaps++
+			if p.tracer.Enabled("repl") {
+				p.tracer.Instant("repl", "swap", int(n), 0, now)
+			}
 			e.Swapped = true
 			return
 		}

@@ -278,9 +278,9 @@ type hookFuncs struct {
 	repl func(addr.Node, uint64) uint64
 }
 
-func (h hookFuncs) DirLookup(n addr.Node, b uint64, c bool) uint64 { return h.dir(n, b, c) }
-func (h hookFuncs) BackInvalidate(n addr.Node, b uint64)           { h.back(n, b) }
-func (h hookFuncs) ReplacementTranslate(n addr.Node, b uint64) uint64 {
+func (h hookFuncs) DirLookup(_ uint64, n addr.Node, b uint64, c bool) uint64 { return h.dir(n, b, c) }
+func (h hookFuncs) BackInvalidate(n addr.Node, b uint64)                     { h.back(n, b) }
+func (h hookFuncs) ReplacementTranslate(_ uint64, n addr.Node, b uint64) uint64 {
 	return h.repl(n, b)
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"vcoma/internal/addr"
 	"vcoma/internal/config"
+	"vcoma/internal/obs"
 	"vcoma/internal/tlb"
 	"vcoma/internal/vm"
 )
@@ -55,6 +56,7 @@ type HomeEngine struct {
 	dlb    tlb.Buffer
 	timing config.Timing
 	stats  EngineStats
+	tracer *obs.Tracer
 
 	seenDirPages map[int]struct{}
 }
@@ -89,12 +91,35 @@ func (e *HomeEngine) DLB() tlb.Buffer { return e.dlb }
 // Stats returns the engine's counters.
 func (e *HomeEngine) Stats() EngineStats { return e.stats }
 
+// SetTracer attaches an event tracer; DLB fills and evictions become
+// instant events on this node's "dlb" track. A nil tracer (the default)
+// keeps Translate event-free.
+func (e *HomeEngine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
+
+// RegisterMetrics registers the engine's counters under prefix (e.g.
+// "node03/dlb") with an observability registry.
+func (e *HomeEngine) RegisterMetrics(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.Probe(prefix+".lookups", func() float64 { return float64(e.stats.Lookups) })
+	r.Probe(prefix+".misses", func() float64 { return float64(e.stats.Misses) })
+	r.Probe(prefix+".penaltyCycles", func() float64 { return float64(e.stats.PenaltyCycles) })
+	r.Probe(prefix+".dirPagesTouched", func() float64 { return float64(e.stats.DirPagesTouched) })
+}
+
 // Translate resolves the directory address for virtual block address v,
 // charging a DLB access and returning the extra service cycles (the DLB
 // miss penalty, or zero on a hit). critical marks translations on a stalled
 // processor's path. The page's reference bit is set as a side effect, since
 // the DLB sees the post-attraction-memory access stream (§4.3).
 func (e *HomeEngine) Translate(v addr.Virtual, critical bool) (addr.DirAddr, uint64) {
+	return e.TranslateAt(0, v, critical)
+}
+
+// TranslateAt is Translate with the current simulated time, used to
+// timestamp DLB trace events. Callers without a clock use Translate.
+func (e *HomeEngine) TranslateAt(now uint64, v addr.Virtual, critical bool) (addr.DirAddr, uint64) {
 	home, da := e.sys.DirAddrOf(v)
 	if home != e.node {
 		panic(fmt.Sprintf("core: node %d asked to translate %#x homed at node %d", e.node, uint64(v), home))
@@ -118,6 +143,14 @@ func (e *HomeEngine) Translate(v addr.Virtual, critical bool) (addr.DirAddr, uin
 		e.stats.CriticalMisses++
 	}
 	e.stats.PenaltyCycles += e.timing.DLBMiss
+	if e.tracer.Enabled("dlb") {
+		e.tracer.Instant("dlb", "dlb-fill", int(e.node), 0, now)
+		// Once the miss count exceeds capacity the buffer must be
+		// recycling entries, so each further fill implies an eviction.
+		if e.stats.Misses > uint64(e.dlb.Entries()) {
+			e.tracer.Instant("dlb", "dlb-evict", int(e.node), 0, now)
+		}
+	}
 	return da, e.timing.DLBMiss
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"vcoma/internal/config"
 	"vcoma/internal/machine"
+	"vcoma/internal/obs"
 	"vcoma/internal/sim"
 	"vcoma/internal/tlb"
 	"vcoma/internal/workload"
@@ -45,6 +46,14 @@ type Observed struct {
 
 // runPass simulates one benchmark under one scheme with observers attached.
 func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*machine.Machine, sim.Result, error) {
+	return runPassObs(cfg, bench, specs, nil)
+}
+
+// runPassObs is runPass with an optional observability sink wired through
+// the machine and engine (nil o = plain pass). Instrumentation is purely
+// observational, so an instrumented pass computes the same result as a
+// plain one — which is what lets metrics-enabled runs share cache entries.
+func runPassObs(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o *obs.Observer) (*machine.Machine, sim.Result, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, sim.Result{}, err
@@ -58,11 +67,13 @@ func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*ma
 			return nil, sim.Result{}, err
 		}
 	}
+	m.AttachObserver(o)
 	m.Preload(prog.Layout())
 	eng, err := sim.New(m, prog.Streams())
 	if err != nil {
 		return nil, sim.Result{}, err
 	}
+	eng.SetObserver(o)
 	res, err := eng.Run()
 	if err != nil {
 		return nil, sim.Result{}, fmt.Errorf("experiments: %s/%v: %w", bench.Name(), cfg.Scheme, err)

@@ -86,10 +86,10 @@ func (p *Plan) AddTable4(name string) error {
 		p.jobs = append(p.jobs, runner.New(
 			fmt.Sprintf("table4/%s/%s", name, c.key()),
 			p.key("timed", cellCfg, name),
-			func(context.Context) (Breakdown, error) {
+			func(ctx context.Context) (Breakdown, error) {
 				// The label is stamped at assembly so cells can share
 				// cache entries with identically configured passes.
-				return Timed(cellCfg, bench, "")
+				return TimedCtx(ctx, cellCfg, bench, "")
 			}))
 	}
 	return nil
@@ -115,8 +115,8 @@ func (p *Plan) AddFigure10(name string) error {
 		p.jobs = append(p.jobs, runner.New(
 			fmt.Sprintf("fig10/%s/%s", name, v.Label),
 			p.key("timed", v.Cfg, name, extra...),
-			func(context.Context) (Breakdown, error) {
-				return Timed(v.Cfg, v.Bench, "")
+			func(ctx context.Context) (Breakdown, error) {
+				return TimedCtx(ctx, v.Cfg, v.Bench, "")
 			}))
 	}
 	p.fig10Labels[name] = labels

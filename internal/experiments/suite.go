@@ -38,6 +38,13 @@ type Suite struct {
 	// Context, if non-nil, bounds the run; cancellation skips pending
 	// passes and returns the cause.
 	Context context.Context
+	// Metrics instruments each freshly-computed pass and writes its time
+	// series next to the cache entry (see runner.Options.Metrics). The
+	// rendered report is unaffected.
+	Metrics bool
+	// MetricsInterval is the sampler epoch in simulated cycles; 0 uses
+	// runner.DefaultMetricsInterval.
+	MetricsInterval uint64
 }
 
 // ConfigForScale adapts a machine configuration to a workload scale by
@@ -124,10 +131,12 @@ func (s *Suite) Run() (*SuiteResult, error) {
 		}
 	}
 	pr, err := plan.Run(ctx, runner.Options{
-		Workers:  s.Jobs,
-		Cache:    cache,
-		Policy:   runner.FailFast,
-		Progress: prog,
+		Workers:         s.Jobs,
+		Cache:           cache,
+		Policy:          runner.FailFast,
+		Progress:        prog,
+		Metrics:         s.Metrics,
+		MetricsInterval: s.MetricsInterval,
 	})
 	if err != nil {
 		return nil, err

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vcoma/internal/config"
 	"vcoma/internal/report"
+	"vcoma/internal/runner"
 	"vcoma/internal/sim"
 	"vcoma/internal/vm"
 	"vcoma/internal/workload"
@@ -17,7 +19,15 @@ type Breakdown = report.Breakdown
 
 // Timed runs one exact configuration and returns its breakdown.
 func Timed(cfg config.Config, bench workload.Benchmark, label string) (Breakdown, error) {
-	_, res, err := runPass(cfg, bench, nil)
+	return TimedCtx(context.Background(), cfg, bench, label)
+}
+
+// TimedCtx is Timed under a runner context: when the context carries an
+// observability sink (runner.Options.Metrics), the pass is instrumented and
+// the runner persists its time series next to the job's cache entry. The
+// breakdown itself is identical either way.
+func TimedCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, label string) (Breakdown, error) {
+	_, res, err := runPassObs(cfg, bench, nil, runner.ObserverFrom(ctx))
 	if err != nil {
 		return Breakdown{}, err
 	}

@@ -28,6 +28,7 @@ import (
 	"vcoma/internal/config"
 	"vcoma/internal/core"
 	"vcoma/internal/mem"
+	"vcoma/internal/obs"
 	"vcoma/internal/tlb"
 	"vcoma/internal/vm"
 )
@@ -119,6 +120,12 @@ type Machine struct {
 	nowbBanks []*tlb.Bank // observer: L2 stream without writebacks
 
 	stats []NodeStats
+
+	// Observability (all nil unless AttachObserver is called; every use is
+	// nil-receiver safe, so the access paths pay only a nil check).
+	tracer    *obs.Tracer
+	latAccess *obs.Histogram // stall cycles of every reference
+	latRemote *obs.Histogram // stall cycles of remote transactions
 }
 
 // New builds a machine for cfg.
@@ -276,6 +283,50 @@ func (m *Machine) AttachObserverBanks(specs []tlb.Spec) error {
 	return nil
 }
 
+// AttachObserver wires an observability sink through every layer of the
+// machine: per-node probes over the node counters, cache and translation
+// buffer metrics, protocol and fabric series, access-latency histograms,
+// and the event tracer for the protocol and home engines. All probes are
+// pull-style reads of existing counters, so the simulated timing is
+// untouched. Call before running; a nil or disabled observer is a no-op.
+func (m *Machine) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	r := o.Reg()
+	m.tracer = o.Tr()
+	if r != nil {
+		for i := 0; i < m.g.Nodes(); i++ {
+			i := i
+			pre := fmt.Sprintf("node%02d", i)
+			st := &m.stats[i]
+			r.Probe(pre+"/refs", func() float64 { return float64(st.Refs) })
+			r.Probe(pre+"/remote", func() float64 { return float64(st.Remote) })
+			r.Probe(pre+"/tlb.accesses", func() float64 { return float64(st.TLBAccesses) })
+			r.Probe(pre+"/tlb.misses", func() float64 { return float64(st.TLBMisses) })
+			r.Probe(pre+"/slc.writebacks", func() float64 { return float64(st.SLCWritebacks) })
+			r.Probe(pre+"/trans.cycles", func() float64 { return float64(st.TransCycles) })
+			r.Probe(pre+"/am.occupancy", func() float64 { return m.prot.AM(addr.Node(i)).Occupancy() })
+			m.flcs[i].RegisterMetrics(r, pre+"/flc")
+			m.slcs[i].RegisterMetrics(r, pre+"/slc")
+			if m.tlbs != nil {
+				tlb.RegisterBuffer(r, pre+"/tlb.hw", m.tlbs[i])
+			}
+			if m.engines != nil {
+				m.engines[i].RegisterMetrics(r, pre+"/dlb")
+				tlb.RegisterBuffer(r, pre+"/dlb.hw", m.engines[i].DLB())
+			}
+		}
+		m.prot.RegisterMetrics(r)
+		m.latAccess = r.Histogram("lat/access")
+		m.latRemote = r.Histogram("lat/remote")
+	}
+	m.prot.SetTracer(m.tracer)
+	for _, e := range m.engines {
+		e.SetTracer(m.tracer)
+	}
+}
+
 // ObserverBanks returns the per-node primary banks (nil if not attached).
 func (m *Machine) ObserverBanks() []*tlb.Bank { return m.banks }
 
@@ -307,11 +358,12 @@ func (m *Machine) protoAddr(va addr.Virtual) uint64 {
 	return uint64(va)
 }
 
-// tlbAccess charges a translation request at node n for page p, feeding the
-// observer banks and the timed TLB, and returns the penalty cycles.
-// writeback marks SLC-writeback translations (L2-TLB), which the no_wback
-// observer skips and which the timed TLB skips under NoWritebackTLB.
-func (m *Machine) tlbAccess(n addr.Node, p addr.PageNum, writeback bool) uint64 {
+// tlbAccess charges a translation request at node n for page p at simulated
+// time now, feeding the observer banks and the timed TLB, and returns the
+// penalty cycles. writeback marks SLC-writeback translations (L2-TLB),
+// which the no_wback observer skips and which the timed TLB skips under
+// NoWritebackTLB.
+func (m *Machine) tlbAccess(now uint64, n addr.Node, p addr.PageNum, writeback bool) uint64 {
 	if m.banks != nil {
 		m.banks[n].Access(p)
 	}
@@ -330,13 +382,16 @@ func (m *Machine) tlbAccess(n addr.Node, p addr.PageNum, writeback bool) uint64 
 		return 0
 	}
 	st.TLBMisses++
+	if m.tracer.Enabled("trans") {
+		m.tracer.Instant("trans", "tlb-miss", int(n), 0, now)
+	}
 	return m.cfg.Timing.TLBMiss
 }
 
 // --- coherence.Hooks ---
 
 // DirLookup implements coherence.Hooks: V-COMA's home-node translation.
-func (m *Machine) DirLookup(home addr.Node, block uint64, critical bool) uint64 {
+func (m *Machine) DirLookup(now uint64, home addr.Node, block uint64, critical bool) uint64 {
 	if m.cfg.Scheme != config.VCOMA {
 		return 0
 	}
@@ -344,7 +399,7 @@ func (m *Machine) DirLookup(home addr.Node, block uint64, critical bool) uint64 
 	if m.banks != nil {
 		m.banks[home].Access(m.g.Page(va))
 	}
-	_, penalty := m.engines[home].Translate(va, critical)
+	_, penalty := m.engines[home].TranslateAt(now, va, critical)
 	return penalty
 }
 
@@ -374,11 +429,11 @@ func (m *Machine) BackInvalidate(node addr.Node, block uint64) {
 // protocol runs on physical addresses, so a node evicting a master copy of
 // a virtually-tagged AM block translates its address to send the
 // replacement; these TLB accesses are part of L3's translation stream.
-func (m *Machine) ReplacementTranslate(node addr.Node, block uint64) uint64 {
+func (m *Machine) ReplacementTranslate(now uint64, node addr.Node, block uint64) uint64 {
 	if m.cfg.Scheme != config.L3TLB {
 		return 0
 	}
-	return m.tlbAccess(node, m.g.Page(addr.Virtual(block)), false)
+	return m.tlbAccess(now, node, m.g.Page(addr.Virtual(block)), false)
 }
 
 // --- the access path ---
@@ -400,7 +455,7 @@ func (m *Machine) Access(now uint64, n addr.Node, va addr.Virtual, write bool) A
 
 	// L0: every reference is translated up front.
 	if scheme == config.L0TLB {
-		trans += m.tlbAccess(n, g.Page(va), false)
+		trans += m.tlbAccess(now, n, g.Page(va), false)
 	}
 
 	// Resolve per-level addresses.
@@ -431,20 +486,22 @@ func (m *Machine) read(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAdd
 	if flc.Read(flcAddr).Hit {
 		st.FLCHits++
 		st.TransCycles += trans
+		m.latAccess.Observe(trans)
 		return AccessResult{Cycles: trans, TransCycles: trans, Class: ClassFLCHit}
 	}
 
 	// FLC read miss: L1-TLB translates here.
 	if m.cfg.Scheme == config.L1TLB {
-		trans += m.tlbAccess(n, m.g.Page(va), false)
+		trans += m.tlbAccess(now, n, m.g.Page(va), false)
 	}
 
 	rs := slc.Read(slcAddr)
-	m.handleSLCVictim(n, rs, &trans)
+	m.handleSLCVictim(now, n, rs, &trans)
 	if rs.Hit {
 		st.SLCHits++
 		st.StallLocal += m.cfg.Timing.SLCHit
 		st.TransCycles += trans
+		m.latAccess.Observe(m.cfg.Timing.SLCHit + trans)
 		return AccessResult{Cycles: m.cfg.Timing.SLCHit + trans, TransCycles: trans, Class: ClassSLCHit}
 	}
 
@@ -452,10 +509,10 @@ func (m *Machine) read(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAdd
 	// when the local node cannot satisfy it.
 	switch m.cfg.Scheme {
 	case config.L2TLB:
-		trans += m.tlbAccess(n, m.g.Page(va), false)
+		trans += m.tlbAccess(now, n, m.g.Page(va), false)
 	case config.L3TLB:
 		if m.prot.StateAt(n, protoBlock) == mem.Invalid {
-			trans += m.tlbAccess(n, m.g.Page(va), false)
+			trans += m.tlbAccess(now, n, m.g.Page(va), false)
 		}
 	}
 
@@ -463,6 +520,7 @@ func (m *Machine) read(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAdd
 	trans += res.TransCycles
 	st.TransCycles += trans
 	cycles := trans + res.Latency - res.TransCycles
+	m.latAccess.Observe(cycles)
 	if res.LocalHit {
 		st.LocalAM++
 		st.StallLocal += res.Latency - res.TransCycles
@@ -470,6 +528,7 @@ func (m *Machine) read(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAdd
 	}
 	st.Remote++
 	st.StallRemote += res.Latency - res.TransCycles
+	m.latRemote.Observe(cycles)
 	return AccessResult{Cycles: cycles, TransCycles: trans, Class: ClassRemote}
 }
 
@@ -480,27 +539,28 @@ func (m *Machine) write(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAd
 	// L1-TLB: the SLC is physical, so every write-through access
 	// translates.
 	if m.cfg.Scheme == config.L1TLB {
-		trans += m.tlbAccess(n, m.g.Page(va), false)
+		trans += m.tlbAccess(now, n, m.g.Page(va), false)
 	}
 
 	ws := slc.Write(slcAddr)
-	m.handleSLCVictim(n, ws, &trans)
+	m.handleSLCVictim(now, n, ws, &trans)
 
 	if ws.Hit && m.prot.StateAt(n, protoBlock) == mem.Exclusive {
 		// The write completes in the SLC with ownership already held.
 		st.SLCHits++
 		st.StallLocal += m.cfg.Timing.SLCHit
 		st.TransCycles += trans
+		m.latAccess.Observe(m.cfg.Timing.SLCHit + trans)
 		return AccessResult{Cycles: m.cfg.Timing.SLCHit + trans, TransCycles: trans, Class: ClassSLCHit}
 	}
 
 	// Ownership (and possibly data) must come from below the SLC.
 	switch m.cfg.Scheme {
 	case config.L2TLB:
-		trans += m.tlbAccess(n, m.g.Page(va), false)
+		trans += m.tlbAccess(now, n, m.g.Page(va), false)
 	case config.L3TLB:
 		if m.prot.StateAt(n, protoBlock) != mem.Exclusive {
-			trans += m.tlbAccess(n, m.g.Page(va), false)
+			trans += m.tlbAccess(now, n, m.g.Page(va), false)
 		}
 	}
 
@@ -508,6 +568,7 @@ func (m *Machine) write(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAd
 	trans += res.TransCycles
 	st.TransCycles += trans
 	cycles := trans + res.Latency - res.TransCycles
+	m.latAccess.Observe(cycles)
 	if m.cfg.Scheme == config.VCOMA && !res.LocalHit {
 		// The home engine records the page's Modify bit on ownership
 		// transfers (§4.3).
@@ -520,6 +581,7 @@ func (m *Machine) write(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAd
 	}
 	st.Remote++
 	st.StallRemote += res.Latency - res.TransCycles
+	m.latRemote.Observe(cycles)
 	return AccessResult{Cycles: cycles, TransCycles: trans, Class: ClassRemote}
 }
 
@@ -528,7 +590,7 @@ func (m *Machine) write(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAd
 // writeback into the attraction memory — which in L2-TLB means a
 // translation request for the victim's page (poor locality, the paper's
 // write-back effect, §2.2.2/§5.2).
-func (m *Machine) handleSLCVictim(n addr.Node, r cache.Result, trans *uint64) {
+func (m *Machine) handleSLCVictim(now uint64, n addr.Node, r cache.Result, trans *uint64) {
 	if !r.Evicted {
 		return
 	}
@@ -547,7 +609,7 @@ func (m *Machine) handleSLCVictim(n addr.Node, r cache.Result, trans *uint64) {
 			// The victim's address is virtual; writing it back to the
 			// physical AM requires translation.
 			vpage := m.g.Page(addr.Virtual(r.Victim))
-			*trans += m.tlbAccess(n, vpage, true)
+			*trans += m.tlbAccess(now, n, vpage, true)
 		}
 	}
 }

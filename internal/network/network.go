@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"vcoma/internal/addr"
+	"vcoma/internal/obs"
 )
 
 // MsgKind distinguishes the two message sizes of the paper's model.
@@ -54,6 +55,7 @@ type Fabric struct {
 	blockCost   uint64
 	reqBusy     []uint64 // request-network port busy-until, per dest
 	blkBusy     []uint64 // reply-network port busy-until, per dest
+	portWire    []uint64 // cumulative wire occupancy per input port
 	stats       Stats
 }
 
@@ -65,6 +67,7 @@ func New(nodes int, requestCost, blockCost uint64) *Fabric {
 		blockCost:   blockCost,
 		reqBusy:     make([]uint64, nodes),
 		blkBusy:     make([]uint64, nodes),
+		portWire:    make([]uint64, nodes),
 	}
 }
 
@@ -97,6 +100,7 @@ func (f *Fabric) Send(now uint64, src, dst addr.Node, kind MsgKind) uint64 {
 		f.stats.Requests++
 	}
 	f.stats.TotalCycles += cost
+	f.portWire[dst] += cost
 	start := now
 	if busy[dst] > start {
 		wait := busy[dst] - start
@@ -114,5 +118,28 @@ func (f *Fabric) Send(now uint64, src, dst addr.Node, kind MsgKind) uint64 {
 // Stats returns the activity counters.
 func (f *Fabric) Stats() Stats { return f.stats }
 
+// PortWireCycles returns the cumulative wire occupancy at node n's input
+// port — the numerator of that link's utilization over any cycle window.
+func (f *Fabric) PortWireCycles(n addr.Node) uint64 { return f.portWire[n] }
+
 // Nodes returns the fabric's port count.
 func (f *Fabric) Nodes() int { return len(f.reqBusy) }
+
+// RegisterMetrics registers the fabric's counters with an observability
+// registry: machine-wide message and queueing totals plus one wire-cycle
+// series per input port, from which per-link utilization over an epoch is
+// the delta divided by the epoch length.
+func (f *Fabric) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Probe("net/requests", func() float64 { return float64(f.stats.Requests) })
+	r.Probe("net/blocks", func() float64 { return float64(f.stats.Blocks) })
+	r.Probe("net/wireCycles", func() float64 { return float64(f.stats.TotalCycles) })
+	r.Probe("net/queueCycles", func() float64 { return float64(f.stats.QueueCycles) })
+	r.Probe("net/queueCyclesBlock", func() float64 { return float64(f.stats.QueueCyclesBlock) })
+	for i := range f.portWire {
+		i := i
+		r.Probe(fmt.Sprintf("node%02d/net.wireCycles", i), func() float64 { return float64(f.portWire[i]) })
+	}
+}

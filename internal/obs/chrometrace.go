@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Event is one Chrome trace-event. The field names follow the Trace Event
+// Format (the JSON Perfetto and chrome://tracing load): ph is the phase
+// ("X" complete, "i" instant, "M" metadata), ts the timestamp, pid/tid the
+// track. The simulator uses simulated processor cycles as the timestamp
+// unit (one cycle renders as one microsecond), pid for the node and tid for
+// the track within the node.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects events into a bounded ring buffer. When the buffer is
+// full the oldest events are overwritten (and counted), so a paper-scale
+// run keeps the most recent window instead of growing without bound. All
+// emission methods are allocation-free no-ops on a nil receiver.
+type Tracer struct {
+	events  []Event
+	next    int
+	full    bool
+	dropped uint64
+	cats    map[string]struct{} // nil = every category enabled
+}
+
+// NewTracer builds a tracer holding at most capacity events. categories is
+// a comma-separated filter ("sync,coh,trans"); empty enables everything.
+func NewTracer(capacity int, categories string) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	t := &Tracer{events: make([]Event, 0, capacity)}
+	if categories != "" {
+		t.cats = make(map[string]struct{})
+		for _, c := range strings.Split(categories, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				t.cats[c] = struct{}{}
+			}
+		}
+	}
+	return t
+}
+
+// Enabled reports whether events of category cat are recorded. False on a
+// nil tracer, which lets call sites skip argument preparation entirely.
+func (t *Tracer) Enabled(cat string) bool {
+	if t == nil {
+		return false
+	}
+	if t.cats == nil {
+		return true
+	}
+	_, ok := t.cats[cat]
+	return ok
+}
+
+// push appends an event, overwriting the oldest when full.
+func (t *Tracer) push(e Event) {
+	if cap(t.events) > len(t.events) && !t.full {
+		t.events = append(t.events, e)
+		return
+	}
+	t.full = true
+	t.dropped++
+	t.events[t.next] = e
+	t.next = (t.next + 1) % cap(t.events)
+}
+
+// Complete records a duration event on track (pid, tid) spanning
+// [ts, ts+dur).
+func (t *Tracer) Complete(cat, name string, pid, tid int, ts, dur uint64) {
+	if !t.Enabled(cat) {
+		return
+	}
+	t.push(Event{Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid})
+}
+
+// Instant records a point event on track (pid, tid) at ts, thread-scoped.
+func (t *Tracer) Instant(cat, name string, pid, tid int, ts uint64) {
+	if !t.Enabled(cat) {
+		return
+	}
+	t.push(Event{Name: name, Cat: cat, Ph: "i", TS: ts, PID: pid, TID: tid, S: "t"})
+}
+
+// Dropped returns how many events were overwritten by the ring buffer.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the buffered events sorted by timestamp (stable, so
+// same-cycle events keep emission order). Sorting globally by ts guarantees
+// monotonic timestamps within every (pid, tid) track, which trace viewers
+// require.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.events))
+	if t.full {
+		out = append(out, t.events[t.next:]...)
+		out = append(out, t.events[:t.next]...)
+	} else {
+		out = append(out, t.events...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// traceFile is the on-disk envelope: the Trace Event Format's "JSON object"
+// flavour, which Perfetto and chrome://tracing both accept.
+type traceFile struct {
+	TraceEvents []Event        `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the buffered events as Chrome trace-event JSON. procName
+// labels each pid's process track ("node" yields "node 3"); pass "" for no
+// metadata. dropped events are noted in otherData so a truncated trace is
+// self-describing.
+func (t *Tracer) WriteJSON(w io.Writer, procName string) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteJSON on nil tracer")
+	}
+	events := t.Events()
+	if procName != "" {
+		pids := make(map[int]struct{})
+		for i := range events {
+			pids[events[i].PID] = struct{}{}
+		}
+		meta := make([]Event, 0, len(pids))
+		for pid := range pids {
+			meta = append(meta, Event{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": fmt.Sprintf("%s %d", procName, pid)},
+			})
+		}
+		sort.Slice(meta, func(i, j int) bool { return meta[i].PID < meta[j].PID })
+		events = append(meta, events...)
+	}
+	out := traceFile{TraceEvents: events}
+	if t.dropped > 0 {
+		out.OtherData = map[string]any{"droppedEvents": t.dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace to path as Chrome trace-event JSON.
+func (t *Tracer) WriteFile(path, procName string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteJSON(f, procName)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, werr)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerCategoriesAndEvents(t *testing.T) {
+	tr := NewTracer(16, "sync,coh")
+	if !tr.Enabled("sync") || !tr.Enabled("coh") || tr.Enabled("trans") {
+		t.Fatal("category filter wrong")
+	}
+	tr.Complete("sync", "barrier", 0, 0, 100, 50)
+	tr.Instant("trans", "tlb-miss", 0, 0, 10) // filtered
+	tr.Instant("coh", "inject", 1, 0, 20)
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	ev := tr.Events()
+	if ev[0].Name != "inject" || ev[1].Name != "barrier" {
+		t.Fatalf("not sorted by ts: %+v", ev)
+	}
+}
+
+func TestTracerRingBufferBounds(t *testing.T) {
+	tr := NewTracer(4, "")
+	for i := 0; i < 10; i++ {
+		tr.Instant("c", "e", 0, 0, uint64(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	// The most recent 4 events survive.
+	if ev[0].TS != 6 || ev[3].TS != 9 {
+		t.Fatalf("survivors = %+v", ev)
+	}
+}
+
+// TestTracerJSONStructure validates the export the way a trace viewer
+// would: well-formed JSON, a traceEvents array, required ph/ts/pid/tid
+// fields on every event, and monotonic timestamps within each (pid, tid)
+// track.
+func TestTracerJSONStructure(t *testing.T) {
+	tr := NewTracer(64, "")
+	// Emit deliberately out of timestamp order across two tracks.
+	tr.Complete("coh", "remote-read", 2, 0, 500, 40)
+	tr.Instant("trans", "tlb-miss", 1, 0, 100)
+	tr.Complete("sync", "barrier", 1, 0, 50, 400)
+	tr.Instant("repl", "inject", 2, 0, 90)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, "node"); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace JSON malformed: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	lastTS := make(map[[2]int]float64)
+	metadata := 0
+	for _, e := range parsed.TraceEvents {
+		for _, field := range []string{"ph", "name", "pid", "tid"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event missing %q: %v", field, e)
+			}
+		}
+		if e["ph"] == "M" {
+			metadata++
+			continue
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok {
+			t.Fatalf("event missing numeric ts: %v", e)
+		}
+		key := [2]int{int(e["pid"].(float64)), int(e["tid"].(float64))}
+		if ts < lastTS[key] {
+			t.Fatalf("track %v timestamps not monotonic: %v after %v", key, ts, lastTS[key])
+		}
+		lastTS[key] = ts
+	}
+	if metadata != 2 {
+		t.Fatalf("want 2 process_name metadata events (pids 1, 2), got %d", metadata)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Complete("c", "n", 0, 0, 1, 2)
+	tr.Instant("c", "n", 0, 0, 1)
+	if tr.Enabled("c") || tr.Len() != 0 || tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, ""); err == nil {
+		t.Fatal("nil tracer WriteJSON should error")
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram counts uint64 observations (typically latencies in cycles) into
+// power-of-two buckets: bucket i counts values v with bits.Len64(v) == i,
+// i.e. v == 0 for bucket 0 and v in [2^(i-1), 2^i) for i >= 1. Observe is
+// allocation-free and a no-op on a nil receiver.
+type Histogram struct {
+	name    string
+	count   uint64
+	sum     uint64
+	max     uint64
+	buckets [65]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: values in [Lo, Hi).
+type HistogramBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON-exportable state of a Histogram.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram's current state, keeping only non-empty
+// buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Name: h.name, Count: h.count, Sum: h.sum, Max: h.max}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		b := HistogramBucket{Count: c}
+		if i > 0 {
+			b.Lo = 1 << (i - 1)
+			b.Hi = 1 << i
+		} else {
+			b.Hi = 1 // bucket 0 holds only v == 0
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// Mean returns the average observation, or 0 for an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Render formats the snapshot as an aligned text histogram with
+// proportional bars, one line per non-empty bucket:
+//
+//	lat/access: 12345 obs, mean 41.2, max 1892
+//	  [   16,   32)     5379 ██████████████████████████
+//	  [   32,   64)     1200 ██████
+func (s HistogramSnapshot) Render() string {
+	var b strings.Builder
+	name := s.Name
+	if name == "" {
+		name = "histogram"
+	}
+	fmt.Fprintf(&b, "%s: %d obs, mean %.1f, max %d\n", name, s.Count, s.Mean(), s.Max)
+	var peak uint64
+	for _, bk := range s.Buckets {
+		if bk.Count > peak {
+			peak = bk.Count
+		}
+	}
+	const barWidth = 40
+	for _, bk := range s.Buckets {
+		bar := int(bk.Count * barWidth / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  [%6d,%6d) %8d %s\n", bk.Lo, bk.Hi, bk.Count, strings.Repeat("█", bar))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram counted")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	r.Probe("x", func() float64 { return 1 })
+	if r.Len() != 0 || r.Sample(nil) != nil {
+		t.Fatal("nil registry holds metrics")
+	}
+}
+
+// TestObsDisabledZeroAlloc is the CI gate for the disabled path: every
+// instrument emission on a nil receiver must be allocation-free, or the
+// no-op sink would tax paper-scale runs. BenchmarkObsOverhead at the
+// repository root measures the cycle cost of the same path end to end.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		s *Sampler
+		r *Registry
+		w *Tracer
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(42)
+		s.Tick(99999)
+		s.Finish(99999)
+		r.Sample(nil)
+		w.Complete("coh", "remote-read", 3, 0, 100, 40)
+		w.Instant("trans", "tlb-miss", 1, 0, 50)
+		_ = w.Enabled("sync")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRegistryCountersAndProbes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(3)
+	if r.Counter("a") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	backing := uint64(0)
+	r.Probe("b", func() float64 { return float64(backing) })
+	g := r.Gauge("c")
+	g.Set(2.5)
+	backing = 7
+
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+	vals := r.Sample(nil)
+	if vals[0] != 3 || vals[1] != 7 || vals[2] != 2.5 {
+		t.Fatalf("sample = %v", vals)
+	}
+	if v, ok := r.Value("b"); !ok || v != 7 {
+		t.Fatalf("Value(b) = %v, %v", v, ok)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []uint64{0, 1, 1, 3, 16, 17, 31, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 || s.Max != 1000 || s.Sum != 0+1+1+3+16+17+31+1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	want := map[uint64]uint64{ // lo -> count
+		0:   1, // v == 0
+		1:   2, // [1,2)
+		2:   1, // [2,4): 3
+		16:  3, // [16,32): 16, 17, 31
+		512: 1, // [512,1024): 1000
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d: %+v", len(s.Buckets), len(want), s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Lo] != b.Count {
+			t.Errorf("bucket lo=%d count=%d, want %d", b.Lo, b.Count, want[b.Lo])
+		}
+		if b.Lo == 0 && b.Hi != 1 {
+			t.Errorf("zero bucket hi = %d", b.Hi)
+		}
+		if b.Lo > 0 && b.Hi != 2*b.Lo {
+			t.Errorf("bucket [%d,%d) not power-of-two", b.Lo, b.Hi)
+		}
+	}
+	out := s.Render()
+	if !strings.Contains(out, "lat:") || !strings.Contains(out, "█") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestObserverNilAccessors(t *testing.T) {
+	var o *Observer
+	if o.Reg() != nil || o.Samp() != nil || o.Tr() != nil {
+		t.Fatal("nil observer exposed live services")
+	}
+	o = New(Options{})
+	if o.Registry == nil || o.Sampler != nil || o.Tracer != nil {
+		t.Fatal("zero options should build registry only")
+	}
+	o = New(Options{MetricsInterval: 100, TraceCapacity: 10})
+	if o.Sampler == nil || o.Tracer == nil {
+		t.Fatal("sampler/tracer not built")
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import "sort"
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// no-ops on a nil receiver, so a disabled counter costs one nil check.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a settable float64 metric; nil-safe like Counter.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindProbe
+)
+
+type metric struct {
+	name    string
+	kind    metricKind
+	counter *Counter
+	gauge   *Gauge
+	probe   func() float64
+}
+
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value())
+	case kindGauge:
+		return m.gauge.Value()
+	default:
+		return m.probe()
+	}
+}
+
+// Registry is a set of named metrics. Scalar metrics (counters, gauges and
+// pull-style probes) are sampled into time series by the Sampler; latency
+// histograms are registered alongside and exported whole at the end of a
+// run. Registering on a nil *Registry returns nil instruments, which are
+// themselves no-ops — so one nil check at attach time disables a whole
+// subsystem's instrumentation.
+//
+// Metric names are free-form; the simulator's convention is
+// "node07/tlb.misses" for per-node series and "net/requests" for
+// machine-wide ones, which is what groups the exported series per node.
+type Registry struct {
+	metrics []metric
+	index   map[string]int
+	hists   []*Histogram
+	histIdx map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int), histIdx: make(map[string]int)}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op counter) when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if i, ok := r.index[name]; ok {
+		return r.metrics[i].counter
+	}
+	c := &Counter{}
+	r.add(metric{name: name, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if i, ok := r.index[name]; ok {
+		return r.metrics[i].gauge
+	}
+	g := &Gauge{}
+	r.add(metric{name: name, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Probe registers a pull-style metric: fn is invoked at every sample. This
+// is how existing aggregate counters (machine NodeStats, fabric Stats,
+// protocol Stats) become time series without adding push calls to hot
+// paths. No-op when r is nil. Re-registering a name replaces the probe.
+func (r *Registry) Probe(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	if i, ok := r.index[name]; ok {
+		r.metrics[i] = metric{name: name, kind: kindProbe, probe: fn}
+		return
+	}
+	r.add(metric{name: name, kind: kindProbe, probe: fn})
+}
+
+// Histogram returns the named latency histogram, creating it on first use;
+// nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if i, ok := r.histIdx[name]; ok {
+		return r.hists[i]
+	}
+	h := &Histogram{name: name}
+	r.histIdx[name] = len(r.hists)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+func (r *Registry) add(m metric) {
+	r.index[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// Names returns the scalar metric names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.metrics))
+	for i := range r.metrics {
+		out[i] = r.metrics[i].name
+	}
+	return out
+}
+
+// Len returns the number of scalar metrics registered.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.metrics)
+}
+
+// Sample appends the current value of every scalar metric, in registration
+// order, to dst and returns it.
+func (r *Registry) Sample(dst []float64) []float64 {
+	if r == nil {
+		return dst
+	}
+	for i := range r.metrics {
+		dst = append(dst, r.metrics[i].value())
+	}
+	return dst
+}
+
+// Value returns the current value of the named scalar metric.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	i, ok := r.index[name]
+	if !ok {
+		return 0, false
+	}
+	return r.metrics[i].value(), true
+}
+
+// Histograms snapshots every registered histogram, sorted by name.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	out := make([]HistogramSnapshot, 0, len(r.hists))
+	for _, h := range r.hists {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sampler snapshots a Registry's scalar metrics every interval simulated
+// cycles, building cumulative time series. The simulation engine drives it
+// with Tick(now) as processor clocks advance and seals it with Finish at
+// the end of the run, so the final sample always equals the run's aggregate
+// counters. Tick is a no-op on a nil receiver and costs one comparison
+// between epochs.
+type Sampler struct {
+	reg      *Registry
+	interval uint64
+	next     uint64
+	cycles   []uint64
+	rows     [][]float64
+}
+
+// NewSampler builds a sampler over reg with the given epoch length in
+// simulated cycles.
+func NewSampler(reg *Registry, interval uint64) *Sampler {
+	if interval == 0 {
+		interval = 1
+	}
+	// The first sample fires at the end of the first epoch, not at cycle 0
+	// (where everything is zero).
+	return &Sampler{reg: reg, interval: interval, next: interval}
+}
+
+// Interval returns the epoch length in cycles (0 for nil).
+func (s *Sampler) Interval() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Tick advances simulated time to now, recording one sample if an epoch
+// boundary was crossed since the previous sample. The engine's cycle-ordered
+// scheduling makes successive now values non-decreasing; stale ticks are
+// ignored.
+func (s *Sampler) Tick(now uint64) {
+	if s == nil || now < s.next {
+		return
+	}
+	s.sample(now)
+}
+
+// Finish records the run's final state at cycle now (the parallel execution
+// time), unless a sample at that exact cycle already exists.
+func (s *Sampler) Finish(now uint64) {
+	if s == nil {
+		return
+	}
+	if n := len(s.cycles); n > 0 && s.cycles[n-1] >= now {
+		return
+	}
+	s.sample(now)
+}
+
+func (s *Sampler) sample(now uint64) {
+	s.cycles = append(s.cycles, now)
+	s.rows = append(s.rows, s.reg.Sample(nil))
+	s.next = now - now%s.interval + s.interval
+}
+
+// Samples returns how many samples were recorded (0 for nil).
+func (s *Sampler) Samples() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.cycles)
+}
+
+// Series is one metric's sampled values, index-aligned with
+// TimeSeries.Cycles.
+type Series struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// TimeSeries is the exportable form of a finished sampler: a shared cycle
+// axis and one cumulative series per scalar metric. It JSON-round-trips
+// losslessly, so it embeds directly into report.RunSummary and runner cache
+// sidecar files.
+type TimeSeries struct {
+	IntervalCycles uint64   `json:"intervalCycles"`
+	Cycles         []uint64 `json:"cycles"`
+	Series         []Series `json:"series"`
+}
+
+// Export assembles the recorded samples into a TimeSeries. Metrics
+// registered after sampling began are zero-padded at the front so every
+// series has one value per cycle.
+func (s *Sampler) Export() TimeSeries {
+	if s == nil {
+		return TimeSeries{}
+	}
+	names := s.reg.Names()
+	ts := TimeSeries{IntervalCycles: s.interval, Cycles: s.cycles}
+	for j, name := range names {
+		vals := make([]float64, len(s.rows))
+		for i, row := range s.rows {
+			if j < len(row) {
+				vals[i] = row[j]
+			}
+		}
+		ts.Series = append(ts.Series, Series{Name: name, Values: vals})
+	}
+	return ts
+}
+
+// Last returns the final sampled value of the named metric.
+func (ts TimeSeries) Last(name string) (float64, bool) {
+	for _, s := range ts.Series {
+		if s.Name == name && len(s.Values) > 0 {
+			return s.Values[len(s.Values)-1], true
+		}
+	}
+	return 0, false
+}
+
+// WriteJSON writes the time series as indented JSON.
+func (ts TimeSeries) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts)
+}
+
+// WriteCSV writes the time series as CSV: a "cycles" column followed by one
+// column per metric, one row per sample.
+func (ts TimeSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"cycles"}, make([]string, 0, len(ts.Series))...)
+	for _, s := range ts.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, c := range ts.Cycles {
+		row[0] = strconv.FormatUint(c, 10)
+		for j, s := range ts.Series {
+			if i < len(s.Values) {
+				row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+			} else {
+				row[j+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile writes the series to path, choosing CSV when the path ends in
+// ".csv" and JSON otherwise.
+func (ts TimeSeries) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = ts.WriteCSV(f)
+	} else {
+		werr = ts.WriteJSON(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, werr)
+	}
+	return nil
+}

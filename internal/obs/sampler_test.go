@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSamplerEpochs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("node00/x")
+	s := NewSampler(r, 100)
+
+	c.Add(1)
+	s.Tick(10) // before first epoch boundary: no sample
+	if s.Samples() != 0 {
+		t.Fatal("sampled before first epoch")
+	}
+	c.Add(1)
+	s.Tick(150) // crosses 100
+	c.Add(1)
+	s.Tick(160) // same epoch: no sample
+	s.Tick(320) // crosses 200 and 300: one sample (cumulative series)
+	s.Finish(350)
+	s.Finish(350) // idempotent
+
+	ts := s.Export()
+	if len(ts.Cycles) != 3 {
+		t.Fatalf("cycles = %v", ts.Cycles)
+	}
+	if ts.Cycles[0] != 150 || ts.Cycles[1] != 320 || ts.Cycles[2] != 350 {
+		t.Fatalf("cycles = %v", ts.Cycles)
+	}
+	if got := ts.Series[0].Values; got[0] != 2 || got[1] != 3 || got[2] != 3 {
+		t.Fatalf("values = %v", got)
+	}
+	if v, ok := ts.Last("node00/x"); !ok || v != 3 {
+		t.Fatalf("Last = %v, %v", v, ok)
+	}
+}
+
+func TestSamplerLateRegistrationPads(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	s := NewSampler(r, 10)
+	s.Tick(10)
+	r.Counter("b").Add(5)
+	s.Finish(20)
+	ts := s.Export()
+	if len(ts.Series) != 2 {
+		t.Fatalf("series = %d", len(ts.Series))
+	}
+	if b := ts.Series[1]; b.Values[0] != 0 || b.Values[1] != 5 {
+		t.Fatalf("late series = %v", b.Values)
+	}
+}
+
+func TestTimeSeriesJSONRoundTripAndCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n/x").Add(4)
+	r.Probe("n/y", func() float64 { return 1.25 })
+	s := NewSampler(r, 5)
+	s.Tick(7)
+	s.Finish(12)
+	ts := s.Export()
+
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TimeSeries
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IntervalCycles != 5 || len(back.Cycles) != 2 || len(back.Series) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Series[1].Values[1] != 1.25 {
+		t.Fatalf("probe value lost: %+v", back.Series[1])
+	}
+
+	buf.Reset()
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+	if lines[0] != "cycles,n/x,n/y" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "12,4,1.25") {
+		t.Fatalf("csv final row %q", lines[2])
+	}
+}

@@ -1,5 +1,7 @@
 package report
 
+import "vcoma/internal/obs"
+
 // Breakdown is a per-processor execution-time decomposition in cycles: the
 // unit of Figure 10 and Table 4, of the runner's cached timed-pass results,
 // and of the vcoma-sim -json output. One schema serves all three, so a
@@ -73,4 +75,10 @@ type RunSummary struct {
 	DLB      *TranslationStats `json:"dlb,omitempty"`
 
 	Protocol ProtocolSummary `json:"protocol"`
+
+	// TimeSeries is the run's epoch-sampled metrics (present when the run
+	// was instrumented with -metrics-interval).
+	TimeSeries *obs.TimeSeries `json:"timeSeries,omitempty"`
+	// Latency holds the run's latency histograms (instrumented runs only).
+	Latency []obs.HistogramSnapshot `json:"latency,omitempty"`
 }

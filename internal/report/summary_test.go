@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vcoma/internal/obs"
+)
+
+// summaryFixture builds a RunSummary with every optional observability field
+// populated, the way an instrumented vcoma-sim -json run does.
+func summaryFixture() RunSummary {
+	reg := obs.NewRegistry()
+	reg.Counter("node00/refs").Add(100)
+	reg.Counter("node01/refs").Add(50)
+	s := obs.NewSampler(reg, 1000)
+	s.Tick(1000)
+	s.Tick(2000)
+	s.Finish(2500)
+	ts := s.Export()
+
+	h := reg.Histogram("lat/access")
+	for _, v := range []uint64{1, 3, 500, 1200} {
+		h.Observe(v)
+	}
+
+	return RunSummary{
+		Benchmark:  "RADIX",
+		Scheme:     "V-COMA",
+		Scale:      "test",
+		TLBEntries: 8,
+		TLBOrg:     "FA",
+		ExecCycles: 2500,
+		Breakdown: Breakdown{
+			Label: "DLB/8", Busy: 10, Sync: 20, Local: 30, Remote: 40, Trans: 5, Exec: 2500,
+		},
+		Refs:       150,
+		Hits:       HitRates{FLC: 55.5, SLC: 20, LocalAM: 1, Remote: 23.5},
+		DLB:        &TranslationStats{Accesses: 150, Misses: 3, MissPctOfRefs: 2},
+		Protocol:   ProtocolSummary{RemoteReads: 7, WriteFetches: 2},
+		TimeSeries: &ts,
+		Latency:    reg.Histograms(),
+	}
+}
+
+func TestRunSummaryRoundTrip(t *testing.T) {
+	want := summaryFixture()
+	data, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RunSummary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the summary:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// The decoded time series still answers queries.
+	if v, ok := got.TimeSeries.Last("node00/refs"); !ok || v != 100 {
+		t.Fatalf("decoded final sample = %v, ok=%v", v, ok)
+	}
+	if len(got.Latency) != 1 || got.Latency[0].Name != "lat/access" {
+		t.Fatalf("decoded latency %+v", got.Latency)
+	}
+	if got.Latency[0].Count != 4 {
+		t.Fatalf("decoded histogram count %d", got.Latency[0].Count)
+	}
+}
+
+func TestRunSummaryOptionalFieldsOmitted(t *testing.T) {
+	// An uninstrumented run must serialize without the observability keys,
+	// so pre-observability consumers see an unchanged schema.
+	plain := RunSummary{Benchmark: "FFT", Breakdown: Breakdown{Busy: 1}}
+	data, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"timeSeries", "latency", "tlb", "dlb"} {
+		if strings.Contains(string(data), `"`+key+`"`) {
+			t.Fatalf("plain summary leaked %q: %s", key, data)
+		}
+	}
+	var got RunSummary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeSeries != nil || got.Latency != nil {
+		t.Fatalf("optional fields materialized: %+v", got)
+	}
+}

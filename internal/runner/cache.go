@@ -53,6 +53,12 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, string(key[:2]), string(key)+".json")
 }
 
+// metricsPath is the metrics sidecar written next to a cache entry by
+// Metrics-enabled runs.
+func (c *Cache) metricsPath(key Key) string {
+	return filepath.Join(c.dir, string(key[:2]), string(key)+".metrics.json")
+}
+
 // get returns the raw result bytes for key, or false on a miss. Unreadable
 // and malformed entries are misses.
 func (c *Cache) get(key Key) (json.RawMessage, bool) {
@@ -98,7 +104,42 @@ func (c *Cache) Put(key Key, job string, v any) error {
 	if err != nil {
 		return err
 	}
-	path := c.path(key)
+	return writeFileAtomic(c.path(key), data)
+}
+
+// PutMetrics stores a job's observability sidecar next to its cache entry,
+// atomically like Put. The sidecar is informational: it is never consulted
+// by the cache probe, so a missing or stale one cannot change results.
+func (c *Cache) PutMetrics(key Key, m JobMetrics) error {
+	if len(key) < 2 {
+		return fmt.Errorf("runner: invalid cache key %q", key)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding metrics for %s: %w", m.Job, err)
+	}
+	return writeFileAtomic(c.metricsPath(key), data)
+}
+
+// GetMetrics loads the metrics sidecar for key, if one exists.
+func (c *Cache) GetMetrics(key Key) (JobMetrics, bool) {
+	var m JobMetrics
+	if len(key) < 2 {
+		return m, false
+	}
+	data, err := os.ReadFile(c.metricsPath(key))
+	if err != nil {
+		return m, false
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return JobMetrics{}, false
+	}
+	return m, true
+}
+
+// writeFileAtomic writes data to path via a temporary file and rename, so
+// concurrent runners sharing a directory never observe torn writes.
+func writeFileAtomic(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -158,11 +199,11 @@ func isHex(s string) bool {
 	return true
 }
 
-// Len counts the entries currently stored.
+// Len counts the entries currently stored (metrics sidecars excluded).
 func (c *Cache) Len() int {
 	n := 0
 	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasSuffix(path, ".metrics.json") {
 			n++
 		}
 		return nil

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vcoma/internal/obs"
+)
+
+func TestCacheMetricsSidecarRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("metrics", 1)
+	reg := obs.NewRegistry()
+	reg.Counter("refs").Add(12)
+	s := obs.NewSampler(reg, 100)
+	s.Tick(100)
+	s.Finish(250)
+	ts := s.Export()
+	want := JobMetrics{Job: "j", TimeSeries: &ts}
+	if err := c.PutMetrics(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GetMetrics(key)
+	if !ok || got.Job != "j" {
+		t.Fatalf("got %+v, ok=%v", got, ok)
+	}
+	if v, ok := got.TimeSeries.Last("refs"); !ok || v != 12 {
+		t.Fatalf("final refs sample = %v, ok=%v", v, ok)
+	}
+	// The sidecar is informational: it must not count as a cache entry.
+	if c.Len() != 0 {
+		t.Fatalf("sidecar counted as entry: len %d", c.Len())
+	}
+	if _, ok := c.GetMetrics(KeyOf("other")); ok {
+		t.Fatal("miss reported as hit")
+	}
+}
+
+func TestRunWritesMetricsSidecar(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("sidecar")
+	j := New("j", key, func(ctx context.Context) (int, error) {
+		o := ObserverFrom(ctx)
+		if o == nil {
+			t.Error("Metrics run installed no observer")
+			return 0, nil
+		}
+		o.Registry.Counter("work").Add(7)
+		o.Sampler.Finish(42)
+		return 1, nil
+	})
+	if _, err := Run(context.Background(), []Job{j}, Options{Cache: c, Metrics: true}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := c.GetMetrics(key)
+	if !ok {
+		t.Fatal("no metrics sidecar written")
+	}
+	if m.Job != "j" {
+		t.Fatalf("sidecar job %q", m.Job)
+	}
+	if v, ok := m.TimeSeries.Last("work"); !ok || v != 7 {
+		t.Fatalf("final work sample = %v, ok=%v", v, ok)
+	}
+	// The sidecar lives next to the entry, named <key>.metrics.json.
+	p := filepath.Join(c.Dir(), string(key[:2]), string(key)+".metrics.json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cache hit recomputes nothing, so it rewrites no metrics — and a
+	// Metrics-off run installs no observer.
+	j2 := New("j2", KeyOf("plain"), func(ctx context.Context) (int, error) {
+		if ObserverFrom(ctx) != nil {
+			t.Error("observer installed without Metrics")
+		}
+		return 2, nil
+	})
+	rr, err := Run(context.Background(), []Job{j, j2}, Options{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CacheHits != 1 {
+		t.Fatalf("hits %d", rr.CacheHits)
+	}
+	if _, ok := c.GetMetrics(KeyOf("plain")); ok {
+		t.Fatal("Metrics-off run wrote a sidecar")
+	}
+}

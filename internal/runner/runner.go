@@ -23,6 +23,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"vcoma/internal/obs"
 )
 
 // Job is one schedulable unit of work. Construct jobs with New so the
@@ -84,6 +86,39 @@ type Options struct {
 	Policy Policy
 	// Progress, if non-nil, receives per-job completion events.
 	Progress *Progress
+	// Metrics gives each freshly-computed job its own obs.Observer,
+	// reachable inside the job via ObserverFrom(ctx). When the job
+	// succeeds, is keyed and a Cache is attached, the observer's time
+	// series and histograms are written next to the cache entry as
+	// <key>.metrics.json. Cache hits have no metrics to record.
+	Metrics bool
+	// MetricsInterval is the sampler epoch in simulated cycles for
+	// Metrics-enabled runs; 0 means DefaultMetricsInterval.
+	MetricsInterval uint64
+}
+
+// DefaultMetricsInterval is the sampler epoch used when Options.Metrics is
+// on and no interval is given.
+const DefaultMetricsInterval = 10000
+
+// obsCtxKey carries a job's Observer through its context.
+type obsCtxKey struct{}
+
+// ObserverFrom returns the observability sink a Metrics-enabled Run
+// installed for this job, or nil. Job functions pass it to instrumented
+// entry points (e.g. vcoma.RunInstrumented); a nil result degrades to an
+// uninstrumented run.
+func ObserverFrom(ctx context.Context) *obs.Observer {
+	o, _ := ctx.Value(obsCtxKey{}).(*obs.Observer)
+	return o
+}
+
+// JobMetrics is the sidecar written next to a cache entry for
+// Metrics-enabled runs.
+type JobMetrics struct {
+	Job        string                  `json:"job"`
+	TimeSeries *obs.TimeSeries         `json:"timeSeries,omitempty"`
+	Histograms []obs.HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Result is one job's outcome.
@@ -360,6 +395,15 @@ func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 			opt.Cache.remove(j.Key)
 		}
 	}
+	var o *obs.Observer
+	if opt.Metrics {
+		interval := opt.MetricsInterval
+		if interval == 0 {
+			interval = DefaultMetricsInterval
+		}
+		o = obs.New(obs.Options{MetricsInterval: interval})
+		ctx = context.WithValue(ctx, obsCtxKey{}, o)
+	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -372,6 +416,14 @@ func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 	if res.Err == nil && opt.Cache != nil && j.Key != "" {
 		// A failed write only costs a recomputation next run.
 		_ = opt.Cache.Put(j.Key, j.Name, res.Value)
+		if o != nil && o.Registry.Len() > 0 {
+			ts := o.Sampler.Export()
+			_ = opt.Cache.PutMetrics(j.Key, JobMetrics{
+				Job:        j.Name,
+				TimeSeries: &ts,
+				Histograms: o.Registry.Histograms(),
+			})
+		}
 	}
 	return res
 }

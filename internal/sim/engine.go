@@ -15,6 +15,7 @@ import (
 
 	"vcoma/internal/addr"
 	"vcoma/internal/machine"
+	"vcoma/internal/obs"
 	"vcoma/internal/trace"
 )
 
@@ -87,6 +88,9 @@ type Engine struct {
 	locks    map[int]*lockState
 	barriers map[int]*barrierState
 	events   uint64
+
+	sampler *obs.Sampler
+	tracer  *obs.Tracer
 }
 
 // New builds an engine for machine m and one event stream per processor.
@@ -112,6 +116,34 @@ func newEngine(m *machine.Machine, streams []trace.Stream) (*Engine, error) {
 		e.procs = append(e.procs, procState{stream: s})
 	}
 	return e, nil
+}
+
+// SetObserver wires an observability sink into the engine: per-processor
+// time-breakdown probes, the epoch sampler (driven by the executing
+// processor's clock, which the cycle-ordered scheduler keeps
+// non-decreasing), and "sync"-category trace events for lock and barrier
+// waits. Call before Run; the machine's own AttachObserver is separate.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	e.sampler = o.Samp()
+	e.tracer = o.Tr()
+	r := o.Reg()
+	if r == nil {
+		return
+	}
+	r.Probe("sim/events", func() float64 { return float64(e.events) })
+	for i := range e.procs {
+		p := &e.procs[i]
+		pre := fmt.Sprintf("proc%02d", i)
+		r.Probe(pre+"/busy", func() float64 { return float64(p.stats.Busy) })
+		r.Probe(pre+"/sync", func() float64 { return float64(p.stats.Sync) })
+		r.Probe(pre+"/stallLocal", func() float64 { return float64(p.stats.StallLocal) })
+		r.Probe(pre+"/stallRemote", func() float64 { return float64(p.stats.StallRemote) })
+		r.Probe(pre+"/trans", func() float64 { return float64(p.stats.Trans) })
+		r.Probe(pre+"/refs", func() float64 { return float64(p.stats.Refs) })
+	}
 }
 
 // Run executes the workload to completion and returns the per-processor
@@ -143,6 +175,7 @@ func (e *Engine) Run() (Result, error) {
 			res.ExecTime = p.clock
 		}
 	}
+	e.sampler.Finish(res.ExecTime)
 	return res, nil
 }
 
@@ -221,6 +254,7 @@ func (e *Engine) step(i int) error {
 	default:
 		return fmt.Errorf("sim: processor %d: unknown event kind %v", i, ev.Kind)
 	}
+	e.sampler.Tick(p.clock)
 	return nil
 }
 
@@ -284,6 +318,9 @@ func (e *Engine) lockRelease(i, id int) error {
 	np.clock = grant
 	np.waiting = false
 	l.owner = next
+	if e.tracer.Enabled("sync") {
+		e.tracer.Complete("sync", "lock-wait", next, 0, arrived, grant-arrived)
+	}
 	return nil
 }
 
@@ -315,6 +352,12 @@ func (e *Engine) barrierArrive(i, id int) {
 	for k, j := range b.arrived {
 		q := &e.procs[j]
 		r := release + uint64(k)*releaseStagger
+		// q.clock still holds j's arrival time (waiting processors do not
+		// advance), which makes the barrier phase a complete event from
+		// arrival to restart on j's track.
+		if e.tracer.Enabled("sync") {
+			e.tracer.Complete("sync", "barrier", j, 0, q.clock, r-q.clock)
+		}
 		q.stats.Sync += r - q.clock
 		q.clock = r
 		q.waiting = false

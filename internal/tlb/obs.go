@@ -1,0 +1,15 @@
+package tlb
+
+import "vcoma/internal/obs"
+
+// RegisterBuffer registers a translation buffer's counters under prefix
+// (e.g. "node03/tlb") with an observability registry. The probes read the
+// buffer's existing Stats, so Access stays untouched; sampled over epochs
+// the deltas give the buffer's miss rate as it evolves through the run.
+func RegisterBuffer(r *obs.Registry, prefix string, b Buffer) {
+	if r == nil || b == nil {
+		return
+	}
+	r.Probe(prefix+".accesses", func() float64 { return float64(b.Stats().Accesses) })
+	r.Probe(prefix+".misses", func() float64 { return float64(b.Stats().Misses) })
+}

@@ -18,6 +18,7 @@ import (
 	"vcoma/internal/addr"
 	"vcoma/internal/config"
 	"vcoma/internal/machine"
+	"vcoma/internal/obs"
 	"vcoma/internal/sim"
 	"vcoma/internal/tlb"
 	"vcoma/internal/vm"
@@ -154,17 +155,34 @@ func (r *RunResult) SharedMB() float64 {
 // Run builds a machine for cfg, builds and preloads b, and simulates it to
 // completion.
 func Run(cfg Config, b Benchmark) (*RunResult, error) {
-	return run(cfg, b, nil)
+	return run(cfg, b, nil, nil)
 }
 
 // RunObserved is Run with a translation-observer bank grid attached to the
 // scheme's tap points: one pass measures every (size, organization) in
 // specs. Used by the Figure 8/9 and Table 2/3 experiments.
 func RunObserved(cfg Config, b Benchmark, specs []tlb.Spec) (*RunResult, error) {
-	return run(cfg, b, specs)
+	return run(cfg, b, specs, nil)
 }
 
-func run(cfg Config, b Benchmark, specs []tlb.Spec) (*RunResult, error) {
+// Observer is the simulator-wide instrumentation sink (metrics registry,
+// epoch sampler, trace-event buffer). Build one with NewObserver.
+type Observer = obs.Observer
+
+// ObserverOptions configures an Observer.
+type ObserverOptions = obs.Options
+
+// NewObserver builds an instrumentation sink to pass to RunInstrumented.
+func NewObserver(opt ObserverOptions) *Observer { return obs.New(opt) }
+
+// RunInstrumented is Run with an observability sink attached through every
+// layer: per-node and per-processor metrics sampled each epoch, latency
+// histograms, and Chrome-trace events. A nil observer behaves like Run.
+func RunInstrumented(cfg Config, b Benchmark, o *Observer) (*RunResult, error) {
+	return run(cfg, b, nil, o)
+}
+
+func run(cfg Config, b Benchmark, specs []tlb.Spec, o *obs.Observer) (*RunResult, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
@@ -178,11 +196,13 @@ func run(cfg Config, b Benchmark, specs []tlb.Spec) (*RunResult, error) {
 			return nil, err
 		}
 	}
+	m.AttachObserver(o)
 	m.Preload(prog.Layout())
 	eng, err := sim.New(m, prog.Streams())
 	if err != nil {
 		return nil, err
 	}
+	eng.SetObserver(o)
 	res, err := eng.Run()
 	if err != nil {
 		return nil, fmt.Errorf("vcoma: running %s on %v: %w", prog.Name(), cfg.Scheme, err)
