@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all vet build test race fuzz-smoke soak check clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short native-fuzz runs of the correctness oracles; new interesting inputs
+# stay in the Go build cache, crashers land in internal/check/testdata/fuzz/
+# and internal/tlb/testdata/fuzz/ ready to commit as regressions.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSchemesAgree -fuzztime 30s ./internal/check/
+	$(GO) test -run '^$$' -fuzz FuzzMachine -fuzztime 30s ./internal/check/
+	$(GO) test -run '^$$' -fuzz FuzzBufferParity -fuzztime 10s ./internal/tlb/
+
+# Longer oracle soak over seeded random workloads; failing seeds are written
+# to fuzz-artifacts/ in Go fuzz-corpus format.
+soak:
+	mkdir -p fuzz-artifacts
+	$(GO) run ./cmd/vcoma-check -seeds 1000 -budget 3m -artifacts fuzz-artifacts
+	$(GO) run ./cmd/vcoma-check -seeds 150 -diff -budget 3m -artifacts fuzz-artifacts
+
+# The full local gate: what CI runs, minus the long benchmark artifacts.
+check: vet build
+	$(GO) test -race ./...
+	mkdir -p fuzz-artifacts
+	$(GO) run ./cmd/vcoma-check -seeds 200 -budget 60s -artifacts fuzz-artifacts
+	$(GO) run ./cmd/vcoma-check -seeds 30 -diff -budget 60s -artifacts fuzz-artifacts
+
+clean:
+	rm -rf fuzz-artifacts artifacts

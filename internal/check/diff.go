@@ -1,0 +1,133 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/machine"
+	"vcoma/internal/workload"
+)
+
+// DiffOptions configures the cross-scheme differential oracle.
+type DiffOptions struct {
+	// Invariants also runs the full invariant checker inside each scheme's
+	// run (a violation there fails the whole differential immediately).
+	Invariants bool
+	// CompareValues also compares the per-reference value digests. Only
+	// sound for race-free workloads, where the version every read observes
+	// is interleaving-invariant.
+	CompareValues bool
+	// ScanEvery is forwarded to each run's checker.
+	ScanEvery uint64
+	// Mutate, if non-nil, runs on each scheme's machine before the run —
+	// the hook negative tests use to break exactly one scheme.
+	Mutate func(config.Scheme, *machine.Machine)
+}
+
+// DiffResult is a completed differential: one outcome per scheme plus any
+// detected disagreements.
+type DiffResult struct {
+	Outcomes   map[config.Scheme]*Outcome
+	Mismatches []string
+}
+
+// Err returns nil if all schemes agreed, else an error listing the
+// disagreements.
+func (r *DiffResult) Err() error {
+	if len(r.Mismatches) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: schemes disagree: %s", strings.Join(r.Mismatches, "; "))
+}
+
+// Differential runs bench under all five translation schemes derived from
+// base and asserts they perform the same architectural computation:
+// identical per-processor reference counts and event-stream digests,
+// identical final memory images, and (for race-free workloads, with
+// CompareValues) identical per-reference value observations. The schemes
+// may differ arbitrarily in timing — that is the paper's subject — but
+// never in outcome.
+func Differential(base config.Config, bench workload.Benchmark, opt DiffOptions) (*DiffResult, error) {
+	res := &DiffResult{Outcomes: make(map[config.Scheme]*Outcome)}
+	var refScheme config.Scheme
+	var ref *Outcome
+	for _, s := range config.Schemes() {
+		cfg := base.WithScheme(s)
+		ro := Options{
+			ScanEvery:     opt.ScanEvery,
+			CollectValues: opt.CompareValues,
+			NoInvariants:  !opt.Invariants,
+		}
+		if opt.Mutate != nil {
+			scheme := s
+			ro.Mutate = func(m *machine.Machine) { opt.Mutate(scheme, m) }
+		}
+		out, err := RunChecked(cfg, bench, ro)
+		if err != nil {
+			return nil, fmt.Errorf("check: differential under %v: %w", s, err)
+		}
+		res.Outcomes[s] = out
+		if ref == nil {
+			refScheme, ref = s, out
+			continue
+		}
+		res.compare(refScheme, ref, s, out, opt)
+	}
+	return res, nil
+}
+
+func (r *DiffResult) compare(rs config.Scheme, ref *Outcome, s config.Scheme, out *Outcome, opt DiffOptions) {
+	mismatch := func(format string, args ...any) {
+		r.Mismatches = append(r.Mismatches, fmt.Sprintf(format, args...))
+	}
+	for p := range ref.RefsByProc {
+		if ref.RefsByProc[p] != out.RefsByProc[p] {
+			mismatch("proc %d issued %d refs under %v but %d under %v",
+				p, ref.RefsByProc[p], rs, out.RefsByProc[p], s)
+		}
+	}
+	for p := range ref.StreamDigests {
+		if ref.StreamDigests[p] != out.StreamDigests[p] {
+			mismatch("proc %d executed a different event stream under %v than under %v", p, s, rs)
+		}
+	}
+	if diffs := imageDiff(ref.Image, out.Image); len(diffs) > 0 {
+		mismatch("final memory image differs between %v and %v at %d block(s), first: %s",
+			rs, s, len(diffs), diffs[0])
+	}
+	if opt.CompareValues {
+		for p := range ref.ValueDigests {
+			if ref.ValueDigests[p] != out.ValueDigests[p] {
+				mismatch("proc %d value digest %#x under %v but %#x under %v (some read observed a different value)",
+					p, ref.ValueDigests[p], rs, out.ValueDigests[p], s)
+			}
+		}
+	}
+}
+
+// imageDiff returns human-readable descriptions of blocks whose final write
+// counts differ, sorted by block address.
+func imageDiff(a, b map[addr.Virtual]uint64) []string {
+	blocks := make(map[addr.Virtual]struct{}, len(a))
+	for k := range a {
+		blocks[k] = struct{}{}
+	}
+	for k := range b {
+		blocks[k] = struct{}{}
+	}
+	var diff []addr.Virtual
+	for k := range blocks {
+		if a[k] != b[k] {
+			diff = append(diff, k)
+		}
+	}
+	sort.Slice(diff, func(i, j int) bool { return diff[i] < diff[j] })
+	out := make([]string, len(diff))
+	for i, k := range diff {
+		out[i] = fmt.Sprintf("block %#x: %d vs %d writes", uint64(k), a[k], b[k])
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package check
+
+// FNV-1a, 64-bit. The oracles fingerprint event streams and value
+// observations with it; it is stable across runs and platforms, which is
+// all a differential comparison needs.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvMix folds one uint64 into an FNV-1a digest, byte by byte.
+func fnvMix(d, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		d ^= v & 0xff
+		d *= fnvPrime
+		v >>= 8
+	}
+	return d
+}

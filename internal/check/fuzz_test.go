@@ -1,0 +1,53 @@
+package check
+
+import (
+	"testing"
+
+	"vcoma/internal/check/fuzzgen"
+	"vcoma/internal/config"
+)
+
+// FuzzMachine drives one machine with a derived random workload under one
+// scheme and asserts every protocol invariant and the shadow-memory oracle
+// hold throughout. Inputs: (seed, scenario, size, scheme) — fuzzgen.Derive
+// and the scheme modulo make any four uint64 values runnable.
+//
+// Run natively:  go test -run=^$ -fuzz=FuzzMachine ./internal/check/
+func FuzzMachine(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(32), uint64(0))
+	f.Add(uint64(2), uint64(1), uint64(16), uint64(4))
+	f.Add(uint64(3), uint64(3), uint64(64), uint64(2))
+	f.Fuzz(func(t *testing.T, seed, scenario, size, scheme uint64) {
+		cfg := config.SmallTest().WithScheme(config.Scheme(scheme % 5))
+		w := fuzzgen.Derive(seed, scenario, size)
+		if _, err := RunChecked(cfg, w, Options{ScanEvery: 512}); err != nil {
+			t.Fatalf("%s under %v: %v", w.Name(), cfg.Scheme, err)
+		}
+	})
+}
+
+// FuzzSchemesAgree runs one derived workload under all five translation
+// schemes with the invariant checker on, and asserts they perform the same
+// architectural computation (the paper's implicit equivalence claim).
+// Inputs: (seed, scenario, size).
+//
+// Run natively:  go test -run=^$ -fuzz=FuzzSchemesAgree ./internal/check/
+func FuzzSchemesAgree(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(24))
+	f.Add(uint64(2), uint64(3), uint64(48))
+	f.Add(uint64(5), uint64(4), uint64(12))
+	f.Fuzz(func(t *testing.T, seed, scenario, size uint64) {
+		w := fuzzgen.Derive(seed, scenario, size)
+		res, err := Differential(config.SmallTest(), w, DiffOptions{
+			Invariants:    true,
+			CompareValues: w.RaceFree(),
+			ScanEvery:     1024,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+	})
+}

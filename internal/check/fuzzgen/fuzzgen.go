@@ -1,0 +1,336 @@
+// Package fuzzgen derives deterministic random workloads from fuzz seeds
+// for the correctness oracles in internal/check. Each scenario targets a
+// protocol mechanism the hand-written benchmarks exercise only incidentally:
+// migratory ownership rotation, contended locks, barrier storms,
+// attraction-memory capacity thrash within one global page set (the paper's
+// replacement/injection/swap chain), and the pathological page-alignment
+// case behind RAYTRACE's 32KB stack padding (§6.2).
+//
+// A derived workload is a workload.Benchmark: bit-for-bit reproducible from
+// (seed, scenario, size), independent of the translation scheme, and — for
+// every scenario but Locked — race-free, meaning the version each read
+// observes is interleaving-invariant, so even per-reference values must
+// agree across schemes.
+package fuzzgen
+
+import (
+	"fmt"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/prng"
+	"vcoma/internal/trace"
+	"vcoma/internal/vm"
+	"vcoma/internal/workload"
+)
+
+// Scenario selects the shape of a derived workload.
+type Scenario uint8
+
+const (
+	// Partitioned rotates block ownership across barrier-separated phases:
+	// read-sharing phases build up copysets, write phases invalidate them
+	// and migrate masters.
+	Partitioned Scenario = iota
+	// Locked increments lock-protected shared counters — the only scenario
+	// with timing-dependent read values (lock grant order is a race).
+	Locked
+	// BarrierStorm runs many barriers with tiny work between them.
+	BarrierStorm
+	// Thrash overcommits one global page set so replacement must run the
+	// full injection chain, forcing relocations, injections, and swaps.
+	Thrash
+	// Pathological aligns every processor's stack to the same page color
+	// (the RAYTRACE padding case) and walks them across page boundaries.
+	Pathological
+	// NumScenarios is the number of scenarios; Derive reduces modulo this.
+	NumScenarios
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case Partitioned:
+		return "partitioned"
+	case Locked:
+		return "locked"
+	case BarrierStorm:
+		return "barrierstorm"
+	case Thrash:
+		return "thrash"
+	case Pathological:
+		return "pathological"
+	default:
+		return fmt.Sprintf("Scenario(%d)", uint8(s))
+	}
+}
+
+// ScenarioByName returns the scenario with the given String name.
+func ScenarioByName(name string) (Scenario, error) {
+	for s := Scenario(0); s < NumScenarios; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("fuzzgen: unknown scenario %q", name)
+}
+
+// Workload is a derived fuzz workload. It implements workload.Benchmark.
+type Workload struct {
+	Seed uint64
+	Kind Scenario
+	// Ops scales the per-processor work (references per phase); Derive
+	// clamps it so a single run stays fast.
+	Ops int
+}
+
+// Derive maps raw fuzz inputs to a valid workload: any three uint64 values
+// produce something runnable.
+func Derive(seed, scenario, size uint64) *Workload {
+	return &Workload{
+		Seed: seed,
+		Kind: Scenario(scenario % uint64(NumScenarios)),
+		Ops:  8 + int(size%121), // 8..128
+	}
+}
+
+// RaceFree reports whether every read's observed value is
+// interleaving-invariant, making per-reference value digests comparable
+// across schemes.
+func (w *Workload) RaceFree() bool { return w.Kind != Locked }
+
+// Name implements workload.Benchmark.
+func (w *Workload) Name() string {
+	return fmt.Sprintf("FUZZ-%s-%x-%d", w.Kind, w.Seed, w.Ops)
+}
+
+// procSeed decorrelates per-processor streams from one workload seed.
+func (w *Workload) procSeed(p int) uint64 {
+	return w.Seed ^ (uint64(p)+1)*0x9e3779b97f4a7c15
+}
+
+// Build implements workload.Benchmark.
+func (w *Workload) Build(g addr.Geometry, procs int) (*workload.Program, error) {
+	switch w.Kind {
+	case Partitioned:
+		return w.buildPartitioned(g, procs), nil
+	case Locked:
+		return w.buildLocked(g, procs), nil
+	case BarrierStorm:
+		return w.buildBarrierStorm(g, procs), nil
+	case Thrash:
+		return w.buildThrash(g, procs), nil
+	case Pathological:
+		return w.buildPathological(g, procs), nil
+	default:
+		return nil, fmt.Errorf("fuzzgen: scenario %v not buildable", w.Kind)
+	}
+}
+
+// buildPartitioned: data blocks with per-phase ownership b%procs rotating
+// each phase. Even phases everyone READS every block (copyset grows to all
+// nodes); odd phases each owner read-modify-writes its blocks (invalidating
+// the shared copies and migrating masters).
+func (w *Workload) buildPartitioned(g addr.Geometry, procs int) *workload.Program {
+	bs := g.AMBlockSize()
+	shape := prng.New(w.Seed)
+	nb := procs * (2 + int(shape.Uint64n(4))) // 2..5 blocks per proc
+	phases := 2 * (2 + int(shape.Uint64n(3))) // 4..8 phases, share/write pairs
+	reps := max(1, w.Ops/nb)
+
+	layout := vm.NewLayout(g)
+	data := layout.Alloc("data", uint64(nb)*bs, 0)
+
+	gen := func(p int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			rng := prng.New(w.procSeed(p))
+			for ph := 0; ph < phases; ph++ {
+				if ph%2 == 0 {
+					// Sharing phase: everyone reads everything.
+					for _, b := range rng.Perm(nb) {
+						e.Read(data.At(uint64(b) * bs))
+					}
+				} else {
+					// Write phase: rotating exclusive ownership.
+					for r := 0; r < reps; r++ {
+						for _, b := range rng.Perm(nb) {
+							if (b+ph)%procs != p {
+								continue
+							}
+							a := data.At(uint64(b) * bs)
+							e.Read(a)
+							e.Write(a)
+						}
+						e.Compute(1 + rng.Uint64n(8))
+					}
+				}
+				e.Barrier(ph)
+			}
+		}
+	}
+	return workload.NewProgram(w.Name(), layout, procs, gen)
+}
+
+// buildLocked: lock-protected counter increments. Which version a read
+// observes depends on the lock grant order, so this scenario is not
+// race-free — but the total writes per counter are fixed, so the final
+// memory image is still scheme-invariant.
+func (w *Workload) buildLocked(g addr.Geometry, procs int) *workload.Program {
+	bs := g.AMBlockSize()
+	shape := prng.New(w.Seed)
+	nlocks := 1 + int(shape.Uint64n(3)) // 1..3 contended locks
+	iters := max(2, w.Ops/2)
+
+	layout := vm.NewLayout(g)
+	counters := layout.Alloc("counters", uint64(nlocks)*bs, 0)
+
+	gen := func(p int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			rng := prng.New(w.procSeed(p))
+			for i := 0; i < iters; i++ {
+				l := rng.Intn(nlocks)
+				a := counters.At(uint64(l) * bs)
+				e.Lock(l)
+				e.Read(a)
+				e.Write(a)
+				e.Unlock(l)
+				e.Compute(1 + rng.Uint64n(16))
+			}
+			e.Barrier(0)
+		}
+	}
+	return workload.NewProgram(w.Name(), layout, procs, gen)
+}
+
+// buildBarrierStorm: many barriers with a private write and a shared
+// read-only read between each pair.
+func (w *Workload) buildBarrierStorm(g addr.Geometry, procs int) *workload.Program {
+	bs := g.AMBlockSize()
+	nbar := min(48, max(4, w.Ops))
+
+	layout := vm.NewLayout(g)
+	priv := layout.Alloc("priv", uint64(procs)*bs, 0)
+	ro := layout.Alloc("ro", 2*bs, 0)
+
+	gen := func(p int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			rng := prng.New(w.procSeed(p))
+			mine := priv.At(uint64(p) * bs)
+			for k := 0; k < nbar; k++ {
+				e.Write(mine)
+				e.Read(mine)
+				e.Read(ro.At(uint64(k%2) * bs))
+				e.Compute(1 + rng.Uint64n(4))
+				e.Barrier(k)
+			}
+		}
+	}
+	return workload.NewProgram(w.Name(), layout, procs, gen)
+}
+
+// buildThrash: more same-colored hot pages than one global page set holds,
+// so attraction-memory replacement must relocate masters, inject victims,
+// and ultimately swap blocks out of the machine. Ownership of in-page block
+// classes rotates each round so swapped blocks get refetched.
+func (w *Workload) buildThrash(g addr.Geometry, procs int) *workload.Program {
+	bs := g.AMBlockSize()
+	shape := prng.New(w.Seed)
+	colorAlign := g.PageSize() << g.GlobalPageSetBits()
+	npages := g.PageSlotsPerGlobalSet() + 2 + int(shape.Uint64n(3))
+	rounds := 2 + int(shape.Uint64n(2))
+	bpp := g.BlocksPerPage()
+
+	layout := vm.NewLayout(g)
+	pages := make([]vm.Region, npages)
+	for i := range pages {
+		pages[i] = layout.Alloc(fmt.Sprintf("hot%02d", i), g.PageSize(), colorAlign)
+	}
+
+	gen := func(p int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			rng := prng.New(w.procSeed(p))
+			for r := 0; r < rounds; r++ {
+				// Proc p owns in-page block indices i with (i+r)%procs == p;
+				// classes are disjoint across procs, so the round is race-free.
+				for _, pg := range rng.Perm(npages) {
+					for i := 0; i < bpp; i++ {
+						if (i+r)%procs != p {
+							continue
+						}
+						a := pages[pg].At(uint64(i) * bs)
+						e.Write(a)
+						e.Read(a)
+					}
+				}
+				e.Barrier(r)
+			}
+		}
+	}
+	return workload.NewProgram(w.Name(), layout, procs, gen)
+}
+
+// buildPathological: the RAYTRACE padding case (§6.2) — every page of every
+// processor's stack allocated at the same page-color alignment (one region
+// per page, so pages do not spread across colors), making all stacks
+// compete for a single global page set. Each stack alone overcommits its
+// node's ways, every node's ways fill with its own masters, so replacement
+// runs the injection chain off its end into swaps; the pop walk then
+// refetches swapped blocks.
+func (w *Workload) buildPathological(g addr.Geometry, procs int) *workload.Program {
+	bs := g.AMBlockSize()
+	bpp := g.BlocksPerPage()
+	colorAlign := g.PageSize() << g.GlobalPageSetBits()
+	stackPages := max(2, g.PageSlotsPerGlobalSet()/procs+1)
+	iters := max(2, w.Ops/8)
+
+	layout := vm.NewLayout(g)
+	stacks := make([][]vm.Region, procs)
+	for p := range stacks {
+		stacks[p] = make([]vm.Region, stackPages)
+		for j := range stacks[p] {
+			stacks[p][j] = layout.Alloc(fmt.Sprintf("stack%02d-%02d", p, j), g.PageSize(), colorAlign)
+		}
+	}
+	scene := layout.Alloc("scene", 4*bs, 0)
+
+	gen := func(p int) func(*trace.Emitter) {
+		return func(e *trace.Emitter) {
+			rng := prng.New(w.procSeed(p))
+			mine := stacks[p]
+			for it := 0; it < iters; it++ {
+				// Push: walk the stack forward, page by page.
+				for _, pg := range mine {
+					for i := 0; i < bpp; i++ {
+						a := pg.At(uint64(i) * bs)
+						e.Write(a)
+						e.Read(a)
+					}
+				}
+				// Pop: walk back, re-reading without writing — a block whose
+				// last copy was lost in replacement surfaces here as a stale
+				// read.
+				for j := len(mine) - 1; j >= 0; j-- {
+					for i := bpp - 1; i >= 0; i-- {
+						e.Read(mine[j].At(uint64(i) * bs))
+					}
+				}
+				e.Read(scene.At(rng.Uint64n(4) * bs))
+				e.Compute(1 + rng.Uint64n(8))
+			}
+			e.Barrier(0)
+		}
+	}
+	return workload.NewProgram(w.Name(), layout, procs, gen)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

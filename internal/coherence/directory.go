@@ -88,42 +88,68 @@ func (d *Directory) Len() int { return len(d.entries) }
 // attraction memories via the probe function (which must return each node's
 // view of the block without side effects). Used by tests and debug runs.
 func (d *Directory) CheckInvariants(probe func(n addr.Node, block uint64) ProbeState, nodes int) error {
-	for block, e := range d.entries {
-		if e.Copyset == 0 {
-			if !e.Swapped {
-				return fmt.Errorf("coherence: block %#x has empty copyset but is not swapped", block)
-			}
-			continue
+	for block := range d.entries {
+		if err := d.CheckBlock(block, probe, nodes); err != nil {
+			return err
 		}
-		if e.Swapped {
-			return fmt.Errorf("coherence: block %#x swapped with non-empty copyset %#x", block, e.Copyset)
-		}
-		if !e.Holds(e.Master) {
-			return fmt.Errorf("coherence: block %#x master %d not in copyset %#x", block, e.Master, e.Copyset)
-		}
-		masters := 0
+	}
+	return nil
+}
+
+// CheckBlock validates one block's directory entry against the per-node
+// attraction memories: exactly one master, copyset/presence agreement,
+// Exclusive implies sole holder, and an empty copyset only for swapped
+// blocks. A block with no entry must have no resident copies. Used by the
+// runtime invariant checker (internal/check) after every touched reference.
+func (d *Directory) CheckBlock(block uint64, probe func(n addr.Node, block uint64) ProbeState, nodes int) error {
+	e := d.entries[block]
+	if e == nil {
 		for n := 0; n < nodes; n++ {
-			st := probe(addr.Node(n), block)
-			inSet := e.Holds(addr.Node(n))
-			if st.Present != inSet {
-				return fmt.Errorf("coherence: block %#x node %d presence %v disagrees with copyset %#x",
-					block, n, st.Present, e.Copyset)
-			}
-			if st.Master {
-				masters++
-				if addr.Node(n) != e.Master {
-					return fmt.Errorf("coherence: block %#x node %d is master but directory says %d",
-						block, n, e.Master)
-				}
-			}
-			if st.Exclusive && e.Holders() != 1 {
-				return fmt.Errorf("coherence: block %#x exclusive at node %d with %d holders",
-					block, n, e.Holders())
+			if probe(addr.Node(n), block).Present {
+				return fmt.Errorf("coherence: block %#x has no directory entry but node %d holds a copy", block, n)
 			}
 		}
-		if masters != 1 {
-			return fmt.Errorf("coherence: block %#x has %d masters", block, masters)
+		return nil
+	}
+	if e.Copyset == 0 {
+		if !e.Swapped {
+			return fmt.Errorf("coherence: block %#x has empty copyset but is not swapped (last copy destroyed)", block)
 		}
+		for n := 0; n < nodes; n++ {
+			if probe(addr.Node(n), block).Present {
+				return fmt.Errorf("coherence: block %#x swapped but node %d holds a copy", block, n)
+			}
+		}
+		return nil
+	}
+	if e.Swapped {
+		return fmt.Errorf("coherence: block %#x swapped with non-empty copyset %#x", block, e.Copyset)
+	}
+	if !e.Holds(e.Master) {
+		return fmt.Errorf("coherence: block %#x master %d not in copyset %#x", block, e.Master, e.Copyset)
+	}
+	masters := 0
+	for n := 0; n < nodes; n++ {
+		st := probe(addr.Node(n), block)
+		inSet := e.Holds(addr.Node(n))
+		if st.Present != inSet {
+			return fmt.Errorf("coherence: block %#x node %d presence %v disagrees with copyset %#x",
+				block, n, st.Present, e.Copyset)
+		}
+		if st.Master {
+			masters++
+			if addr.Node(n) != e.Master {
+				return fmt.Errorf("coherence: block %#x node %d is master but directory says %d",
+					block, n, e.Master)
+			}
+		}
+		if st.Exclusive && e.Holders() != 1 {
+			return fmt.Errorf("coherence: block %#x exclusive at node %d with %d holders",
+				block, n, e.Holders())
+		}
+	}
+	if masters != 1 {
+		return fmt.Errorf("coherence: block %#x has %d masters", block, masters)
 	}
 	return nil
 }

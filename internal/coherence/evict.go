@@ -29,6 +29,11 @@ func (p *Protocol) EvictBlock(now uint64, block uint64) EvictStats {
 	h := p.home(b)
 	t, _ := p.peService(now, h, b, false)
 	st := EvictStats{Blocks: 1, Done: t}
+	if p.sink != nil && e.Copyset != 0 {
+		// The master's data is written back to backing store before the
+		// copies drop.
+		p.sink.BlockEvicted(b, e.Master)
+	}
 	for o := addr.Node(0); int(o) < p.g.Nodes(); o++ {
 		if !e.Holds(o) {
 			continue
@@ -38,6 +43,9 @@ func (p *Protocol) EvictBlock(now uint64, block uint64) EvictStats {
 			// The data is being discarded deliberately; no injection.
 		}
 		p.hooks.BackInvalidate(o, b)
+		if p.sink != nil {
+			p.sink.CopyRemoved(o, b, RemBlockEvict)
+		}
 		st.CopiesDropped++
 		ta := p.fabric.Send(t, h, o, network.Request)
 		ta = p.fabric.Send(ta, o, h, network.Request)

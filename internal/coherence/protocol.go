@@ -89,9 +89,11 @@ type Protocol struct {
 	peBusy []uint64
 	stats  Stats
 	tracer *obs.Tracer
+	sink   Sink
 
 	noRelocation bool
 	infinitePE   bool
+	bug          TestBug
 }
 
 // DisableMasterRelocation makes every master eviction inject data instead
@@ -192,7 +194,7 @@ func (p *Protocol) Preload(block uint64, at addr.Node) {
 	e.Master = at
 	e.Copyset = p.bit(at)
 	e.Swapped = false
-	p.installAt(0, at, b, mem.MasterShared)
+	p.installAt(0, at, b, mem.MasterShared, SrcPreload, at)
 }
 
 // StateAt returns node n's attraction-memory state for block, without side
@@ -275,7 +277,7 @@ func (p *Protocol) refetch(now, t, trans uint64, n addr.Node, e *Entry, b uint64
 	e.Master = n
 	e.Copyset = p.bit(n)
 	e.Swapped = false
-	p.installAt(t, n, b, newState)
+	p.installAt(t, n, b, newState, SrcBacking, n)
 	if p.tracer.Enabled("coh") {
 		name := "cold-fetch"
 		if swapped {
@@ -301,10 +303,13 @@ func (p *Protocol) remoteRead(now, t, trans uint64, n, h addr.Node, e *Entry, b 
 	t += p.timing.AMHit
 	if p.ams[m].Probe(b) == mem.Exclusive {
 		p.ams[m].SetState(b, mem.MasterShared)
+		if p.sink != nil {
+			p.sink.StateChanged(m, b, mem.MasterShared)
+		}
 	}
 	t = p.fabric.Send(t, m, n, network.BlockTransfer)
 	e.Add(n)
-	p.installAt(t, n, b, mem.Shared)
+	p.installAt(t, n, b, mem.Shared, SrcMaster, m)
 	if p.tracer.Enabled("coh") {
 		p.tracer.Complete("coh", "remote-read", int(n), 0, now, t-now)
 	}
@@ -313,15 +318,18 @@ func (p *Protocol) remoteRead(now, t, trans uint64, n, h addr.Node, e *Entry, b 
 
 func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b uint64, prior mem.State) Result {
 	hasData := prior == mem.Shared || prior == mem.MasterShared
+	oldMaster := e.Master
 
 	// Data path: fetch from the master if the requester has no copy.
 	tData := t
+	src, from := SrcLocal, n
 	if !hasData {
 		p.stats.WriteFetches++
-		m := e.Master
+		m := oldMaster
 		if m == n {
 			panic(fmt.Sprintf("coherence: node %d write-misses block %#x it masters", n, b))
 		}
+		src, from = SrcMaster, m
 		tData = p.fabric.Send(t, h, m, network.Request)
 		tData += p.timing.AMHit
 		tData = p.fabric.Send(tData, m, n, network.BlockTransfer)
@@ -332,8 +340,14 @@ func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b
 	// Invalidation path: all holders except the requester, in parallel;
 	// each sends an acknowledgement back to the home.
 	tInval := t
+	skippedOne := false
 	for o := addr.Node(0); int(o) < p.g.Nodes(); o++ {
 		if o == n || !e.Holds(o) {
+			continue
+		}
+		if p.bug == BugSkipInvalidate && !skippedOne {
+			// Injected test bug: this holder keeps a stale readable copy.
+			skippedOne = true
 			continue
 		}
 		was := p.ams[o].Invalidate(b)
@@ -341,6 +355,9 @@ func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b
 			panic(fmt.Sprintf("coherence: directory lists node %d for block %#x but AM has no copy", o, b))
 		}
 		p.hooks.BackInvalidate(o, b)
+		if p.sink != nil {
+			p.sink.CopyRemoved(o, b, RemInvalidate)
+		}
 		p.stats.Invalidations++
 		ta := p.fabric.Send(t, h, o, network.Request)
 		ta = p.fabric.Send(ta, o, h, network.Request)
@@ -359,7 +376,7 @@ func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b
 
 	e.Master = n
 	e.Copyset = p.bit(n)
-	p.installAt(tDone, n, b, mem.Exclusive)
+	p.installAt(tDone, n, b, mem.Exclusive, src, from)
 	if p.tracer.Enabled("coh") {
 		name := "upgrade"
 		if !hasData {
@@ -375,15 +392,24 @@ func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b
 // master victims are relocated or injected (§4.2). Replacement traffic is
 // off the requester's critical path; it only occupies the network and the
 // protocol engines.
-func (p *Protocol) installAt(now uint64, n addr.Node, b uint64, s mem.State) {
+func (p *Protocol) installAt(now uint64, n addr.Node, b uint64, s mem.State, src DataSource, from addr.Node) {
 	v, evicted := p.ams[n].Install(b, s)
+	if p.sink != nil {
+		p.sink.CopyInstalled(n, b, s, src, from)
+	}
 	if !evicted {
 		return
 	}
 	p.hooks.BackInvalidate(n, v.Block)
 	if v.State.IsMaster() {
+		if p.sink != nil {
+			p.sink.CopyRemoved(n, v.Block, RemMasterEvict)
+		}
 		p.replaceMaster(now, n, v)
 	} else {
+		if p.sink != nil {
+			p.sink.CopyRemoved(n, v.Block, RemSharedDrop)
+		}
 		p.dropShared(now, n, v.Block)
 	}
 }
@@ -436,11 +462,19 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 			panic(fmt.Sprintf("coherence: promoting node %d for block %#x but its state is %v", o, b, p.ams[o].Probe(b)))
 		}
 		p.ams[o].SetState(b, mem.MasterShared)
+		if p.sink != nil {
+			p.sink.StateChanged(o, b, mem.MasterShared)
+		}
 		return
 	}
 
 	// Sole copy: inject. The data travels to the home first.
 	e.Remove(n)
+	if p.bug == BugDropLastCopy {
+		// Injected test bug: the machine's last copy is silently discarded —
+		// no injection, no swap, the directory entry is left inconsistent.
+		return
+	}
 	t = p.fabric.Send(t, n, h, network.BlockTransfer)
 	t, _ = p.peService(t, h, b, false)
 
@@ -464,7 +498,7 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 			}
 			e.Master = cur
 			e.Add(cur)
-			p.installVictimAt(t, cur, b)
+			p.installVictimAt(t, cur, b, n)
 			return
 		}
 		tries++
@@ -481,6 +515,9 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 					panic(fmt.Sprintf("coherence: forced relocation to node %d but its state is %v", o, p.ams[o].Probe(b)))
 				}
 				p.ams[o].SetState(b, mem.MasterShared)
+				if p.sink != nil {
+					p.sink.StateChanged(o, b, mem.MasterShared)
+				}
 				return
 			}
 			// The block leaves the machine (would be paged out).
@@ -489,6 +526,9 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 				p.tracer.Instant("repl", "swap", int(n), 0, now)
 			}
 			e.Swapped = true
+			if p.sink != nil {
+				p.sink.BlockSwapped(b, n)
+			}
 			return
 		}
 		var next addr.Node
@@ -505,10 +545,14 @@ func (p *Protocol) replaceMaster(now uint64, n addr.Node, v mem.Victim) {
 }
 
 // installVictimAt installs an injected block at its accepting node as the
-// new master. The node was checked to have an Invalid or Shared slot, so
-// the displaced way (if any) is a Shared copy, handled as a drop.
-func (p *Protocol) installVictimAt(now uint64, n addr.Node, b uint64) {
+// new master; from is the evicting node whose data the injection carries.
+// The node was checked to have an Invalid or Shared slot, so the displaced
+// way (if any) is a Shared copy, handled as a drop.
+func (p *Protocol) installVictimAt(now uint64, n addr.Node, b uint64, from addr.Node) {
 	v, evicted := p.ams[n].Install(b, mem.MasterShared)
+	if p.sink != nil {
+		p.sink.CopyInstalled(n, b, mem.MasterShared, SrcInjection, from)
+	}
 	if !evicted {
 		return
 	}
@@ -516,6 +560,9 @@ func (p *Protocol) installVictimAt(now uint64, n addr.Node, b uint64) {
 		panic(fmt.Sprintf("coherence: injection at node %d displaced master block %#x", n, v.Block))
 	}
 	p.hooks.BackInvalidate(n, v.Block)
+	if p.sink != nil {
+		p.sink.CopyRemoved(n, v.Block, RemSharedDrop)
+	}
 	p.dropShared(now, n, v.Block)
 }
 

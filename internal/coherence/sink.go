@@ -1,0 +1,124 @@
+package coherence
+
+import (
+	"vcoma/internal/addr"
+	"vcoma/internal/mem"
+)
+
+// DataSource says where the data of an installed copy came from. The
+// simulator carries no data payloads, so a verification layer reconstructs
+// values by following these provenance edges (internal/check's shadow
+// memory).
+type DataSource uint8
+
+const (
+	// SrcPreload: initial placement from backing store before the run.
+	SrcPreload DataSource = iota
+	// SrcBacking: refetch from backing store (cold create or swap-in).
+	SrcBacking
+	// SrcMaster: the block's master copy supplied the data.
+	SrcMaster
+	// SrcInjection: an evicted master copy carried the data here.
+	SrcInjection
+	// SrcLocal: the node already held the data (ownership upgrade).
+	SrcLocal
+)
+
+func (s DataSource) String() string {
+	switch s {
+	case SrcPreload:
+		return "preload"
+	case SrcBacking:
+		return "backing"
+	case SrcMaster:
+		return "master"
+	case SrcInjection:
+		return "injection"
+	case SrcLocal:
+		return "local"
+	default:
+		return "DataSource(?)"
+	}
+}
+
+// RemoveReason says why a node lost its attraction-memory copy.
+type RemoveReason uint8
+
+const (
+	// RemInvalidate: a write transaction invalidated the copy.
+	RemInvalidate RemoveReason = iota
+	// RemSharedDrop: a Shared victim was silently replaced.
+	RemSharedDrop
+	// RemMasterEvict: a master victim was displaced; a relocation,
+	// injection or swap event follows.
+	RemMasterEvict
+	// RemBlockEvict: EvictBlock removed the copy (demap or page-out).
+	RemBlockEvict
+)
+
+func (r RemoveReason) String() string {
+	switch r {
+	case RemInvalidate:
+		return "invalidate"
+	case RemSharedDrop:
+		return "shared-drop"
+	case RemMasterEvict:
+		return "master-evict"
+	case RemBlockEvict:
+		return "block-evict"
+	default:
+		return "RemoveReason(?)"
+	}
+}
+
+// Sink observes every architectural state change the protocol makes:
+// installs (with data provenance), removals, in-place state changes, and
+// blocks leaving the machine. Events carry no timestamps — they describe
+// the architectural computation, which must be identical whether or not a
+// sink is attached (the cycle-invariance contract of internal/check).
+//
+// Events are emitted in the protocol's execution order, which under the
+// engine's sequential-consistency scheduling is a total order.
+type Sink interface {
+	// CopyInstalled fires when node n gains (or re-states) a copy of
+	// block, with the data source and the node it came from.
+	CopyInstalled(n addr.Node, block uint64, s mem.State, src DataSource, from addr.Node)
+	// CopyRemoved fires when node n loses its copy of block.
+	CopyRemoved(n addr.Node, block uint64, reason RemoveReason)
+	// StateChanged fires on an in-place state transition at node n
+	// (Exclusive→MasterShared on a remote read, Shared→MasterShared on a
+	// relocation).
+	StateChanged(n addr.Node, block uint64, s mem.State)
+	// BlockSwapped fires when block's last copy falls off the injection
+	// chain: node from's data is written back to backing store.
+	BlockSwapped(block uint64, from addr.Node)
+	// BlockEvicted fires when EvictBlock discards a resident block: the
+	// master's data is written back to backing store before the copies
+	// are dropped.
+	BlockEvicted(block uint64, master addr.Node)
+}
+
+// SetSink attaches an architectural-event sink. A nil sink (the default)
+// keeps the protocol event-free; attaching one must not change any
+// simulated outcome or timing.
+func (p *Protocol) SetSink(s Sink) { p.sink = s }
+
+// TestBug selects a deliberately broken protocol behaviour, used only by
+// negative tests to prove the verification layer catches real coherence
+// bugs. Production configurations never set one.
+type TestBug uint8
+
+const (
+	// BugNone: correct protocol (the default).
+	BugNone TestBug = iota
+	// BugDropLastCopy: a master eviction with no other copy silently
+	// discards the data instead of injecting it — the machine loses the
+	// last copy of the line.
+	BugDropLastCopy
+	// BugSkipInvalidate: a write transaction skips invalidating the first
+	// other holder, leaving a stale copy readable at that node.
+	BugSkipInvalidate
+)
+
+// InjectTestBug arms a deliberate protocol bug for negative testing.
+func (p *Protocol) InjectTestBug(b TestBug) { p.bug = b }

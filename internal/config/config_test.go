@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestBaselineMatchesPaper(t *testing.T) {
 	c := Baseline()
@@ -31,52 +34,77 @@ func TestSmallTestValidates(t *testing.T) {
 	}
 }
 
+// TestValidateRejections covers every error branch of Config.Validate and
+// the Geometry and CacheConfig validations it delegates to. Each case
+// mutates a valid SmallTest configuration and asserts the right branch
+// fired by matching a distinctive fragment of its message.
 func TestValidateRejections(t *testing.T) {
-	base := SmallTest()
-
-	c := base
-	c.TLBEntries = 0
-	if c.Validate() == nil {
-		t.Error("zero TLB entries accepted")
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string // substring of the expected error
+	}{
+		// Geometry branches.
+		{"page smaller than AM block",
+			func(c *Config) { c.Geometry.PageBits = 4 }, "smaller than AM block"},
+		{"page does not fit AM index",
+			func(c *Config) { c.Geometry.AMSetBits = 2 }, "does not fit the AM index"},
+		{"too few global page sets for home bits",
+			func(c *Config) { c.Geometry.AMSetBits = 4 }, "global page sets"},
+		{"geometry out of supported range",
+			func(c *Config) { c.Geometry.NodeBits = 21; c.Geometry.AMSetBits = 25 }, "out of supported range"},
+		// CacheConfig branches, via FLC and SLC.
+		{"FLC size zero",
+			func(c *Config) { c.FLC.SizeBytes = 0 }, "FLC size 0"},
+		{"FLC size not a power of two",
+			func(c *Config) { c.FLC.SizeBytes = 3000 }, "FLC size 3000"},
+		{"SLC block not a power of two",
+			func(c *Config) { c.SLC.BlockBytes = 24 }, "SLC block 24"},
+		{"SLC associativity zero",
+			func(c *Config) { c.SLC.Assoc = 0 }, "SLC associativity 0"},
+		{"FLC associativity not a power of two",
+			func(c *Config) { c.FLC.Assoc = 3 }, "FLC associativity 3"},
+		{"SLC smaller than one set",
+			func(c *Config) { c.SLC.Assoc = 2; c.SLC.SizeBytes = 32; c.SLC.BlockBytes = 32 }, "smaller than one set"},
+		// Config's own branches.
+		{"FLC block larger than SLC block",
+			func(c *Config) { c.FLC.BlockBytes = 64; c.SLC.BlockBytes = 32 }, "FLC block"},
+		{"SLC block larger than AM block",
+			func(c *Config) { c.SLC.BlockBytes = 256 }, "larger than AM block"},
+		{"scheme above range",
+			func(c *Config) { c.Scheme = Scheme(99) }, "unknown scheme"},
+		{"scheme below range",
+			func(c *Config) { c.Scheme = Scheme(-1) }, "unknown scheme"},
+		{"zero TLB entries",
+			func(c *Config) { c.TLBEntries = 0 }, "at least one entry"},
+		{"negative TLB entries",
+			func(c *Config) { c.TLBEntries = -4 }, "at least one entry"},
+		{"non-power-of-two direct-mapped TLB",
+			func(c *Config) { c.TLBOrg = DirectMapped; c.TLBEntries = 6 }, "not a power of two"},
+		{"non-power-of-two set-associative TLB",
+			func(c *Config) { c.TLBOrg = SetAssoc2; c.TLBEntries = 12 }, "not a power of two"},
+		{"NoWritebackTLB outside L2-TLB",
+			func(c *Config) { c.NoWritebackTLB = true; c.Scheme = L0TLB }, "only applies to L2-TLB"},
 	}
-
-	c = base
-	c.TLBOrg = DirectMapped
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := SmallTest()
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("invalid configuration accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q — wrong branch fired", err, tc.want)
+			}
+		})
+	}
+	// A non-power-of-two size is legal only for a fully-associative TLB.
+	c := SmallTest()
+	c.TLBOrg = FullyAssoc
 	c.TLBEntries = 6
-	if c.Validate() == nil {
-		t.Error("non-power-of-two direct-mapped TLB accepted")
-	}
-
-	c = base
-	c.FLC.BlockBytes = 64
-	c.SLC.BlockBytes = 32
-	if c.Validate() == nil {
-		t.Error("FLC block larger than SLC block accepted")
-	}
-
-	c = base
-	c.SLC.BlockBytes = 256 // larger than the 32 B AM block of SmallTest
-	if c.Validate() == nil {
-		t.Error("SLC block larger than AM block accepted")
-	}
-
-	c = base
-	c.NoWritebackTLB = true
-	c.Scheme = L0TLB
-	if c.Validate() == nil {
-		t.Error("NoWritebackTLB accepted outside L2-TLB")
-	}
-
-	c = base
-	c.FLC.SizeBytes = 3000
-	if c.Validate() == nil {
-		t.Error("non-power-of-two cache size accepted")
-	}
-
-	c = base
-	c.Scheme = Scheme(99)
-	if c.Validate() == nil {
-		t.Error("unknown scheme accepted")
+	if err := c.Validate(); err != nil {
+		t.Errorf("fully-associative TLB of 6 entries rejected: %v", err)
 	}
 }
 

@@ -126,7 +126,24 @@ type Machine struct {
 	tracer    *obs.Tracer
 	latAccess *obs.Histogram // stall cycles of every reference
 	latRemote *obs.Histogram // stall cycles of remote transactions
+
+	// checker is the correctness-verification hook (nil unless
+	// SetAccessChecker is called); it observes completed references and
+	// must not change any simulated outcome.
+	checker AccessChecker
 }
+
+// AccessChecker observes every completed processor reference, after the
+// machine has fully executed it. internal/check implements this to drive
+// its invariant checks and shadow-memory oracle; a checker must be purely
+// observational.
+type AccessChecker interface {
+	PostAccess(n addr.Node, va addr.Virtual, write bool, r AccessResult)
+}
+
+// SetAccessChecker attaches a correctness checker to the access path. A nil
+// checker (the default) keeps the path check-free.
+func (m *Machine) SetAccessChecker(c AccessChecker) { m.checker = c }
 
 // New builds a machine for cfg.
 func New(cfg config.Config) (*Machine, error) {
@@ -358,6 +375,24 @@ func (m *Machine) protoAddr(va addr.Virtual) uint64 {
 	return uint64(va)
 }
 
+// ProtoBlock returns the protocol address of the AM block containing va,
+// mapping the page on first touch. Verification layers use this to relate
+// virtual blocks to protocol/directory state.
+func (m *Machine) ProtoBlock(va addr.Virtual) uint64 {
+	return m.protoAddr(m.g.Block(va))
+}
+
+// VirtualOfProtoBlock maps a protocol block address back to the virtual
+// block it caches — the reverse of ProtoBlock. Identity in the virtually-
+// addressed schemes (L3-TLB, V-COMA); a backpointer lookup otherwise. The
+// block's page must be mapped.
+func (m *Machine) VirtualOfProtoBlock(block uint64) addr.Virtual {
+	if m.cfg.Scheme <= config.L2TLB {
+		return m.sys.ReverseTranslate(addr.Physical(block))
+	}
+	return addr.Virtual(block)
+}
+
 // tlbAccess charges a translation request at node n for page p at simulated
 // time now, feeding the observer banks and the timed TLB, and returns the
 // penalty cycles. writeback marks SLC-writeback translations (L2-TLB),
@@ -476,10 +511,16 @@ func (m *Machine) Access(now uint64, n addr.Node, va addr.Virtual, write bool) A
 
 	flc, slc := m.flcs[n], m.slcs[n]
 
+	var res AccessResult
 	if !write {
-		return m.read(now, n, va, flcAddr, slcAddr, protoBlock, trans, flc, slc, st)
+		res = m.read(now, n, va, flcAddr, slcAddr, protoBlock, trans, flc, slc, st)
+	} else {
+		res = m.write(now, n, va, flcAddr, slcAddr, protoBlock, trans, flc, slc, st)
 	}
-	return m.write(now, n, va, flcAddr, slcAddr, protoBlock, trans, flc, slc, st)
+	if m.checker != nil {
+		m.checker.PostAccess(n, va, write, res)
+	}
+	return res
 }
 
 func (m *Machine) read(now uint64, n addr.Node, va addr.Virtual, flcAddr, slcAddr uint64, protoBlock uint64, trans uint64, flc, slc *cache.Cache, st *NodeStats) AccessResult {
@@ -624,5 +665,64 @@ func (m *Machine) CheckInvariants() error {
 	if err := m.prot.CheckInvariants(); err != nil {
 		return err
 	}
+	return m.checkInclusion()
+}
+
+// checkInclusion walks every node's caches top-down: a valid FLC block must
+// be covered by a valid SLC block, and a valid SLC block by a readable local
+// attraction-memory copy, converting between the per-level address spaces of
+// the scheme (see the package table).
+func (m *Machine) checkInclusion() error {
+	for i := range m.slcs {
+		n := addr.Node(i)
+		for _, b := range m.slcs[i].ValidBlocks() {
+			pb, ok := m.protoOfSLCAddr(b)
+			if !ok {
+				return fmt.Errorf("machine: node %d SLC holds block %#x of an unmapped page", i, b)
+			}
+			if m.prot.StateAt(n, pb) == mem.Invalid {
+				return fmt.Errorf("machine: node %d SLC block %#x (proto %#x) has no local AM copy (inclusion broken)", i, b, pb)
+			}
+		}
+		for _, b := range m.flcs[i].ValidBlocks() {
+			sa, ok := m.slcAddrOfFLCAddr(b)
+			if !ok {
+				return fmt.Errorf("machine: node %d FLC holds block %#x of an unmapped page", i, b)
+			}
+			if !m.slcs[i].Contains(sa) {
+				return fmt.Errorf("machine: node %d FLC block %#x not covered by its SLC (inclusion broken)", i, b)
+			}
+		}
+	}
 	return nil
+}
+
+// protoOfSLCAddr converts an SLC-space address to the protocol address
+// space. ok is false when the conversion needs a translation and the page
+// is not mapped (which inclusion forbids: a cached block's page is always
+// resident).
+func (m *Machine) protoOfSLCAddr(a uint64) (uint64, bool) {
+	if m.cfg.Scheme == config.L2TLB {
+		// Virtual SLC above a physical attraction memory.
+		p := m.sys.Lookup(addr.Virtual(a))
+		if p == nil {
+			return 0, false
+		}
+		return uint64(m.g.PhysAddr(p.Frame, addr.Virtual(a))), true
+	}
+	// L0/L1: both physical. L3/V-COMA: both virtual.
+	return a, true
+}
+
+// slcAddrOfFLCAddr converts an FLC-space address to the SLC address space.
+func (m *Machine) slcAddrOfFLCAddr(a uint64) (uint64, bool) {
+	if m.cfg.Scheme == config.L1TLB {
+		// Virtual FLC above a physical SLC.
+		p := m.sys.Lookup(addr.Virtual(a))
+		if p == nil {
+			return 0, false
+		}
+		return uint64(m.g.PhysAddr(p.Frame, addr.Virtual(a))), true
+	}
+	return a, true
 }

@@ -260,6 +260,16 @@ func (m *AM) Install(block uint64, s State) (Victim, bool) {
 	return v, evicted
 }
 
+// ForEachValid calls f for every valid block with its state, in storage
+// order. f must not mutate the AM. Used by machine-wide invariant scans.
+func (m *AM) ForEachValid(f func(block uint64, s State)) {
+	for i, st := range m.state {
+		if st != Invalid {
+			f(m.tags[i], st)
+		}
+	}
+}
+
 // OccupiedWays returns how many slots of block's set are valid.
 func (m *AM) OccupiedWays(block uint64) int {
 	base := m.setBase(m.BlockAddr(block))

@@ -91,7 +91,17 @@ type Engine struct {
 
 	sampler *obs.Sampler
 	tracer  *obs.Tracer
+
+	// stepObs observes every executed event in global execution order
+	// (nil by default). internal/check digests the architectural event
+	// stream through it; the callback must be purely observational.
+	stepObs func(proc int, ev trace.Event)
 }
+
+// SetStepObserver registers a callback invoked after each executed event
+// (memory references, compute, and synchronization), in the engine's global
+// execution order. A nil callback (the default) keeps the engine unchanged.
+func (e *Engine) SetStepObserver(f func(proc int, ev trace.Event)) { e.stepObs = f }
 
 // New builds an engine for machine m and one event stream per processor.
 // The stream count must equal the machine's node count.
@@ -253,6 +263,9 @@ func (e *Engine) step(i int) error {
 		e.barrierArrive(i, ev.ID)
 	default:
 		return fmt.Errorf("sim: processor %d: unknown event kind %v", i, ev.Kind)
+	}
+	if e.stepObs != nil {
+		e.stepObs(i, ev)
 	}
 	e.sampler.Tick(p.clock)
 	return nil

@@ -1,0 +1,123 @@
+package tlb
+
+import (
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/prng"
+)
+
+// FuzzBufferParity model-checks every buffer organization against the
+// Buffer contract with random operation sequences:
+//
+//   - Access(p) returns hit exactly when Probe(p) held beforehand, and p is
+//     present afterwards;
+//   - Probe has no side effects;
+//   - Invalidate(p) removes p; Flush removes everything;
+//   - at most Entries() pages are ever resident;
+//   - the access counter matches the number of accesses;
+//   - two identically-built buffers fed the same sequence behave
+//     identically (replacement is seeded, not nondeterministic);
+//   - a fully-associative buffer large enough for the whole working set
+//     never evicts: presence matches the exact reference set.
+func FuzzBufferParity(f *testing.F) {
+	f.Add(uint64(1), uint64(3), uint64(0), uint64(64))
+	f.Add(uint64(2), uint64(0), uint64(1), uint64(128))
+	f.Add(uint64(3), uint64(2), uint64(2), uint64(200))
+	f.Add(uint64(4), uint64(4), uint64(3), uint64(90))
+	f.Fuzz(func(t *testing.T, seed, entriesRaw, orgRaw, nRaw uint64) {
+		entries := 1 << (entriesRaw % 5) // 1..16
+		org := []config.TLBOrg{config.FullyAssoc, config.DirectMapped, config.SetAssoc2, config.SetAssoc4}[orgRaw%4]
+		if org == config.SetAssoc2 && entries < 2 || org == config.SetAssoc4 && entries < 4 {
+			t.Skip("fewer entries than ways")
+		}
+		ops := 16 + int(nRaw%512)
+
+		b, err := New(entries, org, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, err := New(entries, org, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := prng.New(seed ^ 0xb0ffe4)
+		target := 1 + rng.Intn(24)
+		distinct := make(map[addr.PageNum]bool)
+		for len(distinct) < target {
+			distinct[addr.PageNum(rng.Uint64n(1<<20))] = true
+		}
+		universe := make([]addr.PageNum, 0, len(distinct))
+		for p := range distinct {
+			universe = append(universe, p)
+		}
+		exactRef := org == config.FullyAssoc && len(universe) <= entries
+		ref := make(map[addr.PageNum]bool) // exact contents when exactRef
+
+		accesses := uint64(0)
+		for i := 0; i < ops; i++ {
+			p := universe[rng.Intn(len(universe))]
+			switch rng.Intn(8) {
+			case 0:
+				b.Invalidate(p)
+				twin.Invalidate(p)
+				delete(ref, p)
+				if b.Probe(p) {
+					t.Fatalf("op %d: page %#x present after Invalidate", i, uint64(p))
+				}
+			case 1:
+				b.Flush()
+				twin.Flush()
+				ref = make(map[addr.PageNum]bool)
+				for _, q := range universe {
+					if b.Probe(q) {
+						t.Fatalf("op %d: page %#x present after Flush", i, uint64(q))
+					}
+				}
+			default:
+				before := b.Probe(p)
+				if again := b.Probe(p); again != before {
+					t.Fatalf("op %d: Probe changed state: %v then %v", i, before, again)
+				}
+				hit := b.Access(p)
+				twinHit := twin.Access(p)
+				accesses++
+				if hit != before {
+					t.Fatalf("op %d: Access(%#x) returned hit=%v but Probe said %v", i, uint64(p), hit, before)
+				}
+				if hit != twinHit {
+					t.Fatalf("op %d: identically-seeded twin diverged (hit=%v vs %v)", i, hit, twinHit)
+				}
+				if !b.Probe(p) {
+					t.Fatalf("op %d: page %#x absent immediately after Access", i, uint64(p))
+				}
+				ref[p] = true
+			}
+			if resident := countResident(b, universe); resident > entries {
+				t.Fatalf("op %d: %d pages resident in a %d-entry buffer", i, resident, entries)
+			}
+			if exactRef {
+				for _, q := range universe {
+					if b.Probe(q) != ref[q] {
+						t.Fatalf("op %d: FA buffer with no capacity pressure evicted or invented page %#x", i, uint64(q))
+					}
+				}
+			}
+		}
+		if s := b.Stats(); s.Accesses != accesses || s.Misses > s.Accesses {
+			t.Fatalf("stats %+v inconsistent with %d accesses", s, accesses)
+		}
+	})
+}
+
+func countResident(b Buffer, universe []addr.PageNum) int {
+	n := 0
+	for _, p := range universe {
+		if b.Probe(p) {
+			n++
+		}
+	}
+	return n
+}
