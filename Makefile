@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke soak check clean
+.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke clean
 
 all: check
 
@@ -31,6 +31,13 @@ soak:
 	$(GO) run ./cmd/vcoma-check -seeds 1000 -budget 3m -artifacts fuzz-artifacts
 	$(GO) run ./cmd/vcoma-check -seeds 150 -diff -budget 3m -artifacts fuzz-artifacts
 
+# Supervision-layer smoke through the real CLIs: interrupt/resume
+# byte-identity, cache-corruption quarantine, hung-pass reclaim, watchdog
+# diagnostics (see scripts/chaos-smoke.sh).
+chaos-smoke:
+	sh scripts/chaos-smoke.sh chaos-smoke.tmp
+	rm -rf chaos-smoke.tmp
+
 # The full local gate: what CI runs, minus the long benchmark artifacts.
 check: vet build
 	$(GO) test -race ./...
@@ -39,4 +46,4 @@ check: vet build
 	$(GO) run ./cmd/vcoma-check -seeds 30 -diff -budget 60s -artifacts fuzz-artifacts
 
 clean:
-	rm -rf fuzz-artifacts artifacts
+	rm -rf fuzz-artifacts artifacts chaos-smoke.tmp

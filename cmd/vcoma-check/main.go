@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 
 	"vcoma/internal/check"
 	"vcoma/internal/check/fuzzgen"
+	"vcoma/internal/cli"
 	"vcoma/internal/config"
 	"vcoma/internal/experiments"
 	"vcoma/internal/workload"
@@ -41,6 +43,11 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every run, not just failures")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM stops the soak at the next seed boundary: artifacts
+	// already written stay on disk and the summary still prints.
+	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-check")
+	defer cancel(nil)
 
 	if *benchName != "" {
 		if err := checkBenchmark(*benchName, *scaleStr, *diff, *scanEvery); err != nil {
@@ -68,7 +75,13 @@ func main() {
 
 	failures := 0
 	ran := 0
+	interrupted := false
 	for i := 0; i < *seeds; i++ {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted after %d seeds: %v\n", ran, context.Cause(ctx))
+			interrupted = true
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			fmt.Printf("budget exhausted after %d seeds\n", ran)
 			break
@@ -105,6 +118,9 @@ func main() {
 	fmt.Printf("%d run(s), %d failure(s)\n", ran, failures)
 	if failures > 0 {
 		os.Exit(1)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

@@ -6,26 +6,39 @@
 // result cache (-cache, default .vcoma-cache); the rendered report is
 // byte-identical regardless of worker count or cache state.
 //
+// Runs are supervised: SIGINT/SIGTERM cancels cleanly, watchdog budgets
+// and per-pass deadlines reclaim hung simulations, -keep-going renders a
+// partial report with failed cells marked (exit status 2), and -resume
+// continues an interrupted run from its journal.
+//
 //	vcoma-report -scale small -o EXPERIMENTS.md
 //	vcoma-report -scale small -jobs 8 -progress-json progress.json
+//	vcoma-report -scale paper -job-timeout 15m -retries 2 -keep-going
+//	vcoma-report -scale paper -resume
 //	vcoma-report -clear-cache
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"vcoma"
+	"vcoma/internal/cli"
 	"vcoma/internal/experiments"
 	"vcoma/internal/obs"
 	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		scaleStr   = flag.String("scale", "small", "workload scale: test, small, paper")
 		outPath    = flag.String("o", "", "output file (default stdout)")
@@ -38,22 +51,27 @@ func main() {
 		metrics    = flag.Bool("job-metrics", false, "sample each freshly-computed pass and write its time series next to the cache entry")
 		metricsInt = flag.Uint64("metrics-interval", 0, "sampling epoch in simulated cycles for -job-metrics (0 = default)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		keepGoing  = flag.Bool("keep-going", false, "render a partial report with failed cells marked when some passes fail (exit status 2)")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from the journal in the cache directory")
+		chaosSpec  = flag.String("chaos", "", "fault-injection spec for testing the supervisor: panic:<substr>,hang:<substr>,flaky:<substr>:<n>,cancel:<n>,corrupt:<substr>")
 	)
+	budgetOf := cli.BudgetFlags()
+	retryOf, jobTimeout := cli.RetryFlags()
 	flag.Parse()
 	if err := obs.StartPprof(*pprofAddr); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	if *clearCache {
 		c, err := runner.OpenCache(*cacheDir)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := c.Clear(); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "cleared result cache under %s\n", *cacheDir)
-		return
+		return 0
 	}
 
 	var scale workload.Scale
@@ -65,7 +83,18 @@ func main() {
 	case "paper":
 		scale = workload.ScalePaper
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleStr))
+		return fatal(fmt.Errorf("unknown scale %q", *scaleStr))
+	}
+
+	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-report")
+	defer cancel(nil)
+
+	chaos, err := runner.ParseChaos(*chaosSpec)
+	if err != nil {
+		return fatal(err)
+	}
+	if chaos != nil {
+		chaos.BindCancel(cancel)
 	}
 
 	prog := runner.NewProgress(os.Stderr)
@@ -74,8 +103,14 @@ func main() {
 		Scale:           scale,
 		Jobs:            *jobs,
 		Progress:        prog,
+		Context:         ctx,
 		Metrics:         *metrics,
 		MetricsInterval: *metricsInt,
+		KeepGoing:       *keepGoing,
+		JobTimeout:      *jobTimeout,
+		Retry:           retryOf(),
+		Budget:          budgetOf(),
+		Chaos:           chaos,
 	}
 	if !*noCache {
 		suite.CacheDir = *cacheDir
@@ -86,23 +121,67 @@ func main() {
 		}
 	}
 
+	if !*noCache {
+		// One writer per cache directory.
+		lock, err := runner.AcquireDirLock(*cacheDir)
+		if err != nil {
+			return fatal(err)
+		}
+		defer lock.Release()
+
+		plan, err := suite.Plan()
+		if err != nil {
+			return fatal(err)
+		}
+		jpath := filepath.Join(*cacheDir, "journal.json")
+		if *resume {
+			var prev map[string]runner.JournalEntry
+			suite.Journal, prev, err = runner.ResumeJournal(jpath, plan.Key())
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "resuming: journal records %d finished pass(es); cached results satisfy them without recomputing\n", len(prev))
+		} else if suite.Journal, err = runner.CreateJournal(jpath, plan.Key(), len(plan.Jobs())); err != nil {
+			return fatal(err)
+		}
+		defer suite.Journal.Close()
+
+		if chaos != nil {
+			cache, err := runner.OpenCache(*cacheDir)
+			if err != nil {
+				return fatal(err)
+			}
+			if n, err := chaos.CorruptMatching(cache, plan.Jobs()); err != nil {
+				return fatal(err)
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "chaos: corrupted %d cache entr(ies)\n", n)
+			}
+		}
+	} else if *resume {
+		return fatal(errors.New("-resume needs the cache: the journal lives in the cache directory"))
+	}
+
 	res, err := suite.Run()
 	if *progPath != "" {
 		// The progress export is useful even for failed runs: it records
 		// which job broke and what was skipped.
 		f, ferr := os.Create(*progPath)
 		if ferr != nil {
-			fatal(ferr)
+			return fatal(ferr)
 		}
 		if werr := prog.Summary().WriteJSON(f); werr != nil {
-			fatal(werr)
+			return fatal(werr)
 		}
 		if cerr := f.Close(); cerr != nil {
-			fatal(cerr)
+			return fatal(cerr)
 		}
 	}
+	if err != nil && res == nil {
+		// Nothing to render; the journal stays behind for -resume.
+		return fatal(err)
+	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(os.Stderr, "vcoma-report: continuing past failures (-keep-going): %v\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "suite: %v wall, %d cache hits\n",
 		res.Elapsed.Round(time.Millisecond), res.CacheHits)
@@ -110,15 +189,25 @@ func main() {
 	md := res.RenderMarkdown()
 	if *outPath == "" {
 		fmt.Print(md)
-		return
+	} else {
+		if werr := os.WriteFile(*outPath, []byte(md), 0o644); werr != nil {
+			return fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *outPath, len(md))
 	}
-	if err := os.WriteFile(*outPath, []byte(md), 0o644); err != nil {
-		fatal(err)
+	if res.Partial() {
+		fmt.Fprintf(os.Stderr, "vcoma-report: PARTIAL REPORT: %d cell(s) failed; rerun with -resume to fill them in\n", len(res.Failures))
+		return 2
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *outPath, len(md))
+	if suite.Journal != nil {
+		if jerr := suite.Journal.Complete(); jerr != nil {
+			return fatal(jerr)
+		}
+	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "vcoma-report:", err)
-	os.Exit(1)
+	return 1
 }

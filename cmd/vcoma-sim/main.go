@@ -10,7 +10,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"vcoma"
+	"vcoma/internal/cli"
 	"vcoma/internal/obs"
 	"vcoma/internal/report"
 )
@@ -39,6 +42,7 @@ func main() {
 		traceCats       = flag.String("trace-categories", "", "comma-separated trace categories to keep: trans,dlb,coh,repl,sync (empty = all)")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	budgetOf := cli.BudgetFlags()
 	flag.Parse()
 
 	if err := obs.StartPprof(*pprofAddr); err != nil {
@@ -79,9 +83,18 @@ func main() {
 		o = vcoma.NewObserver(opt)
 	}
 
+	// The run is supervised: Ctrl-C aborts it cleanly, and any armed
+	// watchdog budget trips with a full diagnostic dump instead of a hang.
+	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-sim")
+	defer cancel(nil)
+
 	start := time.Now()
-	res, err := vcoma.RunInstrumented(cfg, bench, o)
+	res, err := vcoma.RunInstrumentedSupervised(ctx, cfg, bench, o, budgetOf())
 	if err != nil {
+		var we *vcoma.WatchdogError
+		if errors.As(err, &we) {
+			fmt.Fprint(os.Stderr, we.Dump.Render())
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)

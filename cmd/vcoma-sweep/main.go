@@ -4,29 +4,41 @@
 // vcoma-report. Output order follows the benchmark list, never completion
 // order.
 //
+// Runs are supervised: SIGINT/SIGTERM cancels cleanly, per-pass deadlines
+// (-job-timeout) and watchdog budgets (-max-cycles, -stall-events, ...)
+// reclaim hung simulations, transient failures retry (-retries), and an
+// interrupted sweep resumes from its journal (-resume) without recomputing
+// finished passes.
+//
 // Examples:
 //
 //	vcoma-sweep -exp fig8 -bench RADIX -scale small
 //	vcoma-sweep -exp table2 -scale small          # all six benchmarks
 //	vcoma-sweep -exp fig10 -bench RAYTRACE -scale small -jobs 4
-//	vcoma-sweep -exp fig11 -bench FFT
+//	vcoma-sweep -exp table4 -scale paper -job-timeout 10m -retries 2
+//	vcoma-sweep -exp table4 -scale paper -resume  # after an interruption
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vcoma"
+	"vcoma/internal/cli"
 	"vcoma/internal/experiments"
 	"vcoma/internal/obs"
 	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		expName    = flag.String("exp", "fig8", "experiment: fig8, fig9, table2, table3, table4, fig10, fig11, mgmt, tags, ablation, dlborg")
 		benchList  = flag.String("bench", "", "comma-separated benchmarks (default: all six)")
@@ -38,15 +50,20 @@ func main() {
 		metrics    = flag.Bool("job-metrics", false, "sample each freshly-computed pass and write its time series next to the cache entry")
 		metricsInt = flag.Uint64("metrics-interval", 0, "sampling epoch in simulated cycles for -job-metrics (0 = default)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		keepGoing  = flag.Bool("keep-going", false, "render the cells that succeeded when some passes fail (partial output, exit status 2)")
+		resume     = flag.Bool("resume", false, "resume an interrupted sweep from the journal in the cache directory")
+		chaosSpec  = flag.String("chaos", "", "fault-injection spec for testing the supervisor: panic:<substr>,hang:<substr>,flaky:<substr>:<n>,cancel:<n>,corrupt:<substr>")
 	)
+	budgetOf := cli.BudgetFlags()
+	retryOf, jobTimeout := cli.RetryFlags()
 	flag.Parse()
 	if err := obs.StartPprof(*pprofAddr); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	scale, err := parseScale(*scaleStr)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	names := workload.Names()
 	if *benchList != "" {
@@ -61,7 +78,7 @@ func main() {
 	if exp == "tags" {
 		// Analytic table; nothing to simulate.
 		fmt.Println(experiments.RenderTagOverhead(*markdown))
-		return
+		return 0
 	}
 
 	dlbSizes := []int{8, 16, 32, 64}
@@ -89,85 +106,171 @@ func main() {
 			err = fmt.Errorf("unknown experiment %q", *expName)
 		}
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 
+	chaos, err := runner.ParseChaos(*chaosSpec)
+	if err != nil {
+		return fatal(err)
+	}
+
+	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-sweep")
+	defer cancel(nil)
+	ctx = experiments.WithBudget(ctx, budgetOf())
+
 	var cache *runner.Cache
+	var journal *runner.Journal
 	if !*noCache {
 		if cache, err = runner.OpenCache(*cacheDir); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
+		// One sweep per cache directory: a second writer would interleave
+		// journal records and progress output with ours.
+		lock, err := runner.AcquireDirLock(*cacheDir)
+		if err != nil {
+			return fatal(err)
+		}
+		defer lock.Release()
+
+		jpath := filepath.Join(*cacheDir, "journal.json")
+		if *resume {
+			var prev map[string]runner.JournalEntry
+			journal, prev, err = runner.ResumeJournal(jpath, plan.Key())
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "resuming: journal records %d finished pass(es); cached results satisfy them without recomputing\n", len(prev))
+		} else if journal, err = runner.CreateJournal(jpath, plan.Key(), len(plan.Jobs())); err != nil {
+			return fatal(err)
+		}
+		defer journal.Close()
+	} else if *resume {
+		return fatal(errors.New("-resume needs the cache: the journal lives in the cache directory"))
 	}
-	res, err := plan.Run(context.Background(), runner.Options{
+
+	if chaos != nil {
+		chaos.BindCancel(cancel)
+		if cache != nil {
+			if n, err := chaos.CorruptMatching(cache, plan.Jobs()); err != nil {
+				return fatal(err)
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "chaos: corrupted %d cache entr(ies)\n", n)
+			}
+		}
+		plan.ApplyChaos(chaos)
+	}
+
+	policy := runner.FailFast
+	if *keepGoing {
+		policy = runner.CollectAll
+	}
+	res, runErr := plan.Run(ctx, runner.Options{
 		Workers:         *jobs,
 		Cache:           cache,
-		Policy:          runner.FailFast,
+		Policy:          policy,
 		Progress:        runner.NewProgress(os.Stderr),
 		Metrics:         *metrics,
 		MetricsInterval: *metricsInt,
+		JobTimeout:      *jobTimeout,
+		Retry:           retryOf(),
+		Journal:         journal,
 	})
-	if err != nil {
-		fatal(err)
+	if runErr != nil && !*keepGoing {
+		// The journal stays behind: rerunning with -resume picks up here.
+		return fatal(runErr)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "vcoma-sweep: continuing past failures (-keep-going): %v\n", runErr)
 	}
 
-	// Render in benchmark-list order, never completion order.
+	// Render in benchmark-list order, never completion order. Under
+	// -keep-going a failed cell prints a warning instead of output.
+	failed := 0
+	cell := func(name string, f func() error) {
+		if err := f(); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "vcoma-sweep: %s/%s failed: %v\n", exp, name, err)
+		}
+	}
 	var t2 []experiments.Table2Row
 	var t3 []experiments.Table3Row
 	var t4 []experiments.Table4Row
 	for _, name := range names {
+		name := name
 		switch exp {
 		case "fig8", "fig9", "table2", "table3":
-			obs, err := res.Observed(name)
-			if err != nil {
-				fatal(err)
-			}
-			switch exp {
-			case "fig8":
-				fmt.Println(experiments.Figure8(obs).Render(*markdown))
-			case "fig9":
-				fmt.Println(experiments.Figure9(obs).Render(*markdown))
-			case "table2":
-				t2 = append(t2, experiments.Table2(obs))
-			case "table3":
-				t3 = append(t3, experiments.Table3(obs))
-			}
+			cell(name, func() error {
+				obs, err := res.Observed(name)
+				if err != nil {
+					return err
+				}
+				switch exp {
+				case "fig8":
+					fmt.Println(experiments.Figure8(obs).Render(*markdown))
+				case "fig9":
+					fmt.Println(experiments.Figure9(obs).Render(*markdown))
+				case "table2":
+					t2 = append(t2, experiments.Table2(obs))
+				case "table3":
+					t3 = append(t3, experiments.Table3(obs))
+				}
+				return nil
+			})
 		case "table4":
-			row, err := res.Table4(name)
-			if err != nil {
-				fatal(err)
-			}
-			t4 = append(t4, row)
+			cell(name, func() error {
+				row, err := res.Table4(name)
+				if err != nil {
+					return err
+				}
+				t4 = append(t4, row)
+				return nil
+			})
 		case "fig10":
-			r, err := res.Figure10(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(r.Render(*markdown))
+			cell(name, func() error {
+				r, err := res.Figure10(name)
+				if err != nil {
+					return err
+				}
+				fmt.Println(r.Render(*markdown))
+				return nil
+			})
 		case "fig11":
-			r, err := res.Figure11(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(r.Render(*markdown))
+			cell(name, func() error {
+				r, err := res.Figure11(name)
+				if err != nil {
+					return err
+				}
+				fmt.Println(r.Render(*markdown))
+				return nil
+			})
 		case "mgmt":
-			rows, err := res.Mgmt(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("(%s)\n%s\n", name, experiments.RenderMgmt(rows, *markdown))
+			cell(name, func() error {
+				rows, err := res.Mgmt(name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("(%s)\n%s\n", name, experiments.RenderMgmt(rows, *markdown))
+				return nil
+			})
 		case "ablation":
-			rows, err := res.Ablation(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("(%s)\n%s\n", name, experiments.RenderAblation(rows, *markdown))
+			cell(name, func() error {
+				rows, err := res.Ablation(name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("(%s)\n%s\n", name, experiments.RenderAblation(rows, *markdown))
+				return nil
+			})
 		case "dlborg":
-			data, err := res.DLBOrg(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("(%s)\n%s\n", name, experiments.RenderDLBOrg(data, dlbSizes, *markdown))
+			cell(name, func() error {
+				data, err := res.DLBOrg(name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("(%s)\n%s\n", name, experiments.RenderDLBOrg(data, dlbSizes, *markdown))
+				return nil
+			})
 		}
 	}
 	if t2 != nil {
@@ -179,6 +282,16 @@ func main() {
 	if t4 != nil {
 		fmt.Println(experiments.RenderTable4(t4, *markdown))
 	}
+	if failed > 0 || runErr != nil {
+		fmt.Fprintf(os.Stderr, "vcoma-sweep: PARTIAL OUTPUT: %d cell(s) failed; rerun with -resume to fill them in\n", failed)
+		return 2
+	}
+	if journal != nil {
+		if err := journal.Complete(); err != nil {
+			return fatal(err)
+		}
+	}
+	return 0
 }
 
 func parseScale(s string) (workload.Scale, error) {
@@ -194,7 +307,7 @@ func parseScale(s string) (workload.Scale, error) {
 	}
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "vcoma-sweep:", err)
-	os.Exit(1)
+	return 1
 }

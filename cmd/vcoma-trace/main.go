@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 
 	"vcoma"
 	"vcoma/internal/addr"
+	"vcoma/internal/cli"
 	"vcoma/internal/experiments"
 	"vcoma/internal/machine"
 	"vcoma/internal/obs"
@@ -44,6 +47,7 @@ func main() {
 		traceCats       = flag.String("trace-categories", "", "comma-separated trace categories to keep: trans,dlb,coh,repl,sync (empty = all)")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	budgetOf := cli.BudgetFlags()
 	flag.Parse()
 	if *dir == "" || *record == *replay {
 		fatal(fmt.Errorf("need exactly one of -record/-replay, and -dir"))
@@ -78,7 +82,11 @@ func main() {
 		}
 		o = obs.New(opt)
 	}
-	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir, o, *metricsOut, *traceOut); err != nil {
+	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir, o, *metricsOut, *traceOut, budgetOf()); err != nil {
+		var we *sim.WatchdogError
+		if errors.As(err, &we) {
+			fmt.Fprint(os.Stderr, we.Dump.Render())
+		}
 		fatal(err)
 	}
 }
@@ -136,7 +144,7 @@ func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir stri
 	return nil
 }
 
-func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOut string) error {
+func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOut string, budget sim.Budget) error {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return err
@@ -187,6 +195,12 @@ func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOu
 	if err != nil {
 		return err
 	}
+	// Replays are supervised like live runs: Ctrl-C cancels, budgets trip
+	// with a diagnostic dump.
+	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-trace")
+	defer cancel(nil)
+	eng.SetBudget(budget)
+	eng.SetContext(ctx)
 	eng.SetObserver(o)
 	start := time.Now()
 	res, err := eng.Run()

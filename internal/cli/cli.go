@@ -1,0 +1,67 @@
+// Package cli holds the resilience plumbing shared by the vcoma commands:
+// signal-aware run contexts and the flag groups that arm the simulation
+// watchdog and the runner's retry policy. Keeping these in one place makes
+// every binary interruptible and supervisable the same way.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vcoma/internal/runner"
+	"vcoma/internal/sim"
+)
+
+// SignalContext derives a context that SIGINT/SIGTERM cancels. The first
+// signal finishes the terminal's current line, announces the shutdown, and
+// cancels with a cause naming the signal so in-flight work can flush
+// journals and release locks; a second signal force-quits with the
+// conventional 128+signum status.
+func SignalContext(parent context.Context, prog string) (context.Context, context.CancelCauseFunc) {
+	ctx, cancel := context.WithCancelCause(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "\n%s: %v: cancelling, flushing state (signal again to force-quit)\n", prog, sig)
+		cancel(fmt.Errorf("interrupted by %v", sig))
+		sig = <-ch
+		if s, ok := sig.(syscall.Signal); ok {
+			os.Exit(128 + int(s))
+		}
+		os.Exit(130)
+	}()
+	return ctx, cancel
+}
+
+// BudgetFlags registers the watchdog-budget flags on the default flag set
+// and returns a function that assembles the sim.Budget after flag.Parse.
+// All limits default to 0 (disarmed): legitimate paper-scale runs must
+// never trip a default budget.
+func BudgetFlags() func() sim.Budget {
+	maxCycles := flag.Uint64("max-cycles", 0, "watchdog: abort any pass past this many simulated cycles (0 = unlimited)")
+	maxEvents := flag.Uint64("max-events", 0, "watchdog: abort any pass past this many retired events (0 = unlimited)")
+	stall := flag.Uint64("stall-events", 0, "watchdog: abort any pass after this many events without a processor clock advancing (livelock detector; 0 = off)")
+	wall := flag.Duration("sim-wall", 0, "watchdog: abort any pass after this much wall-clock time (0 = unlimited)")
+	return func() sim.Budget {
+		return sim.Budget{MaxCycles: *maxCycles, MaxEvents: *maxEvents, StallEvents: *stall, MaxWall: *wall}
+	}
+}
+
+// RetryFlags registers the per-pass deadline and transient-retry flags and
+// returns a function assembling the runner.Retry policy after flag.Parse
+// plus the parsed deadline.
+func RetryFlags() (retry func() runner.Retry, jobTimeout *time.Duration) {
+	retries := flag.Int("retries", 0, "retry transiently-failed passes up to this many times (exponential backoff with jitter; 0 = no retries)")
+	jobTimeout = flag.Duration("job-timeout", 0, "per-pass deadline; a pass past it aborts with a watchdog diagnostic (0 = none)")
+	return func() runner.Retry {
+		r := runner.DefaultRetry
+		r.Max = *retries
+		return r
+	}, jobTimeout
+}

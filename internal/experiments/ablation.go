@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vcoma/internal/addr"
@@ -55,7 +56,13 @@ func AblationVariants(cfg config.Config) []AblationVariant {
 // AblationRun executes one variant's pass. Relative is left zero; the
 // assembly normalizes against the baseline row.
 func AblationRun(v AblationVariant, bench workload.Benchmark) (AblationRow, error) {
-	m, res, err := runPass(v.Cfg, bench, nil)
+	return AblationRunCtx(context.Background(), v, bench)
+}
+
+// AblationRunCtx is AblationRun under a runner context (cancellation,
+// deadline, watchdog budget).
+func AblationRunCtx(ctx context.Context, v AblationVariant, bench workload.Benchmark) (AblationRow, error) {
+	m, res, err := runPassCtx(ctx, v.Cfg, bench, nil, nil)
 	if err != nil {
 		return AblationRow{}, err
 	}
@@ -123,8 +130,14 @@ var DLBOrgs = []config.TLBOrg{config.FullyAssoc, config.SetAssoc4, config.SetAss
 // DLBOrgCell runs one (organization, size) cell of the sweep on the V-COMA
 // machine and returns the machine-wide DLB miss count.
 func DLBOrgCell(cfg config.Config, bench workload.Benchmark, size int, org config.TLBOrg) (uint64, error) {
+	return DLBOrgCellCtx(context.Background(), cfg, bench, size, org)
+}
+
+// DLBOrgCellCtx is DLBOrgCell under a runner context (cancellation,
+// deadline, watchdog budget).
+func DLBOrgCellCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, size int, org config.TLBOrg) (uint64, error) {
 	c := cfg.WithScheme(config.VCOMA).WithTLB(size, org)
-	m, _, err := runPass(c, bench, nil)
+	m, _, err := runPassCtx(ctx, c, bench, nil, nil)
 	if err != nil {
 		return 0, err
 	}

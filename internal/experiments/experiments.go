@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,16 +45,41 @@ type Observed struct {
 	L2NoWb *tlb.MergedBank
 }
 
-// runPass simulates one benchmark under one scheme with observers attached.
-func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*machine.Machine, sim.Result, error) {
-	return runPassObs(cfg, bench, specs, nil)
+// budgetCtxKey carries a sim.Budget through a runner context into every
+// simulation pass of a plan.
+type budgetCtxKey struct{}
+
+// WithBudget arms the watchdog of every simulation pass run under ctx:
+// jobs read the budget back out with BudgetFrom and install it on their
+// engine. A zero budget is equivalent to not calling WithBudget.
+func WithBudget(ctx context.Context, b sim.Budget) context.Context {
+	if b.Zero() {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetCtxKey{}, b)
 }
 
-// runPassObs is runPass with an optional observability sink wired through
-// the machine and engine (nil o = plain pass). Instrumentation is purely
-// observational, so an instrumented pass computes the same result as a
-// plain one — which is what lets metrics-enabled runs share cache entries.
-func runPassObs(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o *obs.Observer) (*machine.Machine, sim.Result, error) {
+// BudgetFrom returns the watchdog budget installed by WithBudget, or the
+// zero (disarmed) budget.
+func BudgetFrom(ctx context.Context) sim.Budget {
+	b, _ := ctx.Value(budgetCtxKey{}).(sim.Budget)
+	return b
+}
+
+// runPass simulates one benchmark under one scheme with observers attached.
+func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*machine.Machine, sim.Result, error) {
+	return runPassCtx(context.Background(), cfg, bench, specs, nil)
+}
+
+// runPassCtx is runPass under a runner context: the engine is bounded by
+// ctx (cancellation and deadline abort the pass, deadlines with a watchdog
+// diagnostic), armed with any WithBudget watchdog budget the context
+// carries, and instrumented when the context's runner installed an
+// observability sink (nil o = plain pass). Supervision and instrumentation
+// are purely observational: a supervised, instrumented pass that does not
+// trip computes the same result as a plain one — which is what lets
+// metrics-enabled and watchdog-guarded runs share cache entries.
+func runPassCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o *obs.Observer) (*machine.Machine, sim.Result, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, sim.Result{}, err
@@ -73,6 +99,8 @@ func runPassObs(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o
 	if err != nil {
 		return nil, sim.Result{}, err
 	}
+	eng.SetBudget(BudgetFrom(ctx))
+	eng.SetContext(ctx)
 	eng.SetObserver(o)
 	res, err := eng.Run()
 	if err != nil {
@@ -104,7 +132,13 @@ func ObservePassConfig(cfg config.Config, sch config.Scheme) config.Config {
 // ObserveScheme runs one benchmark under one scheme with the full paper
 // observer grid attached.
 func ObserveScheme(cfg config.Config, bench workload.Benchmark, sch config.Scheme) (SchemePass, error) {
-	m, _, err := runPass(ObservePassConfig(cfg, sch), bench, tlb.PaperSpecs())
+	return ObserveSchemeCtx(context.Background(), cfg, bench, sch)
+}
+
+// ObserveSchemeCtx is ObserveScheme under a runner context (cancellation,
+// deadline, watchdog budget).
+func ObserveSchemeCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, sch config.Scheme) (SchemePass, error) {
+	m, _, err := runPassCtx(ctx, ObservePassConfig(cfg, sch), bench, tlb.PaperSpecs(), nil)
 	if err != nil {
 		return SchemePass{}, err
 	}

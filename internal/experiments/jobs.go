@@ -45,6 +45,19 @@ func NewPlan(cfg config.Config, scale workload.Scale) *Plan {
 // Jobs returns the enumerated jobs.
 func (p *Plan) Jobs() []runner.Job { return p.jobs }
 
+// Key content-hashes the plan's job list for journal verification: a
+// resumed run must re-enumerate the exact plan it is resuming.
+func (p *Plan) Key() runner.Key { return runner.PlanKey(p.jobs) }
+
+// ApplyChaos wraps every planned job with c's fault injections; nil is a
+// no-op. Job names, keys and dependencies are untouched, so cache and
+// journal identity survive the wrapping. Testing and the -chaos flag only.
+func (p *Plan) ApplyChaos(c *runner.Chaos) {
+	if c != nil {
+		p.jobs = c.Wrap(p.jobs)
+	}
+}
+
 // key hashes a job's full input identity.
 func (p *Plan) key(kind string, cfg config.Config, bench string, extra ...any) runner.Key {
 	parts := []any{resultsVersion, kind, cfg, bench, p.scale.String()}
@@ -68,8 +81,8 @@ func (p *Plan) AddObserve(name string) error {
 		p.jobs = append(p.jobs, runner.New(
 			fmt.Sprintf("observe/%s/%v", name, sch),
 			p.key("observe", ObservePassConfig(p.cfg, sch), name),
-			func(context.Context) (SchemePass, error) {
-				return ObserveScheme(p.cfg, bench, sch)
+			func(ctx context.Context) (SchemePass, error) {
+				return ObserveSchemeCtx(ctx, p.cfg, bench, sch)
 			}))
 	}
 	return nil
@@ -151,8 +164,8 @@ func (p *Plan) AddMgmt(name string, samplePages int) error {
 		p.jobs = append(p.jobs, runner.New(
 			fmt.Sprintf("mgmt/%s/%v", name, sch),
 			p.key("mgmt", p.cfg.WithScheme(sch).WithTLB(64, config.FullyAssoc), name, samplePages),
-			func(context.Context) (MgmtRow, error) {
-				return MgmtStudyScheme(p.cfg, bench, sch, samplePages)
+			func(ctx context.Context) (MgmtRow, error) {
+				return MgmtStudySchemeCtx(ctx, p.cfg, bench, sch, samplePages)
 			}))
 	}
 	return nil
@@ -169,8 +182,8 @@ func (p *Plan) AddAblation(name string) error {
 		p.jobs = append(p.jobs, runner.New(
 			fmt.Sprintf("ablation/%s/%s", name, v.Label),
 			p.key("ablation", v.Cfg, name, v.Label),
-			func(context.Context) (AblationRow, error) {
-				return AblationRun(v, bench)
+			func(ctx context.Context) (AblationRow, error) {
+				return AblationRunCtx(ctx, v, bench)
 			}))
 	}
 	return nil
@@ -188,8 +201,8 @@ func (p *Plan) AddDLBOrg(name string, sizes []int) error {
 			p.jobs = append(p.jobs, runner.New(
 				fmt.Sprintf("dlborg/%s/%v/%d", name, org, size),
 				p.key("dlborg", p.cfg.WithScheme(config.VCOMA).WithTLB(size, org), name),
-				func(context.Context) (uint64, error) {
-					return DLBOrgCell(p.cfg, bench, size, org)
+				func(ctx context.Context) (uint64, error) {
+					return DLBOrgCellCtx(ctx, p.cfg, bench, size, org)
 				}))
 		}
 	}
@@ -197,13 +210,15 @@ func (p *Plan) AddDLBOrg(name string, sizes []int) error {
 	return nil
 }
 
-// Run executes the plan's jobs through the runner.
+// Run executes the plan's jobs through the runner. Under CollectAll the
+// result is returned alongside the joined error so callers can assemble
+// whatever completed.
 func (p *Plan) Run(ctx context.Context, opt runner.Options) (*PlanResult, error) {
 	rr, err := runner.Run(ctx, p.jobs, opt)
-	if err != nil {
+	if rr == nil {
 		return nil, err
 	}
-	return &PlanResult{plan: p, run: rr}, nil
+	return &PlanResult{plan: p, run: rr}, err
 }
 
 // PlanResult reassembles typed experiment results from a finished run.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vcoma/internal/addr"
@@ -33,8 +34,14 @@ type MgmtRow struct {
 // workload's pages, reporting mean costs. It is the per-scheme pass the
 // experiment runner schedules and caches.
 func MgmtStudyScheme(cfg config.Config, bench workload.Benchmark, sch config.Scheme, samplePages int) (MgmtRow, error) {
+	return MgmtStudySchemeCtx(context.Background(), cfg, bench, sch, samplePages)
+}
+
+// MgmtStudySchemeCtx is MgmtStudyScheme under a runner context
+// (cancellation, deadline, watchdog budget).
+func MgmtStudySchemeCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, sch config.Scheme, samplePages int) (MgmtRow, error) {
 	c := cfg.WithScheme(sch).WithTLB(64, config.FullyAssoc)
-	m, _, err := runPass(c, bench, nil)
+	m, _, err := runPassCtx(ctx, c, bench, nil, nil)
 	if err != nil {
 		return MgmtRow{}, err
 	}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"vcoma/internal/config"
 	"vcoma/internal/report"
 	"vcoma/internal/runner"
+	"vcoma/internal/sim"
 	"vcoma/internal/workload"
 )
 
@@ -45,6 +47,38 @@ type Suite struct {
 	// MetricsInterval is the sampler epoch in simulated cycles; 0 uses
 	// runner.DefaultMetricsInterval.
 	MetricsInterval uint64
+	// KeepGoing degrades gracefully instead of failing fast: every pass
+	// whose dependencies succeeded still runs, failed cells are collected
+	// into SuiteResult.Failures, and Run returns the partial result
+	// alongside the joined error so the caller can render what survived
+	// (with the failures explicitly marked) and exit nonzero.
+	KeepGoing bool
+	// JobTimeout bounds each pass with a context deadline (see
+	// runner.Options.JobTimeout). 0 means unbounded.
+	JobTimeout time.Duration
+	// Retry is the transient-failure retry policy (see
+	// runner.Options.Retry).
+	Retry runner.Retry
+	// Budget arms the simulation watchdog of every pass: cycle, event,
+	// forward-progress and wall-clock limits, tripping with a structured
+	// diagnostic dump. The zero budget is disarmed.
+	Budget sim.Budget
+	// Journal, if non-nil, records every completed pass for -resume.
+	Journal *runner.Journal
+	// Chaos, if non-nil, wraps every pass with the configured fault
+	// injections (testing and the -chaos flag only).
+	Chaos *runner.Chaos
+}
+
+// CellFailure names one failed (or skipped) cell of a partial suite run.
+type CellFailure struct {
+	// Section is the report section the cell belongs to ("figures 8/9 +
+	// tables 2/3", "table 4", "figure 10", "figure 11", "management study").
+	Section string
+	// Benchmark is the cell's workload.
+	Benchmark string
+	// Err is the failure rendered as text.
+	Err string
 }
 
 // ConfigForScale adapts a machine configuration to a workload scale by
@@ -73,11 +107,18 @@ type SuiteResult struct {
 	Fig10    []Figure10Result
 	Fig11    []Figure11Result
 	Mgmt     []MgmtRow
+	// Failures lists the cells a KeepGoing run could not compute, in
+	// benchmark order. A complete run has none, so complete reports are
+	// byte-identical whether or not KeepGoing was set.
+	Failures []CellFailure
 	// Elapsed and CacheHits describe the run, not the results; neither
 	// appears in the rendered report.
 	Elapsed   time.Duration
 	CacheHits int
 }
+
+// Partial reports whether any cell failed.
+func (r *SuiteResult) Partial() bool { return len(r.Failures) > 0 }
 
 // Plan enumerates the full evaluation as runner jobs.
 func (s *Suite) Plan() (*Plan, error) {
@@ -108,17 +149,22 @@ func (s *Suite) Plan() (*Plan, error) {
 }
 
 // Run executes every experiment through the runner and assembles the
-// results in benchmark order.
+// results in benchmark order. Without KeepGoing, any failure aborts the
+// run and Run returns (nil, err). With KeepGoing, Run always returns the
+// assembled partial result; the error is non-nil exactly when the result
+// is partial (SuiteResult.Failures lists the missing cells).
 func (s *Suite) Run() (*SuiteResult, error) {
 	start := time.Now()
 	ctx := s.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx = WithBudget(ctx, s.Budget)
 	plan, err := s.Plan()
 	if err != nil {
 		return nil, err
 	}
+	plan.ApplyChaos(s.Chaos)
 	prog := s.Progress
 	if prog == nil {
 		prog = runner.NewProgress(s.Log)
@@ -130,59 +176,86 @@ func (s *Suite) Run() (*SuiteResult, error) {
 			return nil, err
 		}
 	}
-	pr, err := plan.Run(ctx, runner.Options{
+	policy := runner.FailFast
+	if s.KeepGoing {
+		policy = runner.CollectAll
+	}
+	pr, runErr := plan.Run(ctx, runner.Options{
 		Workers:         s.Jobs,
 		Cache:           cache,
-		Policy:          runner.FailFast,
+		Policy:          policy,
 		Progress:        prog,
 		Metrics:         s.Metrics,
 		MetricsInterval: s.MetricsInterval,
+		JobTimeout:      s.JobTimeout,
+		Retry:           s.Retry,
+		Journal:         s.Journal,
 	})
-	if err != nil {
-		return nil, err
+	if pr == nil || (runErr != nil && !s.KeepGoing) {
+		return nil, runErr
 	}
 
 	res := &SuiteResult{Scale: s.Scale, Observed: make(map[string]*Observed)}
+	// cell assembles one section cell, recording a failure instead of
+	// aborting when the suite is degrading gracefully.
+	cell := func(section, name string, f func() error) {
+		if err := f(); err != nil {
+			res.Failures = append(res.Failures, CellFailure{Section: section, Benchmark: name, Err: err.Error()})
+		}
+	}
 	names := s.names()
 	for _, name := range names {
-		obs, err := pr.Observed(name)
-		if err != nil {
-			return nil, err
-		}
-		res.Observed[name] = obs
-		res.Fig8 = append(res.Fig8, Figure8(obs))
-		res.Fig9 = append(res.Fig9, Figure9(obs))
-		res.Tab2 = append(res.Tab2, Table2(obs))
-		res.Tab3 = append(res.Tab3, Table3(obs))
-
-		t4, err := pr.Table4(name)
-		if err != nil {
-			return nil, err
-		}
-		res.Tab4 = append(res.Tab4, t4)
-
-		f10, err := pr.Figure10(name)
-		if err != nil {
-			return nil, err
-		}
-		res.Fig10 = append(res.Fig10, f10)
-
-		f11, err := pr.Figure11(name)
-		if err != nil {
-			return nil, err
-		}
-		res.Fig11 = append(res.Fig11, f11)
+		name := name
+		cell("figures 8/9 + tables 2/3", name, func() error {
+			obs, err := pr.Observed(name)
+			if err != nil {
+				return err
+			}
+			res.Observed[name] = obs
+			res.Fig8 = append(res.Fig8, Figure8(obs))
+			res.Fig9 = append(res.Fig9, Figure9(obs))
+			res.Tab2 = append(res.Tab2, Table2(obs))
+			res.Tab3 = append(res.Tab3, Table3(obs))
+			return nil
+		})
+		cell("table 4", name, func() error {
+			t4, err := pr.Table4(name)
+			if err != nil {
+				return err
+			}
+			res.Tab4 = append(res.Tab4, t4)
+			return nil
+		})
+		cell("figure 10", name, func() error {
+			f10, err := pr.Figure10(name)
+			if err != nil {
+				return err
+			}
+			res.Fig10 = append(res.Fig10, f10)
+			return nil
+		})
+		cell("figure 11", name, func() error {
+			f11, err := pr.Figure11(name)
+			if err != nil {
+				return err
+			}
+			res.Fig11 = append(res.Fig11, f11)
+			return nil
+		})
 	}
 	if len(names) > 0 {
-		rows, err := pr.Mgmt(names[0])
-		if err != nil {
-			return nil, err
-		}
-		res.Mgmt = rows
+		cell("management study", names[0], func() error {
+			rows, err := pr.Mgmt(names[0])
+			if err != nil {
+				return err
+			}
+			res.Mgmt = rows
+			return nil
+		})
 	}
 	res.Elapsed = time.Since(start)
 	res.CacheHits = pr.Raw().CacheHits
-	return res, nil
+	return res, runErr
 }
 
 // RenderMarkdown produces the full paper-vs-measured report. The output
@@ -252,6 +325,20 @@ func (r *SuiteResult) RenderMarkdown() string {
 	w("")
 	for _, f := range r.Fig11 {
 		w("%s", f.Render(true))
+	}
+
+	if len(r.Failures) > 0 {
+		w("## Failed cells — PARTIAL REPORT")
+		w("")
+		w("The cells below could not be computed; every other section reflects")
+		w("only the jobs that completed. Rerun with `-resume` to fill them in.")
+		w("")
+		w("| section | benchmark | error |")
+		w("|---|---|---|")
+		for _, f := range r.Failures {
+			w("| %s | %s | %s |", f.Section, f.Benchmark, strings.ReplaceAll(f.Err, "|", "\\|"))
+		}
+		w("")
 	}
 
 	w("## Extensions beyond the paper's tables")

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vcoma/internal/config"
+	"vcoma/internal/runner"
+	"vcoma/internal/sim"
+	"vcoma/internal/workload"
+)
+
+// A fault in one section degrades the suite to a partial report instead of
+// losing everything, and the surviving sections still render.
+func TestSuiteKeepGoingPartialReport(t *testing.T) {
+	chaos, err := runner.ParseChaos("panic:table4/RADIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Suite{
+		Cfg:        config.Baseline(),
+		Scale:      workload.ScaleTest,
+		Benchmarks: []string{"RADIX"},
+		KeepGoing:  true,
+		Chaos:      chaos,
+	}
+	res, runErr := s.Run()
+	if runErr == nil {
+		t.Fatal("want error from injected panic")
+	}
+	if res == nil {
+		t.Fatal("KeepGoing run must return the partial result alongside the error")
+	}
+	if !res.Partial() {
+		t.Fatal("result not marked partial")
+	}
+	var sections []string
+	for _, f := range res.Failures {
+		sections = append(sections, f.Section)
+		if f.Benchmark != "RADIX" || f.Err == "" {
+			t.Errorf("failure = %+v", f)
+		}
+	}
+	if len(sections) != 1 || sections[0] != "table 4" {
+		t.Errorf("failed sections = %v, want exactly [table 4]", sections)
+	}
+	md := res.RenderMarkdown()
+	if !strings.Contains(md, "## Failed cells — PARTIAL REPORT") {
+		t.Error("partial report does not mark its failed cells")
+	}
+	if !strings.Contains(md, "| table 4 | RADIX |") {
+		t.Error("failed-cells table missing the failed cell row")
+	}
+	// The untouched sections still carry data.
+	if len(res.Fig8) != 1 || len(res.Fig10) != 1 || len(res.Fig11) != 1 || len(res.Mgmt) == 0 {
+		t.Errorf("surviving sections incomplete: fig8=%d fig10=%d fig11=%d mgmt=%d",
+			len(res.Fig8), len(res.Fig10), len(res.Fig11), len(res.Mgmt))
+	}
+}
+
+// Without KeepGoing the same fault fails the whole run.
+func TestSuiteFailFastOnFault(t *testing.T) {
+	chaos, _ := runner.ParseChaos("panic:table4/RADIX")
+	s := &Suite{
+		Cfg:        config.Baseline(),
+		Scale:      workload.ScaleTest,
+		Benchmarks: []string{"RADIX"},
+		Chaos:      chaos,
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// An impossibly tight watchdog budget trips every pass and surfaces as the
+// suite's error — an injected livelock cannot hang the evaluation.
+func TestSuiteWatchdogBudgetTrips(t *testing.T) {
+	s := &Suite{
+		Cfg:        config.Baseline(),
+		Scale:      workload.ScaleTest,
+		Benchmarks: []string{"RADIX"},
+		Budget:     sim.Budget{MaxCycles: 8},
+	}
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("want watchdog trip")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Errorf("err = %v, want a watchdog trip", err)
+	}
+}

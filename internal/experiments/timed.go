@@ -22,12 +22,13 @@ func Timed(cfg config.Config, bench workload.Benchmark, label string) (Breakdown
 	return TimedCtx(context.Background(), cfg, bench, label)
 }
 
-// TimedCtx is Timed under a runner context: when the context carries an
-// observability sink (runner.Options.Metrics), the pass is instrumented and
-// the runner persists its time series next to the job's cache entry. The
-// breakdown itself is identical either way.
+// TimedCtx is Timed under a runner context: the pass is bounded by ctx
+// (cancellation, deadline, WithBudget watchdog budget), and when the
+// context carries an observability sink (runner.Options.Metrics) it is
+// instrumented and the runner persists its time series next to the job's
+// cache entry. The breakdown itself is identical either way.
 func TimedCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, label string) (Breakdown, error) {
-	_, res, err := runPassObs(cfg, bench, nil, runner.ObserverFrom(ctx))
+	_, res, err := runPassCtx(ctx, cfg, bench, nil, runner.ObserverFrom(ctx))
 	if err != nil {
 		return Breakdown{}, err
 	}

@@ -1,37 +1,57 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // cacheSchema versions the on-disk entry envelope. Bumping it orphans every
 // existing entry (they fail validation and are recomputed), which is the
-// intended cache-invalidation path for format changes.
-const cacheSchema = "vcoma-cache-v1"
+// intended cache-invalidation path for format changes. v2 added the result
+// checksum.
+const cacheSchema = "vcoma-cache-v2"
+
+// quarantineDir is the subdirectory corrupt entries are moved to.
+const quarantineDir = "quarantine"
 
 // Cache is a content-addressed on-disk store of job results. Each entry is
 // one JSON file named after the job key, so the layout is transparent:
 //
 //	<dir>/<first two key hex digits>/<key>.json
 //
-// Entries are self-describing (they embed the schema version, the key and
-// the job name that produced them) and are written atomically via a
-// temporary file and rename, so concurrent runners sharing a directory
-// never observe torn writes. A corrupted, truncated or mismatched entry is
-// treated as a miss: the job recomputes and overwrites it.
+// Entries are self-describing (they embed the schema version, the key, a
+// sha256 checksum of the result, and the job name that produced them) and
+// are written atomically via a temporary file and rename, so concurrent
+// runners sharing a directory never observe torn writes.
+//
+// An entry from an older schema is a silent miss (recomputed and
+// overwritten — the expected upgrade path). A corrupt entry — unreadable
+// JSON, checksum mismatch, key mismatch — is never silently discarded: it
+// is moved to <dir>/quarantine/ beside a .reason file explaining what was
+// wrong, and a warning is logged, so data corruption is observable instead
+// of quietly papered over by a recompute.
 type Cache struct {
 	dir string
+
+	mu  sync.Mutex
+	log io.Writer // warnings; default os.Stderr
 }
 
 // envelope is the on-disk entry format.
 type envelope struct {
-	Schema string          `json:"schema"`
-	Key    Key             `json:"key"`
-	Job    string          `json:"job"`
+	Schema string `json:"schema"`
+	Key    Key    `json:"key"`
+	Job    string `json:"job"`
+	// Sum is the sha256 of Result, guarding against silent corruption that
+	// still parses as JSON.
+	Sum    string          `json:"sum"`
 	Result json.RawMessage `json:"result"`
 }
 
@@ -43,7 +63,29 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: opening cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, log: os.Stderr}, nil
+}
+
+// SetLog redirects the cache's corruption warnings (default os.Stderr);
+// nil silences them.
+func (c *Cache) SetLog(w io.Writer) {
+	c.mu.Lock()
+	c.log = w
+	c.mu.Unlock()
+}
+
+func (c *Cache) warnf(format string, args ...any) {
+	c.mu.Lock()
+	w := c.log
+	c.mu.Unlock()
+	if w != nil {
+		fmt.Fprintf(w, "runner: cache: "+format+"\n", args...)
+	}
+}
+
+func resultSum(raw []byte) string {
+	s := sha256.Sum256(raw)
+	return hex.EncodeToString(s[:])
 }
 
 // Dir returns the cache's root directory.
@@ -59,8 +101,9 @@ func (c *Cache) metricsPath(key Key) string {
 	return filepath.Join(c.dir, string(key[:2]), string(key)+".metrics.json")
 }
 
-// get returns the raw result bytes for key, or false on a miss. Unreadable
-// and malformed entries are misses.
+// get returns the raw result bytes for key, or false on a miss. An absent
+// file or an entry from an older schema is a plain miss; a corrupt entry is
+// quarantined with a reason and logged before reporting the miss.
 func (c *Cache) get(key Key) (json.RawMessage, bool) {
 	if len(key) < 2 {
 		return nil, false
@@ -71,12 +114,68 @@ func (c *Cache) get(key Key) (json.RawMessage, bool) {
 	}
 	var e envelope
 	if err := json.Unmarshal(data, &e); err != nil {
+		c.Quarantine(key, fmt.Sprintf("entry is not valid JSON: %v", err))
 		return nil, false
 	}
-	if e.Schema != cacheSchema || e.Key != key || e.Result == nil {
+	if e.Schema != cacheSchema {
+		// Older or foreign schema: stale, not corrupt. Recompute silently;
+		// Put overwrites it.
+		return nil, false
+	}
+	if e.Key != key {
+		c.Quarantine(key, fmt.Sprintf("entry claims key %.16s… but is filed under %.16s…", e.Key, key))
+		return nil, false
+	}
+	if e.Result == nil {
+		c.Quarantine(key, "entry has no result payload")
+		return nil, false
+	}
+	if sum := resultSum(e.Result); sum != e.Sum {
+		c.Quarantine(key, fmt.Sprintf("checksum mismatch: entry records %.16s…, payload hashes to %.16s…", e.Sum, sum))
 		return nil, false
 	}
 	return e.Result, true
+}
+
+// Quarantine moves the entry for key into <dir>/quarantine/ and writes a
+// sibling .reason file, logging a warning. Quarantined entries are never
+// consulted again but remain on disk for inspection; a recompute writes a
+// fresh entry in the normal location.
+func (c *Cache) Quarantine(key Key, reason string) {
+	if len(key) < 2 {
+		return
+	}
+	src := c.path(key)
+	qdir := filepath.Join(c.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		c.warnf("quarantining %s: %v", key, err)
+		return
+	}
+	dst := filepath.Join(qdir, filepath.Base(src))
+	if err := os.Rename(src, dst); err != nil {
+		c.warnf("quarantining %s: %v", key, err)
+		return
+	}
+	_ = os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	c.warnf("corrupt entry %.16s… quarantined to %s: %s", key, dst, reason)
+}
+
+// QuarantineDir returns the quarantine directory path (it may not exist yet).
+func (c *Cache) QuarantineDir() string { return filepath.Join(c.dir, quarantineDir) }
+
+// Quarantined counts quarantined entries (.reason files excluded).
+func (c *Cache) Quarantined() int {
+	entries, err := os.ReadDir(c.QuarantineDir())
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
 }
 
 // Get decodes the cached result for key into out (a pointer). It returns
@@ -100,7 +199,7 @@ func (c *Cache) Put(key Key, job string, v any) error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding result for %s: %w", job, err)
 	}
-	data, err := json.Marshal(envelope{Schema: cacheSchema, Key: key, Job: job, Result: raw})
+	data, err := json.Marshal(envelope{Schema: cacheSchema, Key: key, Job: job, Sum: resultSum(raw), Result: raw})
 	if err != nil {
 		return err
 	}
@@ -159,15 +258,13 @@ func writeFileAtomic(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// remove deletes the entry for key, if present. Used when an entry is
-// found corrupt so the rewrite is not racing a reader of the bad file.
-func (c *Cache) remove(key Key) {
-	if len(key) >= 2 {
-		os.Remove(c.path(key))
-	}
-}
+// EntryPath returns the on-disk path of the entry for key, whether or not
+// it exists. Exposed for tests and the chaos harness, which corrupt entries
+// in place to exercise the quarantine path.
+func (c *Cache) EntryPath(key Key) string { return c.path(key) }
 
-// Clear removes every entry (but keeps the directory).
+// Clear removes every entry (but keeps the directory and any quarantined
+// entries, which are evidence of past corruption, not cached state).
 func (c *Cache) Clear() error {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -199,11 +296,18 @@ func isHex(s string) bool {
 	return true
 }
 
-// Len counts the entries currently stored (metrics sidecars excluded).
+// Len counts the entries currently stored (metrics sidecars and
+// quarantined entries excluded).
 func (c *Cache) Len() int {
 	n := 0
 	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasSuffix(path, ".metrics.json") {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() && d.Name() == quarantineDir {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasSuffix(path, ".metrics.json") {
 			n++
 		}
 		return nil

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// ErrClass is the runner's error taxonomy. Every failed job is classified so
+// the scheduler knows how to react: transient failures are retried with
+// backoff, timeouts abort with their diagnostic, panics and permanent errors
+// fail immediately, and cancellations propagate without being counted as job
+// faults.
+type ErrClass int
+
+const (
+	// ClassNone means the job did not fail.
+	ClassNone ErrClass = iota
+	// ClassPermanent is a deterministic failure; retrying cannot help.
+	ClassPermanent
+	// ClassTransient is a failure marked retryable (Transient); the runner
+	// retries it with exponential backoff up to Options.Retry.Max times.
+	ClassTransient
+	// ClassTimeout is a deadline or budget abort (context deadline, sim
+	// watchdog). Not retried: the same budget would trip again.
+	ClassTimeout
+	// ClassPanic is a recovered job panic (PanicError).
+	ClassPanic
+	// ClassCancelled is a run-level cancellation (SIGINT/SIGTERM or parent
+	// context); the job itself is not at fault.
+	ClassCancelled
+)
+
+func (c ErrClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassPermanent:
+		return "permanent"
+	case ClassTransient:
+		return "transient"
+	case ClassTimeout:
+		return "timeout"
+	case ClassPanic:
+		return "panic"
+	case ClassCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("ErrClass(%d)", int(c))
+	}
+}
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// Transient wraps err to mark it retryable: the runner will re-run the job
+// with exponential backoff instead of failing it. Use for environmental
+// failures (I/O contention, injected chaos) — never for deterministic
+// simulation errors, which would retry forever to the same result.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// timeouter is the net.Error-style marker budget aborts implement
+// (sim.WatchdogError among them); the runner classifies them as timeouts
+// without importing the simulator.
+type timeouter interface{ Timeout() bool }
+
+// retryabler marks errors as transient without wrapping through Transient.
+type retryabler interface{ Transient() bool }
+
+// Classify maps an error into the taxonomy. Precedence: panics, explicit
+// transient markers, cancellation, deadline/budget timeouts, permanent.
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ClassNone
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return ClassPanic
+	}
+	var tr retryabler
+	if errors.As(err, &tr) && tr.Transient() {
+		return ClassTransient
+	}
+	if errors.Is(err, context.Canceled) {
+		return ClassCancelled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassTimeout
+	}
+	var to timeouter
+	if errors.As(err, &to) && to.Timeout() {
+		return ClassTimeout
+	}
+	return ClassPermanent
+}
+
+// Retry bounds the runner's reaction to transient job failures.
+type Retry struct {
+	// Max is the number of retries after the first attempt; 0 disables
+	// retrying.
+	Max int
+	// BaseDelay is the first backoff delay; doubled each retry. Defaults to
+	// 100ms when Max > 0.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 5s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy the sweep CLIs use: three retries starting at
+// 100 ms.
+var DefaultRetry = Retry{Max: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// delay computes the backoff before retry number attempt (0-based) of the
+// named job: exponential with a deterministic ±25% jitter derived from the
+// job name, so a fleet of failing jobs de-synchronizes identically on every
+// run (no randomness, which would break reproducibility of run logs).
+func (r Retry) delay(name string, attempt int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", name, attempt)
+	// Jitter in [-25%, +25%) of d.
+	jitter := int64(h.Sum32()%1000) - 500 // [-500, 500)
+	d += time.Duration(int64(d) / 2000 * jitter)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

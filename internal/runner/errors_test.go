@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// timeoutErr mimics sim.WatchdogError's net.Error-style marker without
+// importing the simulator.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "budget exceeded" }
+func (timeoutErr) Timeout() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, ClassNone},
+		{"plain", errors.New("boom"), ClassPermanent},
+		{"wrapped plain", fmt.Errorf("ctx: %w", errors.New("boom")), ClassPermanent},
+		{"transient", Transient(errors.New("io pressure")), ClassTransient},
+		{"wrapped transient", fmt.Errorf("job: %w", Transient(errors.New("x"))), ClassTransient},
+		{"cancelled", context.Canceled, ClassCancelled},
+		{"wrapped cancelled", fmt.Errorf("run: %w", context.Canceled), ClassCancelled},
+		{"deadline", context.DeadlineExceeded, ClassTimeout},
+		{"timeouter", timeoutErr{}, ClassTimeout},
+		{"wrapped timeouter", fmt.Errorf("job: %w", timeoutErr{}), ClassTimeout},
+		{"panic", &PanicError{Job: "j", Value: "v"}, ClassPanic},
+		{"wrapped panic", fmt.Errorf("job: %w", &PanicError{Job: "j"}), ClassPanic},
+		// A panic wrapping nothing still outranks other markers.
+		{"transient nil", Transient(nil), ClassNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify(%v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+func TestErrClassString(t *testing.T) {
+	for cl, want := range map[ErrClass]string{
+		ClassNone: "none", ClassPermanent: "permanent", ClassTransient: "transient",
+		ClassTimeout: "timeout", ClassPanic: "panic", ClassCancelled: "cancelled",
+		ErrClass(99): "ErrClass(99)",
+	} {
+		if got := cl.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(cl), got, want)
+		}
+	}
+}
+
+// Transient failures retry with backoff until they succeed.
+func TestRunTransientRetrySucceeds(t *testing.T) {
+	attempts := 0
+	jobs := []Job{job("flaky", func(context.Context) (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, Transient(errors.New("injected"))
+		}
+		return 42, nil
+	})}
+	rr, err := Run(context.Background(), jobs, Options{
+		Retry: Retry{Max: 3, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rr.Jobs["flaky"]
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", res.Attempts)
+	}
+	if res.Class != ClassNone {
+		t.Errorf("Class = %v, want none", res.Class)
+	}
+	if v, _ := ValueOf[int](rr, "flaky"); v != 42 {
+		t.Errorf("value = %d, want 42", v)
+	}
+}
+
+// A transient failure past the retry budget surfaces as the job's error.
+func TestRunTransientRetryExhausted(t *testing.T) {
+	attempts := 0
+	jobs := []Job{job("doomed", func(context.Context) (int, error) {
+		attempts++
+		return 0, Transient(errors.New("still broken"))
+	})}
+	rr, err := Run(context.Background(), jobs, Options{
+		Retry: Retry{Max: 2, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	res := rr.Jobs["doomed"]
+	if attempts != 3 || res.Attempts != 3 {
+		t.Errorf("attempts = %d (recorded %d), want 3 (initial + 2 retries)", attempts, res.Attempts)
+	}
+	if res.Class != ClassTransient {
+		t.Errorf("Class = %v, want transient", res.Class)
+	}
+}
+
+// Permanent failures never retry.
+func TestRunPermanentFailsFast(t *testing.T) {
+	attempts := 0
+	jobs := []Job{job("perm", func(context.Context) (int, error) {
+		attempts++
+		return 0, errors.New("deterministic failure")
+	})}
+	rr, err := Run(context.Background(), jobs, Options{Retry: DefaultRetry})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if attempts != 1 {
+		t.Errorf("permanent error ran %d times, want 1", attempts)
+	}
+	if rr.Jobs["perm"].Class != ClassPermanent {
+		t.Errorf("Class = %v, want permanent", rr.Jobs["perm"].Class)
+	}
+}
+
+// A hung job is reclaimed by the per-job deadline and classified timeout,
+// not retried.
+func TestRunJobTimeoutAborts(t *testing.T) {
+	attempts := 0
+	jobs := []Job{job("hung", func(ctx context.Context) (int, error) {
+		attempts++
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})}
+	rr, err := Run(context.Background(), jobs, Options{
+		JobTimeout: 5 * time.Millisecond,
+		Retry:      DefaultRetry,
+	})
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if attempts != 1 {
+		t.Errorf("timed-out job ran %d times, want 1 (timeouts are not retried)", attempts)
+	}
+	if cl := rr.Jobs["hung"].Class; cl != ClassTimeout {
+		t.Errorf("Class = %v, want timeout", cl)
+	}
+}
+
+// A panicking job is classified panic and not retried.
+func TestRunPanicClassified(t *testing.T) {
+	attempts := 0
+	jobs := []Job{job("bomb", func(context.Context) (int, error) {
+		attempts++
+		panic("injected")
+	})}
+	rr, err := Run(context.Background(), jobs, Options{Retry: DefaultRetry})
+	if err == nil {
+		t.Fatal("want panic error")
+	}
+	if attempts != 1 {
+		t.Errorf("panicking job ran %d times, want 1", attempts)
+	}
+	if cl := rr.Jobs["bomb"].Class; cl != ClassPanic {
+		t.Errorf("Class = %v, want panic", cl)
+	}
+}
+
+// Backoff delays are deterministic per (job, attempt), grow exponentially,
+// and respect the cap.
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	r := Retry{Max: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		d1 := r.delay("observe/RADIX/L0-TLB", attempt)
+		d2 := r.delay("observe/RADIX/L0-TLB", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < 0 || d1 > time.Second+time.Second/4 {
+			t.Errorf("attempt %d: delay %v outside [0, cap+25%%]", attempt, d1)
+		}
+	}
+	// Different jobs de-synchronize.
+	same := 0
+	for i := 0; i < 8; i++ {
+		if r.delay(fmt.Sprintf("job%d", i), 2) == r.delay(fmt.Sprintf("job%d", i+100), 2) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("jitter does not vary across job names")
+	}
+	// Zero-value policy defaults apply.
+	if d := (Retry{Max: 1}).delay("j", 0); d <= 0 || d > 200*time.Millisecond {
+		t.Errorf("defaulted first delay %v outside (0, 200ms]", d)
+	}
+}
+
+// Cancelling mid-backoff surfaces the cancellation, not the transient cause.
+func TestRunCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := []Job{job("flaky", func(context.Context) (int, error) {
+		cancel()
+		return 0, Transient(errors.New("injected"))
+	})}
+	rr, err := Run(ctx, jobs, Options{
+		Retry: Retry{Max: 5, BaseDelay: time.Hour, MaxDelay: time.Hour},
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if cl := rr.Jobs["flaky"].Class; cl != ClassCancelled {
+		t.Errorf("Class = %v, want cancelled", cl)
+	}
+}

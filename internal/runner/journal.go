@@ -1,0 +1,192 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalSchema versions the journal file format.
+const journalSchema = "vcoma-journal-v1"
+
+// Journal is an append-only record of a suite run, written next to the
+// result cache. Each completed job appends one line, synced to disk, so a
+// run killed mid-flight (SIGTERM, panic, power loss) leaves an exact record
+// of how far it got. A journal whose run completed is deleted; one left
+// behind marks an interrupted run that `vcoma-sweep -resume` can continue —
+// the plan hash in the header guarantees the resume is continuing the same
+// sweep (same experiment, benchmarks, scale and configuration), and the
+// content-addressed cache supplies the already-computed results.
+type Journal struct {
+	path string
+	plan Key
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]JournalEntry
+}
+
+// journalHeader is the first line of the file.
+type journalHeader struct {
+	Schema string `json:"schema"`
+	// Plan is the content hash of the whole job plan (names and keys in
+	// order); a resume against a different plan is refused.
+	Plan Key `json:"plan"`
+	// Jobs is the planned job count, for progress reporting.
+	Jobs int `json:"jobs"`
+}
+
+// JournalEntry is one recorded job completion.
+type JournalEntry struct {
+	Job      string `json:"job"`
+	Status   string `json:"status"` // "done" or "failed"
+	Class    string `json:"class,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+}
+
+// CreateJournal starts a fresh journal at path for a plan of total jobs,
+// truncating any previous (crashed) journal.
+func CreateJournal(path string, plan Key, total int) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: creating journal: %w", err)
+	}
+	j := &Journal{path: path, plan: plan, f: f, entries: make(map[string]JournalEntry)}
+	if err := j.append(journalHeader{Schema: journalSchema, Plan: plan, Jobs: total}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal reopens an interrupted run's journal at path, verifying it
+// belongs to the same plan. It returns the journal (reopened for append)
+// and the entries already recorded. A missing file is an error: there is
+// nothing to resume.
+func ResumeJournal(path string, plan Key) (*Journal, map[string]JournalEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("runner: no journal at %s: nothing to resume (the previous run completed, or never started)", path)
+		}
+		return nil, nil, fmt.Errorf("runner: reading journal: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("runner: journal %s is empty", path)
+	}
+	var h journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Schema != journalSchema {
+		return nil, nil, fmt.Errorf("runner: journal %s has an unrecognized header", path)
+	}
+	if h.Plan != plan {
+		return nil, nil, fmt.Errorf("runner: journal %s records a different sweep (plan %.16s…, this run is %.16s…) — rerun with the original flags, or start fresh without -resume", path, h.Plan, plan)
+	}
+	entries := make(map[string]JournalEntry)
+	for sc.Scan() {
+		var e JournalEntry
+		// A torn final line (the crash point) is expected; skip it.
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Job == "" {
+			continue
+		}
+		entries[e.Job] = e
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runner: reopening journal: %w", err)
+	}
+	j := &Journal{path: path, plan: plan, f: f, entries: entries}
+	return j, entries, nil
+}
+
+// record appends one job completion and syncs it to disk.
+func (j *Journal) record(r Result) {
+	e := JournalEntry{Job: r.Name, Status: "done", Attempts: r.Attempts, Cached: r.Cached}
+	if r.Err != nil {
+		e.Status = "failed"
+		e.Class = r.Class.String()
+		e.Error = r.Err.Error()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	j.entries[r.Name] = e
+	_ = j.appendLocked(e)
+}
+
+func (j *Journal) append(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(v)
+}
+
+func (j *Journal) appendLocked(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	// Sync each record: the journal exists precisely for the crash case.
+	return j.f.Sync()
+}
+
+// Done counts jobs recorded as done (succeeded).
+func (j *Journal) Done() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.Status == "done" {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed counts jobs recorded as failed.
+func (j *Journal) Failed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.Status == "failed" {
+			n++
+		}
+	}
+	return n
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the journal, leaving the file in place (an
+// interrupted run keeps its journal so -resume can find it).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Complete closes and deletes the journal: the run finished, there is
+// nothing left to resume.
+func (j *Journal) Complete() error {
+	if err := j.Close(); err != nil {
+		return err
+	}
+	return os.Remove(j.path)
+}

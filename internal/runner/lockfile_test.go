@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDirLockExcludesSecondHolder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireDirLock(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire: got %v, want ErrLocked", err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+func TestDirLockBreaksStaleLock(t *testing.T) {
+	dir := t.TempDir()
+	// A lock held by a PID that cannot be alive (pid_max is far below this).
+	stale, _ := json.Marshal(lockInfo{PID: 1 << 30, Started: time.Now()})
+	if err := os.WriteFile(filepath.Join(dir, lockFileName), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatalf("stale lock not broken: %v", err)
+	}
+	l.Release()
+}
+
+func TestDirLockBreaksTornLockFile(t *testing.T) {
+	dir := t.TempDir()
+	// A crash mid-write leaves an unparsable lock file: treated as stale.
+	if err := os.WriteFile(filepath.Join(dir, lockFileName), []byte(`{"pid":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatalf("torn lock not broken: %v", err)
+	}
+	l.Release()
+}
+
+func TestDirLockNilRelease(t *testing.T) {
+	var l *DirLock
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,6 +95,18 @@ type Options struct {
 	// MetricsInterval is the sampler epoch in simulated cycles for
 	// Metrics-enabled runs; 0 means DefaultMetricsInterval.
 	MetricsInterval uint64
+	// JobTimeout bounds every job attempt with a context deadline; jobs
+	// that honour their context (all simulation passes do, via the sim
+	// watchdog) abort with a timeout-class error and a diagnostic dump.
+	// 0 means unbounded.
+	JobTimeout time.Duration
+	// Retry is the transient-failure policy: jobs whose error classifies
+	// as ClassTransient re-run with exponential backoff up to Retry.Max
+	// times. The zero value never retries.
+	Retry Retry
+	// Journal, if non-nil, records every completed job so an interrupted
+	// suite can be resumed (vcoma-sweep -resume).
+	Journal *Journal
 }
 
 // DefaultMetricsInterval is the sampler epoch used when Options.Metrics is
@@ -135,6 +147,11 @@ type Result struct {
 	Skipped bool
 	// Wall is the job's observed wall time (≈0 for cache hits and skips).
 	Wall time.Duration
+	// Attempts is how many times the job executed (> 1 after transient
+	// retries; 0 for cache hits and skips).
+	Attempts int
+	// Class is the taxonomy of Err (ClassNone when the job succeeded).
+	Class ErrClass
 }
 
 // RunResult is the outcome of a whole Run.
@@ -259,6 +276,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*RunResult, error) {
 			}
 			results[res.Name] = res
 			remaining--
+			if opt.Journal != nil && !res.Skipped {
+				opt.Journal.record(res)
+			}
 			if res.Err != nil && !res.Skipped && firstErr == nil {
 				firstErr = res.Err
 				if opt.Policy == FailFast {
@@ -379,7 +399,8 @@ func anySkipped(results map[string]Result) bool {
 	return false
 }
 
-// execute runs one job: cache probe, recovery-wrapped call, cache fill.
+// execute runs one job: cache probe, recovery-wrapped attempts with
+// bounded retry for transient failures, cache fill.
 func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 	start := time.Now()
 	res.Name = j.Name
@@ -390,28 +411,27 @@ func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 				res.Wall = time.Since(start)
 				return res
 			}
-			// The entry exists but does not decode into the job's result
-			// type: treat as corrupt, drop it, and recompute.
-			opt.Cache.remove(j.Key)
+			// The entry is well-formed but does not decode into this job's
+			// result type: quarantine it for inspection and recompute.
+			opt.Cache.Quarantine(j.Key, fmt.Sprintf("entry does not decode into %s's result type", j.Name))
 		}
 	}
 	var o *obs.Observer
-	if opt.Metrics {
-		interval := opt.MetricsInterval
-		if interval == 0 {
-			interval = DefaultMetricsInterval
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		res.Value, o, res.Err = runAttempt(ctx, j, opt)
+		res.Class = Classify(res.Err)
+		if res.Class != ClassTransient || attempt >= opt.Retry.Max {
+			break
 		}
-		o = obs.New(obs.Options{MetricsInterval: interval})
-		ctx = context.WithValue(ctx, obsCtxKey{}, o)
+		if !sleepCtx(ctx, opt.Retry.delay(j.Name, attempt)) {
+			// Cancelled while backing off: surface the cancellation, keep
+			// the transient cause for the log.
+			res.Err = fmt.Errorf("%w (while backing off after: %v)", context.Cause(ctx), res.Err)
+			res.Class = ClassCancelled
+			break
+		}
 	}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				res.Err = &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
-			}
-		}()
-		res.Value, res.Err = j.run(ctx)
-	}()
 	res.Wall = time.Since(start)
 	if res.Err == nil && opt.Cache != nil && j.Key != "" {
 		// A failed write only costs a recomputation next run.
@@ -426,6 +446,32 @@ func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 		}
 	}
 	return res
+}
+
+// runAttempt performs one recovery-wrapped call of the job function under
+// the per-attempt deadline, returning the attempt's observer for the
+// metrics sidecar.
+func runAttempt(ctx context.Context, j *Job, opt Options) (v any, o *obs.Observer, err error) {
+	if opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.JobTimeout)
+		defer cancel()
+	}
+	if opt.Metrics {
+		interval := opt.MetricsInterval
+		if interval == 0 {
+			interval = DefaultMetricsInterval
+		}
+		o = obs.New(obs.Options{MetricsInterval: interval})
+		ctx = context.WithValue(ctx, obsCtxKey{}, o)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	v, err = j.run(ctx)
+	return v, o, err
 }
 
 // checkAcyclic runs Kahn's algorithm over the dependency graph.

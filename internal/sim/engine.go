@@ -11,7 +11,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"vcoma/internal/addr"
 	"vcoma/internal/machine"
@@ -89,6 +91,17 @@ type Engine struct {
 	barriers map[int]*barrierState
 	events   uint64
 
+	// Watchdog state (see watchdog.go): an optional budget, the context
+	// bounding the run, and the forward-progress trackers the livelock
+	// detector compares against.
+	budget          Budget
+	ctx             context.Context
+	wallStart       time.Time
+	maxClock        uint64 // largest processor clock seen so far
+	lastClock       uint64 // maxClock at the last observed advance
+	eventsAtAdvance uint64 // events retired when lastClock was recorded
+	tripCounter     *obs.Counter
+
 	sampler *obs.Sampler
 	tracer  *obs.Tracer
 
@@ -144,6 +157,13 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		return
 	}
 	r.Probe("sim/events", func() float64 { return float64(e.events) })
+	if !e.budget.Zero() {
+		// Watchdog instrumentation: how close the run is to the livelock
+		// trip point, and how many times the watchdog has fired.
+		r.Probe("sim/watchdog/stallWindow", func() float64 { return float64(e.events - e.eventsAtAdvance) })
+		r.Probe("sim/watchdog/maxClock", func() float64 { return float64(e.maxClock) })
+	}
+	e.tripCounter = r.Counter("sim/watchdog/trips")
 	for i := range e.procs {
 		p := &e.procs[i]
 		pre := fmt.Sprintf("proc%02d", i)
@@ -164,6 +184,8 @@ func (e *Engine) Run() (Result, error) {
 			trace.CloseStream(e.procs[i].stream)
 		}
 	}()
+	e.wallStart = time.Now()
+	supervised := !e.budget.Zero() || e.ctx != nil
 	for {
 		i := e.pickRunnable()
 		if i < 0 {
@@ -174,6 +196,11 @@ func (e *Engine) Run() (Result, error) {
 		}
 		if err := e.step(i); err != nil {
 			return Result{}, err
+		}
+		if supervised {
+			if err := e.checkBudget(); err != nil {
+				return Result{}, err
+			}
 		}
 	}
 	res := Result{Events: e.events}
@@ -263,6 +290,9 @@ func (e *Engine) step(i int) error {
 		e.barrierArrive(i, ev.ID)
 	default:
 		return fmt.Errorf("sim: processor %d: unknown event kind %v", i, ev.Kind)
+	}
+	if p.clock > e.maxClock {
+		e.maxClock = p.clock
 	}
 	if e.stepObs != nil {
 		e.stepObs(i, ev)

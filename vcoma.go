@@ -13,6 +13,7 @@
 package vcoma
 
 import (
+	"context"
 	"fmt"
 
 	"vcoma/internal/addr"
@@ -155,14 +156,32 @@ func (r *RunResult) SharedMB() float64 {
 // Run builds a machine for cfg, builds and preloads b, and simulates it to
 // completion.
 func Run(cfg Config, b Benchmark) (*RunResult, error) {
-	return run(cfg, b, nil, nil)
+	return run(context.Background(), cfg, b, nil, nil, Budget{})
 }
 
 // RunObserved is Run with a translation-observer bank grid attached to the
 // scheme's tap points: one pass measures every (size, organization) in
 // specs. Used by the Figure 8/9 and Table 2/3 experiments.
 func RunObserved(cfg Config, b Benchmark, specs []tlb.Spec) (*RunResult, error) {
-	return run(cfg, b, specs, nil)
+	return run(context.Background(), cfg, b, specs, nil, Budget{})
+}
+
+// Budget bounds a supervised run: simulated-cycle, retired-event,
+// forward-progress (livelock) and wall-clock limits. The zero value is
+// unbounded.
+type Budget = sim.Budget
+
+// WatchdogError is the structured abort a supervised run raises when its
+// budget trips; its Dump field is the full diagnostic (blocked processors,
+// lock and barrier queues, per-node memory-system state).
+type WatchdogError = sim.WatchdogError
+
+// RunSupervised is Run bounded by a context and a watchdog budget: the
+// simulation aborts with a *WatchdogError diagnostic when any budget limit
+// or the context deadline is exceeded, and with ctx's error when it is
+// cancelled, instead of spinning on a diverging or livelocked workload.
+func RunSupervised(ctx context.Context, cfg Config, b Benchmark, budget Budget) (*RunResult, error) {
+	return run(ctx, cfg, b, nil, nil, budget)
 }
 
 // Observer is the simulator-wide instrumentation sink (metrics registry,
@@ -179,10 +198,16 @@ func NewObserver(opt ObserverOptions) *Observer { return obs.New(opt) }
 // layer: per-node and per-processor metrics sampled each epoch, latency
 // histograms, and Chrome-trace events. A nil observer behaves like Run.
 func RunInstrumented(cfg Config, b Benchmark, o *Observer) (*RunResult, error) {
-	return run(cfg, b, nil, o)
+	return run(context.Background(), cfg, b, nil, o, Budget{})
 }
 
-func run(cfg Config, b Benchmark, specs []tlb.Spec, o *obs.Observer) (*RunResult, error) {
+// RunInstrumentedSupervised combines RunInstrumented and RunSupervised: an
+// observability sink plus a context bound and watchdog budget.
+func RunInstrumentedSupervised(ctx context.Context, cfg Config, b Benchmark, o *Observer, budget Budget) (*RunResult, error) {
+	return run(ctx, cfg, b, nil, o, budget)
+}
+
+func run(ctx context.Context, cfg Config, b Benchmark, specs []tlb.Spec, o *obs.Observer, budget Budget) (*RunResult, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
@@ -202,6 +227,8 @@ func run(cfg Config, b Benchmark, specs []tlb.Spec, o *obs.Observer) (*RunResult
 	if err != nil {
 		return nil, err
 	}
+	eng.SetBudget(budget)
+	eng.SetContext(ctx)
 	eng.SetObserver(o)
 	res, err := eng.Run()
 	if err != nil {
