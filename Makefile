@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke clean
+.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke bench-snapshot clean
 
 all: check
 
@@ -38,6 +38,19 @@ chaos-smoke:
 	sh scripts/chaos-smoke.sh chaos-smoke.tmp
 	rm -rf chaos-smoke.tmp
 
+# Service smoke through real HTTP: SIGTERM mid-job → restart → byte-identical
+# resume, coalescing onto the artifact store, 429 flood control
+# (see scripts/serve-smoke.sh).
+serve-smoke:
+	sh scripts/serve-smoke.sh serve-smoke.tmp
+	rm -rf serve-smoke.tmp
+
+# Refresh BENCH_serve.json: service-path latencies (cold submit, warm store
+# hit, coalesced burst) measured at test scale.
+bench-snapshot:
+	$(GO) run ./scripts/benchsnapshot > BENCH_serve.json
+	cat BENCH_serve.json
+
 # The full local gate: what CI runs, minus the long benchmark artifacts.
 check: vet build
 	$(GO) test -race ./...
@@ -46,4 +59,4 @@ check: vet build
 	$(GO) run ./cmd/vcoma-check -seeds 30 -diff -budget 60s -artifacts fuzz-artifacts
 
 clean:
-	rm -rf fuzz-artifacts artifacts chaos-smoke.tmp
+	rm -rf fuzz-artifacts artifacts chaos-smoke.tmp serve-smoke.tmp

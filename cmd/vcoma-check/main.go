@@ -120,7 +120,8 @@ func main() {
 		os.Exit(1)
 	}
 	if interrupted {
-		os.Exit(130)
+		// 128+signum per the shared convention (130 SIGINT, 143 SIGTERM).
+		os.Exit(cli.ExitCode(ctx, context.Cause(ctx)))
 	}
 }
 

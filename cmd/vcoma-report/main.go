@@ -88,6 +88,7 @@ func run() int {
 
 	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-report")
 	defer cancel(nil)
+	runCtx = ctx
 
 	chaos, err := runner.ParseChaos(*chaosSpec)
 	if err != nil {
@@ -197,7 +198,12 @@ func run() int {
 	}
 	if res.Partial() {
 		fmt.Fprintf(os.Stderr, "vcoma-report: PARTIAL REPORT: %d cell(s) failed; rerun with -resume to fill them in\n", len(res.Failures))
-		return 2
+		// A signal outranks partial status: an interrupted -keep-going run
+		// reports 128+signum, not 2.
+		if sig := cli.ExitCode(ctx, context.Cause(ctx)); sig > cli.ExitPartial {
+			return sig
+		}
+		return cli.ExitPartial
 	}
 	if suite.Journal != nil {
 		if jerr := suite.Journal.Complete(); jerr != nil {
@@ -207,7 +213,11 @@ func run() int {
 	return 0
 }
 
+// runCtx is the signal context once armed; fatal consults it so an
+// interrupted suite exits 128+signum per the shared convention.
+var runCtx context.Context
+
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "vcoma-report:", err)
-	return 1
+	return cli.ExitCode(runCtx, err)
 }

@@ -1,0 +1,75 @@
+// Command vcoma-serve runs the simulation harness as a long-lived HTTP/JSON
+// service: clients submit cells (bench + scheme + scale, the cache-key
+// schema) and the daemon answers from the shared artifact store or queues a
+// simulation, with admission control, per-tenant fairness, request
+// coalescing and crash-safe resume. See README "Running as a service".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"vcoma/internal/cli"
+	"vcoma/internal/runner"
+	"vcoma/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	state := flag.String("state", "serve-state", "state directory (artifact store, journal, lock)")
+	workers := flag.Int("workers", 2, "concurrent simulations")
+	queueLen := flag.Int("queue", 64, "admission control: maximum queued jobs before shedding/429")
+	maxPerTenant := flag.Int("max-per-tenant", 0, "per-tenant queued-job bound (0 = none)")
+	maxStoreMB := flag.Int64("max-store-mb", 0, "artifact store size bound in MB, LRU-evicted (0 = unbounded)")
+	jobMetrics := flag.Bool("job-metrics", false, "write per-job observability sidecars next to artifacts")
+	chaosSpec := flag.String("chaos", "", "fault injection spec (testing only), e.g. hang:serve")
+	drainGrace := flag.Duration("drain-grace", 5*time.Second, "HTTP shutdown grace on SIGTERM")
+	budget := cli.BudgetFlags()
+	retry, jobTimeout := cli.RetryFlags()
+	flag.Parse()
+
+	chaos, err := runner.ParseChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcoma-serve:", err)
+		return cli.ExitErr
+	}
+
+	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-serve")
+	defer cancel(nil)
+	if chaos != nil {
+		chaos.BindCancel(cancel)
+	}
+
+	srv, err := serve.New(serve.Options{
+		StateDir:      *state,
+		Workers:       *workers,
+		MaxQueue:      *queueLen,
+		MaxPerTenant:  *maxPerTenant,
+		MaxStoreBytes: *maxStoreMB << 20,
+		JobTimeout:    *jobTimeout,
+		Retry:         retry(),
+		Budget:        budget(),
+		Metrics:       *jobMetrics,
+		Chaos:         chaos,
+		DrainGrace:    *drainGrace,
+		Log:           os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcoma-serve:", err)
+		return cli.ExitErr
+	}
+
+	err = srv.Run(ctx, *addr)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "vcoma-serve:", err)
+		return cli.ExitCode(ctx, err)
+	}
+	return cli.ExitOK
+}

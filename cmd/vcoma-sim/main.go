@@ -21,6 +21,7 @@ import (
 
 	"vcoma"
 	"vcoma/internal/cli"
+	"vcoma/internal/experiments"
 	"vcoma/internal/obs"
 	"vcoma/internal/report"
 )
@@ -87,6 +88,7 @@ func main() {
 	// watchdog budget trips with a full diagnostic dump instead of a hang.
 	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-sim")
 	defer cancel(nil)
+	runCtx = ctx
 
 	start := time.Now()
 	res, err := vcoma.RunInstrumentedSupervised(ctx, cfg, bench, o, budgetOf())
@@ -116,66 +118,11 @@ func main() {
 	ns := res.Machine.Protocol().Fabric().Stats()
 
 	if *jsonOut {
-		nproc := float64(len(res.Sim.Procs))
-		sum := report.RunSummary{
-			Benchmark:  bench.Name(),
-			Scheme:     scheme.String(),
-			Scale:      scale.String(),
-			TLBEntries: *entries,
-			TLBOrg:     org.String(),
-			Seed:       cfg.Seed,
-			SharedMB:   res.SharedMB(),
-			Regions:    len(res.Layout().Regions()),
-			ExecCycles: res.ExecTime(),
-			SimSeconds: elapsed.Seconds(),
-			Breakdown: report.Breakdown{
-				Busy:   float64(tot.Busy) / nproc,
-				Sync:   float64(tot.Sync) / nproc,
-				Local:  float64(tot.StallLocal) / nproc,
-				Remote: float64(tot.StallRemote) / nproc,
-				Trans:  float64(tot.Trans) / nproc,
-				Exec:   res.ExecTime(),
-			},
-			Refs:     ms.Refs,
-			WritePct: 100 * float64(ms.Writes) / float64(ms.Refs),
-			Hits: report.HitRates{
-				FLC:     100 * float64(ms.FLCHits) / float64(ms.Refs),
-				SLC:     100 * float64(ms.SLCHits) / float64(ms.Refs),
-				LocalAM: 100 * float64(ms.LocalAM) / float64(ms.Refs),
-				Remote:  100 * float64(ms.Remote) / float64(ms.Refs),
-			},
-			Protocol: report.ProtocolSummary{
-				RemoteReads:   ps.RemoteReads,
-				Upgrades:      ps.Upgrades,
-				WriteFetches:  ps.WriteFetches,
-				Invalidations: ps.Invalidations,
-				SharedDrops:   ps.SharedDrops,
-				Relocations:   ps.Relocations,
-				Injections:    ps.Injections,
-				InjectionHops: ps.InjectionHops,
-				Swaps:         ps.Swaps,
-			},
-		}
-		if ms.TLBAccesses > 0 {
-			sum.TLB = &report.TranslationStats{
-				Accesses:      ms.TLBAccesses,
-				Misses:        ms.TLBMisses,
-				MissPctOfRefs: 100 * float64(ms.TLBMisses) / float64(ms.Refs),
-			}
-		}
-		if scheme == vcoma.VCOMA {
-			var lookups, misses uint64
-			for n := 0; n < cfg.Geometry.Nodes(); n++ {
-				st := res.Machine.Engine(vcoma.Node(n)).Stats()
-				lookups += st.Lookups
-				misses += st.Misses
-			}
-			sum.DLB = &report.TranslationStats{
-				Accesses:      lookups,
-				Misses:        misses,
-				MissPctOfRefs: 100 * float64(misses) / float64(ms.Refs),
-			}
-		}
+		// The deterministic part of the summary is built by the same helper
+		// the service uses, so `vcoma-sim -json` and a vcoma-serve artifact
+		// agree field for field; wall time is stamped on afterwards.
+		sum := experiments.RunSummaryOf(cfg, bench.Name(), scale, res.Program.Layout(), res.Machine, res.Sim)
+		sum.SimSeconds = elapsed.Seconds()
 		if o != nil {
 			if o.Sampler != nil {
 				ts := o.Sampler.Export()
@@ -288,7 +235,11 @@ func parseScale(s string) (vcoma.Scale, error) {
 	}
 }
 
+// runCtx is the signal context once armed; fatal consults it so an
+// interrupted run exits 128+signum per the shared convention.
+var runCtx context.Context
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vcoma-sim:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(runCtx, err))
 }

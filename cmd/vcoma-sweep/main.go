@@ -118,6 +118,7 @@ func run() int {
 	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-sweep")
 	defer cancel(nil)
 	ctx = experiments.WithBudget(ctx, budgetOf())
+	runCtx = ctx
 
 	var cache *runner.Cache
 	var journal *runner.Journal
@@ -284,7 +285,12 @@ func run() int {
 	}
 	if failed > 0 || runErr != nil {
 		fmt.Fprintf(os.Stderr, "vcoma-sweep: PARTIAL OUTPUT: %d cell(s) failed; rerun with -resume to fill them in\n", failed)
-		return 2
+		// A signal outranks partial status: an interrupted -keep-going run
+		// reports 128+signum, not 2.
+		if sig := cli.ExitCode(ctx, context.Cause(ctx)); sig > cli.ExitPartial {
+			return sig
+		}
+		return cli.ExitPartial
 	}
 	if journal != nil {
 		if err := journal.Complete(); err != nil {
@@ -307,7 +313,11 @@ func parseScale(s string) (workload.Scale, error) {
 	}
 }
 
+// runCtx is the signal context once armed; fatal consults it so an
+// interrupted sweep exits 128+signum per the shared convention.
+var runCtx context.Context
+
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "vcoma-sweep:", err)
-	return 1
+	return cli.ExitCode(runCtx, err)
 }

@@ -199,6 +199,7 @@ func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOu
 	// with a diagnostic dump.
 	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-trace")
 	defer cancel(nil)
+	runCtx = ctx
 	eng.SetBudget(budget)
 	eng.SetContext(ctx)
 	eng.SetObserver(o)
@@ -257,7 +258,11 @@ func replaySummary(res sim.Result) string {
 	return report.Table(headers, rows)
 }
 
+// runCtx is the replay's signal context once armed; fatal consults it so an
+// interrupted replay exits 128+signum per the shared convention.
+var runCtx context.Context
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vcoma-trace:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(runCtx, err))
 }

@@ -6,6 +6,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +18,67 @@ import (
 	"vcoma/internal/sim"
 )
 
+// The shared exit-code convention of every vcoma binary:
+//
+//	0        success
+//	1        error (bad flags, failed run, I/O)
+//	2        partial output (-keep-going runs with failed cells)
+//	128+sig  interrupted by a signal (130 SIGINT, 143 SIGTERM)
+//
+// Commands derive their run context from SignalContext and map their final
+// error through ExitCode, so a Ctrl-C'd sweep and a SIGTERM'd daemon report
+// the interruption the same way scripts expect.
+const (
+	ExitOK      = 0
+	ExitErr     = 1
+	ExitPartial = 2
+)
+
+// SignalError is the cancellation cause SignalContext installs: it names the
+// signal that interrupted the run and carries the conventional exit status.
+type SignalError struct {
+	Sig os.Signal
+}
+
+func (e *SignalError) Error() string { return fmt.Sprintf("interrupted by %v", e.Sig) }
+
+// ExitCode returns the conventional 128+signum status (130 for SIGINT, 143
+// for SIGTERM); 130 when the signal number is unknown.
+func (e *SignalError) ExitCode() int {
+	if s, ok := e.Sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 130
+}
+
+// ExitCode maps a command's final error to the shared exit-code convention:
+// 0 for nil, 128+signum when the error (or the run context's cancellation
+// cause, for errors that only record context.Canceled) traces back to a
+// SignalContext signal, and 1 otherwise. Partial-output status (2) is the
+// caller's decision; a signal outranks it.
+func ExitCode(ctx context.Context, err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var se *SignalError
+	if errors.As(err, &se) {
+		return se.ExitCode()
+	}
+	// Cancellation usually surfaces as context.Canceled from deep inside the
+	// engine; the signal that caused it is recorded on the context.
+	if ctx != nil && errors.Is(err, context.Canceled) {
+		if errors.As(context.Cause(ctx), &se) {
+			return se.ExitCode()
+		}
+	}
+	return ExitErr
+}
+
 // SignalContext derives a context that SIGINT/SIGTERM cancels. The first
 // signal finishes the terminal's current line, announces the shutdown, and
-// cancels with a cause naming the signal so in-flight work can flush
-// journals and release locks; a second signal force-quits with the
-// conventional 128+signum status.
+// cancels with a *SignalError cause naming the signal so in-flight work can
+// flush journals and release locks (and so ExitCode can report 128+signum);
+// a second signal force-quits with the conventional 128+signum status.
 func SignalContext(parent context.Context, prog string) (context.Context, context.CancelCauseFunc) {
 	ctx, cancel := context.WithCancelCause(parent)
 	ch := make(chan os.Signal, 2)
@@ -29,7 +86,7 @@ func SignalContext(parent context.Context, prog string) (context.Context, contex
 	go func() {
 		sig := <-ch
 		fmt.Fprintf(os.Stderr, "\n%s: %v: cancelling, flushing state (signal again to force-quit)\n", prog, sig)
-		cancel(fmt.Errorf("interrupted by %v", sig))
+		cancel(&SignalError{Sig: sig})
 		sig = <-ch
 		if s, ok := sig.(syscall.Signal); ok {
 			os.Exit(128 + int(s))

@@ -68,7 +68,8 @@ func BudgetFrom(ctx context.Context) sim.Budget {
 
 // runPass simulates one benchmark under one scheme with observers attached.
 func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*machine.Machine, sim.Result, error) {
-	return runPassCtx(context.Background(), cfg, bench, specs, nil)
+	m, _, res, err := passCtx(context.Background(), cfg, bench, specs, nil)
+	return m, res, err
 }
 
 // runPassCtx is runPass under a runner context: the engine is bounded by
@@ -80,33 +81,41 @@ func runPass(cfg config.Config, bench workload.Benchmark, specs []tlb.Spec) (*ma
 // trip computes the same result as a plain one — which is what lets
 // metrics-enabled and watchdog-guarded runs share cache entries.
 func runPassCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o *obs.Observer) (*machine.Machine, sim.Result, error) {
+	m, _, res, err := passCtx(ctx, cfg, bench, specs, o)
+	return m, res, err
+}
+
+// passCtx is the single pass implementation behind runPass/runPassCtx and
+// SimulateCtx; it additionally returns the built program so callers can
+// report the workload's layout.
+func passCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o *obs.Observer) (*machine.Machine, *workload.Program, sim.Result, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
-		return nil, sim.Result{}, err
+		return nil, nil, sim.Result{}, err
 	}
 	prog, err := bench.Build(cfg.Geometry, cfg.Geometry.Nodes())
 	if err != nil {
-		return nil, sim.Result{}, err
+		return nil, nil, sim.Result{}, err
 	}
 	if specs != nil {
 		if err := m.AttachObserverBanks(specs); err != nil {
-			return nil, sim.Result{}, err
+			return nil, nil, sim.Result{}, err
 		}
 	}
 	m.AttachObserver(o)
 	m.Preload(prog.Layout())
 	eng, err := sim.New(m, prog.Streams())
 	if err != nil {
-		return nil, sim.Result{}, err
+		return nil, nil, sim.Result{}, err
 	}
 	eng.SetBudget(BudgetFrom(ctx))
 	eng.SetContext(ctx)
 	eng.SetObserver(o)
 	res, err := eng.Run()
 	if err != nil {
-		return nil, sim.Result{}, fmt.Errorf("experiments: %s/%v: %w", bench.Name(), cfg.Scheme, err)
+		return nil, nil, sim.Result{}, fmt.Errorf("experiments: %s/%v: %w", bench.Name(), cfg.Scheme, err)
 	}
-	return m, res, nil
+	return m, prog, res, nil
 }
 
 // SchemePass is the serializable result of one observer pass: one

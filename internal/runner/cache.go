@@ -178,6 +178,34 @@ func (c *Cache) Quarantined() int {
 	return n
 }
 
+// GetRaw returns the cached result's raw JSON payload for key, exactly as
+// stored. Validation (schema, key, checksum) is identical to Get; a corrupt
+// entry is quarantined and reported as a miss. The artifact store serves
+// these bytes directly, so a result fetched today is byte-identical to the
+// one fetched after any number of restarts.
+func (c *Cache) GetRaw(key Key) (json.RawMessage, bool) {
+	return c.get(key)
+}
+
+// Remove deletes the entry for key along with its metrics sidecar, for
+// size-bounded eviction policies layered over the cache. A missing entry is
+// not an error; quarantined entries are never touched (they are evidence,
+// not cached state). A reader racing the removal sees either the old valid
+// entry or a plain miss — never a torn file — because entries are only ever
+// replaced atomically or unlinked.
+func (c *Cache) Remove(key Key) error {
+	if len(key) < 2 {
+		return fmt.Errorf("runner: invalid cache key %q", key)
+	}
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Remove(c.metricsPath(key)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
 // Get decodes the cached result for key into out (a pointer). It returns
 // false — never an error — when the entry is absent or unusable; the caller
 // recomputes.

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vcoma/internal/runner"
+)
+
+// journalSchema versions the accept-log format.
+const journalSchema = "vcoma-serve-journal-v1"
+
+// journalName is the accept log's file name inside the state directory.
+const journalName = "serve-journal.json"
+
+// journalRecord is one line of the accept log. The first line is a header
+// carrying only Schema; every other line is an operation on one job key.
+type journalRecord struct {
+	Schema string `json:"schema,omitempty"`
+	// Op is accept, done, fail or cancel.
+	Op  string     `json:"op,omitempty"`
+	Key runner.Key `json:"key,omitempty"`
+	// Req is the original wire request, kept on accept records so a
+	// restarted server can re-resolve and re-enqueue the job.
+	Req *Request `json:"req,omitempty"`
+}
+
+// Journal is the server's crash-safe accept log: every admitted job is
+// recorded (fsync'd) before the client hears 202, and retired when it
+// reaches a terminal state. On restart the pending set — accepted but not
+// retired — is re-enqueued, so a SIGTERM'd server picks its backlog back up
+// and, because results are content-addressed, serves byte-identical
+// artifacts for them. A torn final line (crash mid-write) is tolerated and
+// dropped, like the runner journal.
+type Journal struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenJournal opens (creating if needed) the accept log in stateDir,
+// returning the journal and the pending requests replayed from any previous
+// incarnation. The log is compacted on open: retired records are dropped
+// and only the pending accepts are rewritten.
+func OpenJournal(stateDir string) (*Journal, []Request, error) {
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	path := filepath.Join(stateDir, journalName)
+	pending, err := replay(path)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Compact: rewrite header + pending accepts atomically, then append.
+	tmp, err := os.CreateTemp(stateDir, ".journal-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(journalRecord{Schema: journalSchema}); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	for i := range pending {
+		req := pending[i]
+		key, ok := keyOf(req)
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(journalRecord{Op: "accept", Key: key, Req: &req}); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f)}, pending, nil
+}
+
+// keyOf resolves a journaled request to its job key; requests that no
+// longer resolve (schema drift) are dropped from the pending set.
+func keyOf(r Request) (runner.Key, bool) {
+	spec, err := r.Resolve()
+	if err != nil {
+		return "", false
+	}
+	return spec.Key(), true
+}
+
+// replay reads the log and returns the pending (accepted, not retired)
+// requests in accept order. One request per key — coalesced waiters are
+// HTTP connections, which do not survive a restart.
+func replay(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type slot struct {
+		req   Request
+		alive bool
+	}
+	byKey := map[runner.Key]*slot{}
+	var order []runner.Key
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line is expected after a crash; drop it. A torn
+			// line anywhere else means everything after it is suspect, so
+			// stop replaying there too.
+			break
+		}
+		if first {
+			first = false
+			if rec.Schema != "" {
+				if rec.Schema != journalSchema {
+					// Foreign schema: start fresh rather than misread it.
+					return nil, nil
+				}
+				continue
+			}
+		}
+		switch rec.Op {
+		case "accept":
+			if rec.Req == nil || rec.Key == "" {
+				continue
+			}
+			if s, ok := byKey[rec.Key]; ok {
+				s.alive = true
+				continue
+			}
+			byKey[rec.Key] = &slot{req: *rec.Req, alive: true}
+			order = append(order, rec.Key)
+		case "done", "fail", "cancel":
+			if s, ok := byKey[rec.Key]; ok {
+				s.alive = false
+			}
+		}
+	}
+	var pending []Request
+	for _, k := range order {
+		if s := byKey[k]; s.alive {
+			pending = append(pending, s.req)
+		}
+	}
+	return pending, nil
+}
+
+// record appends one line and fsyncs it — the durability point.
+func (j *Journal) record(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Accept records an admitted job before its 202 is sent.
+func (j *Journal) Accept(key runner.Key, req Request) error {
+	return j.record(journalRecord{Op: "accept", Key: key, Req: &req})
+}
+
+// Done retires a job that finished with its artifact stored.
+func (j *Journal) Done(key runner.Key) error {
+	return j.record(journalRecord{Op: "done", Key: key})
+}
+
+// Fail retires a job that errored (it is not re-run on restart; the client
+// saw the failure).
+func (j *Journal) Fail(key runner.Key) error {
+	return j.record(journalRecord{Op: "fail", Key: key})
+}
+
+// Cancel retires a job every waiter abandoned.
+func (j *Journal) Cancel(key runner.Key) error {
+	return j.record(journalRecord{Op: "cancel", Key: key})
+}
+
+// Close flushes and closes the log file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"vcoma/internal/obs"
+)
+
+// serverMetrics is the service's own instrumentation. The obs package's
+// instruments are deliberately single-threaded (simulation-loop speed), so
+// the HTTP layer keeps its hot counters in atomics and exposes them to the
+// obs.Registry as probes, and serializes histogram access behind a mutex.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	submits      atomic.Uint64 // accepted requests (incl. coalesced)
+	coalesced    atomic.Uint64 // requests joined onto an in-flight job
+	storeHits    atomic.Uint64 // requests answered from the artifact store
+	simsExecuted atomic.Uint64 // simulations actually run (not cache hits)
+	rejected     atomic.Uint64 // 429s (queue full)
+	tenantLimit  atomic.Uint64 // 429s (per-tenant bound)
+	shed         atomic.Uint64 // queued jobs evicted for higher priority
+	canceled     atomic.Uint64 // jobs whose every waiter gave up
+	failed       atomic.Uint64 // simulations that errored
+	resumed      atomic.Uint64 // jobs re-enqueued from the journal at boot
+
+	hmu       sync.Mutex
+	queueWait *obs.Histogram // milliseconds queued before a worker picked it up
+	runTime   *obs.Histogram // milliseconds simulating (fresh runs only)
+}
+
+func newServerMetrics(queue *Queue, store *Store) *serverMetrics {
+	m := &serverMetrics{reg: obs.NewRegistry()}
+	probe := func(name string, v *atomic.Uint64) {
+		m.reg.Probe(name, func() float64 { return float64(v.Load()) })
+	}
+	probe("serve/submits", &m.submits)
+	probe("serve/coalesced", &m.coalesced)
+	probe("serve/store.hits", &m.storeHits)
+	probe("serve/sims.executed", &m.simsExecuted)
+	probe("serve/rejected.overload", &m.rejected)
+	probe("serve/rejected.tenant", &m.tenantLimit)
+	probe("serve/shed", &m.shed)
+	probe("serve/canceled", &m.canceled)
+	probe("serve/failed", &m.failed)
+	probe("serve/resumed", &m.resumed)
+	m.reg.Probe("serve/queue.depth", func() float64 { return float64(queue.Snapshot().Queued) })
+	m.reg.Probe("serve/queue.running", func() float64 { return float64(queue.Snapshot().Running) })
+	m.reg.Probe("serve/store.bytes", func() float64 { return float64(store.Snapshot().Bytes) })
+	m.reg.Probe("serve/store.entries", func() float64 { return float64(store.Snapshot().Entries) })
+	m.reg.Probe("serve/store.evicted", func() float64 { return float64(store.Snapshot().Evicted) })
+	m.reg.Probe("serve/store.quarantined", func() float64 { return float64(store.Snapshot().Quarantined) })
+	m.queueWait = m.reg.Histogram("serve/lat.queue_wait_ms")
+	m.runTime = m.reg.Histogram("serve/lat.run_ms")
+	return m
+}
+
+func (m *serverMetrics) observeQueueWait(ms uint64) {
+	m.hmu.Lock()
+	m.queueWait.Observe(ms)
+	m.hmu.Unlock()
+}
+
+func (m *serverMetrics) observeRunTime(ms uint64) {
+	m.hmu.Lock()
+	m.runTime.Observe(ms)
+	m.hmu.Unlock()
+}
+
+// write renders the text exposition for GET /metrics: one `name value` line
+// per scalar metric, then count/sum/max plus cumulative `le` buckets per
+// histogram — greppable by scripts and close enough to the common scrape
+// formats to be machine-ingested.
+func (m *serverMetrics) write(w io.Writer) {
+	for _, name := range m.reg.Names() {
+		if v, ok := m.reg.Value(name); ok {
+			fmt.Fprintf(w, "%s %g\n", name, v)
+		}
+	}
+	m.hmu.Lock()
+	hists := m.reg.Histograms()
+	m.hmu.Unlock()
+	for _, h := range hists {
+		fmt.Fprintf(w, "%s.count %d\n", h.Name, h.Count)
+		fmt.Fprintf(w, "%s.sum %d\n", h.Name, h.Sum)
+		fmt.Fprintf(w, "%s.max %d\n", h.Name, h.Max)
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s.bucket{le=%q} %d\n", h.Name, fmt.Sprint(b.Hi), cum)
+		}
+	}
+}

@@ -1,0 +1,628 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vcoma/internal/runner"
+)
+
+// State is a job's position in its lifecycle.
+type State int
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = iota
+	// StateRunning: a worker is simulating it.
+	StateRunning
+	// StateDone: finished; the result is in the artifact store.
+	StateDone
+	// StateFailed: the simulation errored; Err holds the rendering.
+	StateFailed
+	// StateCanceled: every waiter canceled before it finished.
+	StateCanceled
+	// StateShed: evicted from the queue to admit higher-priority work.
+	StateShed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	case StateShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state can no longer change.
+func (s State) Terminal() bool { return s >= StateDone }
+
+// ErrOverloaded is returned by Submit when the queue is full and no
+// lower-priority victim exists to shed. The API layer maps it to
+// 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrTenantLimit is returned when one tenant alone exceeds its queued-job
+// allowance; unlike ErrOverloaded it triggers no shedding, because the
+// pressure is self-inflicted.
+var ErrTenantLimit = errors.New("serve: tenant queue limit reached")
+
+// ErrClosed is returned by Next and Submit after Close — the drain path.
+var ErrClosed = errors.New("serve: queue closed")
+
+// Job is one coalesced unit of work: every key-equal request maps onto the
+// same Job, which runs the simulation at most once. Its identity is the
+// content-address of its inputs, so it doubles as the HTTP job ID and the
+// artifact-store key.
+type Job struct {
+	Spec Spec
+	Key  runner.Key
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	refs     int            // live waiters; 0 → cancel
+	priority Priority       // effective: most urgent among waiters
+	tenant   string         // fairness bucket (first submitter)
+	tenants  map[string]int // waiter count per tenant, for introspection
+	progress []string
+	change   chan struct{}      // closed and replaced on every visible change
+	cancel   context.CancelFunc // set while running
+	cancelRequested bool
+
+	queuedAt  time.Time
+	startedAt time.Time
+	doneAt    time.Time
+}
+
+// notifyLocked wakes every watcher; callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.change)
+	j.change = make(chan struct{})
+}
+
+// Watch returns a channel that is closed on the job's next visible change
+// (state transition or new progress line). Callers re-Watch after each wake.
+func (j *Job) Watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.change
+}
+
+// Status is a point-in-time snapshot of a job for the HTTP API.
+type Status struct {
+	Key      string    `json:"key"`
+	Name     string    `json:"name"`
+	State    string    `json:"state"`
+	Priority string    `json:"priority"`
+	Tenants  int       `json:"tenants"`
+	Waiters  int       `json:"waiters"`
+	Error    string    `json:"error,omitempty"`
+	Progress []string  `json:"progress,omitempty"`
+	QueuedAt time.Time `json:"queued_at"`
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	DoneAt    *time.Time `json:"done_at,omitempty"`
+}
+
+// Snapshot renders the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		Key:      string(j.Key),
+		Name:     j.Spec.Name(),
+		State:    j.state.String(),
+		Priority: j.priority.String(),
+		Tenants:  len(j.tenants),
+		Waiters:  j.refs,
+		Error:    j.err,
+		Progress: append([]string(nil), j.progress...),
+		QueuedAt: j.queuedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		s.StartedAt = &t
+	}
+	if !j.doneAt.IsZero() {
+		t := j.doneAt
+		s.DoneAt = &t
+	}
+	return s
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// appendProgress records one progress-reporter line and wakes watchers.
+func (j *Job) appendProgress(line string) {
+	j.mu.Lock()
+	j.progress = append(j.progress, line)
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// bindCancel installs the running job's cancel func; if a waiter already
+// asked for cancellation between dequeue and bind, it fires immediately.
+func (j *Job) bindCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	req := j.cancelRequested
+	j.mu.Unlock()
+	if req {
+		cancel()
+	}
+}
+
+// bucket is one priority level: per-tenant FIFOs drained round-robin so a
+// tenant flooding the queue delays its own jobs, not its neighbours'.
+type bucket struct {
+	order []string // round-robin tenant rotation
+	fifos map[string][]*Job
+}
+
+func newBucket() *bucket { return &bucket{fifos: map[string][]*Job{}} }
+
+func (b *bucket) push(j *Job) {
+	if _, ok := b.fifos[j.tenant]; !ok {
+		b.order = append(b.order, j.tenant)
+	}
+	b.fifos[j.tenant] = append(b.fifos[j.tenant], j)
+}
+
+// pop dequeues the next job round-robin across tenants.
+func (b *bucket) pop() *Job {
+	for len(b.order) > 0 {
+		t := b.order[0]
+		fifo := b.fifos[t]
+		if len(fifo) == 0 {
+			b.order = b.order[1:]
+			delete(b.fifos, t)
+			continue
+		}
+		j := fifo[0]
+		b.fifos[t] = fifo[1:]
+		// Rotate the tenant to the back so the next pop serves someone else.
+		b.order = append(b.order[1:], t)
+		if len(b.fifos[t]) == 0 {
+			b.order = b.order[:len(b.order)-1]
+			delete(b.fifos, t)
+		}
+		return j
+	}
+	return nil
+}
+
+// remove unlinks a specific job (cancel or shed path).
+func (b *bucket) remove(j *Job) bool {
+	fifo := b.fifos[j.tenant]
+	for i, q := range fifo {
+		if q == j {
+			b.fifos[j.tenant] = append(fifo[:i:i], fifo[i+1:]...)
+			if len(b.fifos[j.tenant]) == 0 {
+				delete(b.fifos, j.tenant)
+				for k, t := range b.order {
+					if t == j.tenant {
+						b.order = append(b.order[:k], b.order[k+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// shedVictim picks the job shedding evicts: the most recently enqueued job
+// of the bucket's least-recently-served tenant — the waiter with the least
+// invested wait time.
+func (b *bucket) shedVictim() *Job {
+	if len(b.order) == 0 {
+		return nil
+	}
+	t := b.order[len(b.order)-1]
+	fifo := b.fifos[t]
+	if len(fifo) == 0 {
+		return nil
+	}
+	return fifo[len(fifo)-1]
+}
+
+// doneRetention bounds how many finished jobs the queue remembers for
+// status queries; results themselves live in the artifact store, so an
+// evicted record only loses the transient metadata (timings, progress log).
+const doneRetention = 512
+
+// Queue is the admission-controlled, multi-tenant job queue. All methods
+// are safe for concurrent use.
+type Queue struct {
+	maxQueue     int // queued-job bound; beyond it Submit sheds or rejects
+	maxPerTenant int // per-tenant queued bound; 0 = unlimited
+
+	// OnShed, when set before use, is called (with internal locks held —
+	// it must not call back into the queue) for every job evicted by load
+	// shedding, so the server can retire it in the journal.
+	OnShed func(*Job)
+
+	mu        sync.Mutex
+	buckets   [numPriorities]*bucket
+	jobs      map[runner.Key]*Job // queued + running
+	queued    int
+	running   int
+	done      map[runner.Key]*Job
+	doneOrder []runner.Key
+	wake      chan struct{}
+	closedCh  chan struct{}
+	closed    bool
+
+	// Shed and coalesce tallies for /metrics.
+	shedCount     uint64
+	coalesceCount uint64
+}
+
+// NewQueue builds a queue admitting at most maxQueue queued jobs
+// (running jobs are not counted — admission control protects the backlog,
+// not the workers) and, when maxPerTenant > 0, at most that many queued
+// jobs per tenant.
+func NewQueue(maxQueue, maxPerTenant int) *Queue {
+	q := &Queue{
+		maxQueue:     maxQueue,
+		maxPerTenant: maxPerTenant,
+		jobs:         map[runner.Key]*Job{},
+		done:         map[runner.Key]*Job{},
+		wake:         make(chan struct{}, 1),
+		closedCh:     make(chan struct{}),
+	}
+	for i := range q.buckets {
+		q.buckets[i] = newBucket()
+	}
+	return q
+}
+
+// Outcome says what Submit did with a request.
+type Outcome int
+
+const (
+	// OutcomeQueued: a new job was enqueued.
+	OutcomeQueued Outcome = iota
+	// OutcomeCoalesced: an identical job was already queued or running; the
+	// request joined it as an additional waiter.
+	OutcomeCoalesced
+	// OutcomeDone: the job already finished (still in retention) — the
+	// caller can fetch the result immediately.
+	OutcomeDone
+)
+
+// Submit admits one request. Key-equal requests coalesce onto the in-flight
+// job (raising its priority if the newcomer is more urgent). When the
+// backlog is full, a strictly-less-urgent queued job is shed to make room;
+// with no victim available the request is rejected with ErrOverloaded.
+func (q *Queue) Submit(spec Spec) (*Job, Outcome, error) {
+	key := spec.Key()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, 0, ErrClosed
+	}
+
+	if j, ok := q.jobs[key]; ok {
+		q.coalesceCount++
+		q.joinLocked(j, spec)
+		return j, OutcomeCoalesced, nil
+	}
+	if j, ok := q.done[key]; ok && j.State() == StateDone {
+		return j, OutcomeDone, nil
+	}
+
+	if q.maxPerTenant > 0 && q.queuedForTenantLocked(spec.Tenant) >= q.maxPerTenant {
+		return nil, 0, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantLimit, spec.Tenant, q.maxPerTenant)
+	}
+	if q.queued >= q.maxQueue {
+		if !q.shedLocked(spec.Priority) {
+			return nil, 0, ErrOverloaded
+		}
+	}
+
+	j := &Job{
+		Spec:     spec,
+		Key:      key,
+		state:    StateQueued,
+		refs:     1,
+		priority: spec.Priority,
+		tenant:   spec.Tenant,
+		tenants:  map[string]int{spec.Tenant: 1},
+		change:   make(chan struct{}),
+		queuedAt: time.Now(),
+	}
+	q.jobs[key] = j
+	q.buckets[spec.Priority].push(j)
+	q.queued++
+	q.signalLocked()
+	return j, OutcomeQueued, nil
+}
+
+// joinLocked adds one waiter to an in-flight job, promoting its queue
+// position if the newcomer is more urgent.
+func (q *Queue) joinLocked(j *Job, spec Spec) {
+	j.mu.Lock()
+	j.refs++
+	j.tenants[spec.Tenant]++
+	raise := spec.Priority < j.priority
+	queued := j.state == StateQueued
+	old := j.priority
+	if raise {
+		j.priority = spec.Priority
+	}
+	j.mu.Unlock()
+	if raise && queued {
+		if q.buckets[old].remove(j) {
+			q.buckets[spec.Priority].push(j)
+		}
+	}
+}
+
+func (q *Queue) queuedForTenantLocked(tenant string) int {
+	n := 0
+	for _, b := range q.buckets {
+		n += len(b.fifos[tenant])
+	}
+	return n
+}
+
+// shedLocked evicts one queued job strictly less urgent than incoming,
+// scanning from the least urgent bucket up. Returns false when nothing
+// qualifies — equal-priority work is never shed.
+func (q *Queue) shedLocked(incoming Priority) bool {
+	for p := numPriorities - 1; p > incoming; p-- {
+		v := q.buckets[p].shedVictim()
+		if v == nil {
+			continue
+		}
+		q.buckets[p].remove(v)
+		delete(q.jobs, v.Key)
+		q.queued--
+		q.shedCount++
+		q.retireLocked(v)
+		v.mu.Lock()
+		v.state = StateShed
+		v.err = "shed: evicted by higher-priority work under load"
+		v.doneAt = time.Now()
+		v.notifyLocked()
+		v.mu.Unlock()
+		if q.OnShed != nil {
+			q.OnShed(v)
+		}
+		return true
+	}
+	return false
+}
+
+// signalLocked nudges one idle worker.
+func (q *Queue) signalLocked() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until a job is available, then transitions it to running and
+// returns it. The worker must call bindCancel with the run's cancel func,
+// then Finish when done. Returns ErrClosed after Close drains dispatch.
+func (q *Queue) Next(ctx context.Context) (*Job, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		for _, b := range q.buckets {
+			if j := b.pop(); j != nil {
+				q.queued--
+				q.running++
+				if q.queued > 0 {
+					q.signalLocked() // more work: wake the next idle worker
+				}
+				q.mu.Unlock()
+				j.mu.Lock()
+				j.state = StateRunning
+				j.startedAt = time.Now()
+				j.notifyLocked()
+				j.mu.Unlock()
+				return j, nil
+			}
+		}
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case <-q.closedCh:
+			return nil, ErrClosed
+		case <-q.wake:
+		}
+	}
+}
+
+// Finish retires a running job with its outcome. canceled marks jobs whose
+// every waiter gave up; they are distinguishable from failures.
+func (q *Queue) Finish(j *Job, err error) {
+	q.mu.Lock()
+	delete(q.jobs, j.Key)
+	q.running--
+	q.retireLocked(j)
+	q.mu.Unlock()
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case (errors.Is(err, context.Canceled) && j.cancelRequested):
+		j.state = StateCanceled
+		j.err = "canceled by all waiters"
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.cancel = nil
+	j.doneAt = time.Now()
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// Requeue puts a dequeued-but-unfinished job back at its priority — the
+// drain path for in-flight work interrupted by shutdown, so the journal and
+// a restarted server see it as pending rather than failed.
+func (q *Queue) Requeue(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.jobs[j.Key]; !ok {
+		return
+	}
+	q.running--
+	q.queued++
+	j.mu.Lock()
+	j.state = StateQueued
+	j.startedAt = time.Time{}
+	j.cancel = nil
+	j.notifyLocked()
+	prio := j.priority
+	j.mu.Unlock()
+	q.buckets[prio].push(j)
+	q.signalLocked()
+}
+
+// retireLocked moves a job into bounded done-retention.
+func (q *Queue) retireLocked(j *Job) {
+	q.done[j.Key] = j
+	q.doneOrder = append(q.doneOrder, j.Key)
+	for len(q.doneOrder) > doneRetention {
+		old := q.doneOrder[0]
+		q.doneOrder = q.doneOrder[1:]
+		if q.done[old] != j {
+			delete(q.done, old)
+		}
+	}
+}
+
+// Cancel removes one waiter from the job. When the last waiter leaves, a
+// queued job is withdrawn immediately and a running one has its context
+// canceled (the worker then Finishes it as canceled). Reports whether the
+// key was known.
+func (q *Queue) Cancel(key runner.Key) bool {
+	q.mu.Lock()
+	j, ok := q.jobs[key]
+	if !ok {
+		_, ok = q.done[key]
+		q.mu.Unlock()
+		return ok // already terminal: cancel is a no-op, but the key exists
+	}
+
+	j.mu.Lock()
+	if j.refs > 0 {
+		j.refs--
+	}
+	if j.refs > 0 {
+		j.notifyLocked()
+		j.mu.Unlock()
+		q.mu.Unlock()
+		return true
+	}
+	// Last waiter gone.
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = "canceled by all waiters"
+		j.doneAt = time.Now()
+		j.notifyLocked()
+		prio := j.priority
+		j.mu.Unlock()
+		q.buckets[prio].remove(j)
+		delete(q.jobs, key)
+		q.queued--
+		q.retireLocked(j)
+		q.mu.Unlock()
+		return true
+	}
+	// Running: ask the worker to stop; Finish records the terminal state.
+	j.cancelRequested = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Get looks a job up by key among queued, running and retained-done jobs.
+func (q *Queue) Get(key runner.Key) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[key]; ok {
+		return j, true
+	}
+	j, ok := q.done[key]
+	return j, ok
+}
+
+// Close stops admission and dispatch: Submit and Next return ErrClosed.
+// Queued jobs stay queued (the journal remembers them for the next boot).
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.closedCh)
+}
+
+// Stats is the queue's introspection snapshot for /metrics and /v1/queue.
+type Stats struct {
+	Queued      int            `json:"queued"`
+	Running     int            `json:"running"`
+	PerPriority map[string]int `json:"per_priority"`
+	PerTenant   map[string]int `json:"per_tenant"`
+	Shed        uint64         `json:"shed"`
+	Coalesced   uint64         `json:"coalesced"`
+}
+
+// Snapshot reports current depth and tallies.
+func (q *Queue) Snapshot() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{
+		Queued:      q.queued,
+		Running:     q.running,
+		PerPriority: map[string]int{},
+		PerTenant:   map[string]int{},
+		Shed:        q.shedCount,
+		Coalesced:   q.coalesceCount,
+	}
+	for p, b := range q.buckets {
+		n := 0
+		for t, fifo := range b.fifos {
+			n += len(fifo)
+			s.PerTenant[t] += len(fifo)
+		}
+		if n > 0 {
+			s.PerPriority[Priority(p).String()] = n
+		}
+	}
+	return s
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// req builds a wire request for one cell; scheme and seed vary the key.
+func req(scheme, prio, tenant string, seed uint64) Request {
+	return Request{Bench: "RADIX", Scheme: scheme, Scale: "test", Priority: prio, Tenant: tenant, Seed: seed}
+}
+
+func mustSpec(t *testing.T, r Request) Spec {
+	t.Helper()
+	spec, err := r.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve(%+v): %v", r, err)
+	}
+	return spec
+}
+
+func TestRequestKeyExcludesTenantAndPriority(t *testing.T) {
+	a := mustSpec(t, req("l0", "high", "alice", 0))
+	b := mustSpec(t, req("l0", "low", "bob", 0))
+	if a.Key() != b.Key() {
+		t.Fatalf("tenant/priority leaked into the key: %s vs %s", a.Key(), b.Key())
+	}
+	c := mustSpec(t, req("l1", "high", "alice", 0))
+	if a.Key() == c.Key() {
+		t.Fatalf("different schemes share a key")
+	}
+}
+
+func TestSubmitCoalescesEqualKeys(t *testing.T) {
+	q := NewQueue(8, 0)
+	j1, out1, err := q.Submit(mustSpec(t, req("l0", "normal", "alice", 0)))
+	if err != nil || out1 != OutcomeQueued {
+		t.Fatalf("first submit: %v %v", out1, err)
+	}
+	j2, out2, err := q.Submit(mustSpec(t, req("l0", "normal", "bob", 0)))
+	if err != nil || out2 != OutcomeCoalesced {
+		t.Fatalf("second submit: %v %v", out2, err)
+	}
+	if j1 != j2 {
+		t.Fatalf("coalesced submits produced distinct jobs")
+	}
+	if st := q.Snapshot(); st.Queued != 1 || st.Coalesced != 1 {
+		t.Fatalf("snapshot after coalesce: %+v", st)
+	}
+	if s := j1.Snapshot(); s.Waiters != 2 || s.Tenants != 2 {
+		t.Fatalf("waiters=%d tenants=%d, want 2/2", s.Waiters, s.Tenants)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	q := NewQueue(2, 0)
+	for i := uint64(1); i <= 2; i++ {
+		if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", i))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Same priority: nothing to shed, so the third request bounces.
+	_, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 3)))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow submit: got %v, want ErrOverloaded", err)
+	}
+}
+
+func TestShedMakesRoomForHigherPriority(t *testing.T) {
+	q := NewQueue(2, 0)
+	var low []*Job
+	for i := uint64(1); i <= 2; i++ {
+		j, _, err := q.Submit(mustSpec(t, req("l0", "low", "a", i)))
+		if err != nil {
+			t.Fatalf("low submit %d: %v", i, err)
+		}
+		low = append(low, j)
+	}
+	hi, out, err := q.Submit(mustSpec(t, req("l0", "high", "b", 3)))
+	if err != nil || out != OutcomeQueued {
+		t.Fatalf("high submit: %v %v", out, err)
+	}
+	shed := 0
+	for _, j := range low {
+		if j.State() == StateShed {
+			shed++
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("shed %d low jobs, want exactly 1", shed)
+	}
+	if st := q.Snapshot(); st.Queued != 2 || st.Shed != 1 {
+		t.Fatalf("snapshot after shed: %+v", st)
+	}
+	if hi.State() != StateQueued {
+		t.Fatalf("high job state %v, want queued", hi.State())
+	}
+	// The remaining low job is still a victim for the next high submit…
+	if _, _, err := q.Submit(mustSpec(t, req("l0", "high", "b", 4))); err != nil {
+		t.Fatalf("second high submit: %v", err)
+	}
+	// …but once only high-priority work is queued, equal priority must
+	// never shed: the next high submit bounces instead.
+	if _, _, err := q.Submit(mustSpec(t, req("l0", "high", "b", 5))); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("equal-priority overflow: got %v, want ErrOverloaded", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	q := NewQueue(8, 0)
+	j, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Cancel(j.Key) {
+		t.Fatalf("cancel reported unknown key")
+	}
+	if j.State() != StateCanceled {
+		t.Fatalf("state %v, want canceled", j.State())
+	}
+	if st := q.Snapshot(); st.Queued != 0 {
+		t.Fatalf("queue still holds %d after cancel", st.Queued)
+	}
+	// The canceled job must never be dispatched.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if got, err := q.Next(ctx); err == nil {
+		t.Fatalf("Next returned canceled job %s", got.Key)
+	}
+	// Its record survives in retention for status queries.
+	if _, ok := q.Get(j.Key); !ok {
+		t.Fatalf("canceled job dropped from retention")
+	}
+}
+
+func TestCancelOnlyLastWaiterWithdraws(t *testing.T) {
+	q := NewQueue(8, 0)
+	j, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	q.Submit(mustSpec(t, req("l0", "normal", "b", 0))) // coalesce
+	if !q.Cancel(j.Key) || j.State() != StateQueued {
+		t.Fatalf("first cancel should only drop one waiter (state %v)", j.State())
+	}
+	if !q.Cancel(j.Key) || j.State() != StateCanceled {
+		t.Fatalf("second cancel should withdraw the job (state %v)", j.State())
+	}
+}
+
+func TestCancelRunningJobFiresContext(t *testing.T) {
+	q := NewQueue(8, 0)
+	j, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	got, err := q.Next(context.Background())
+	if err != nil || got != j {
+		t.Fatalf("Next: %v %v", got, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.bindCancel(cancel)
+	if !q.Cancel(j.Key) {
+		t.Fatalf("cancel reported unknown key")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatalf("cancel did not fire the running job's context")
+	}
+	q.Finish(j, context.Canceled)
+	if j.State() != StateCanceled {
+		t.Fatalf("state %v, want canceled", j.State())
+	}
+}
+
+func TestTenantRoundRobin(t *testing.T) {
+	q := NewQueue(16, 0)
+	// Tenant a floods three jobs before tenant b's one arrives.
+	for i := uint64(1); i <= 3; i++ {
+		q.Submit(mustSpec(t, req("l0", "normal", "a", i)))
+	}
+	q.Submit(mustSpec(t, req("l0", "normal", "b", 10)))
+	var order []string
+	for i := 0; i < 4; i++ {
+		j, err := q.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, j.Spec.Tenant)
+	}
+	// Round-robin: b is served second, not last.
+	want := []string{"a", "b", "a", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPriorityDispatchOrder(t *testing.T) {
+	q := NewQueue(16, 0)
+	lo, _, _ := q.Submit(mustSpec(t, req("l0", "low", "a", 1)))
+	hi, _, _ := q.Submit(mustSpec(t, req("l0", "high", "a", 2)))
+	j, err := q.Next(context.Background())
+	if err != nil || j != hi {
+		t.Fatalf("first dispatch %v, want the high-priority job", j.Spec.Priority)
+	}
+	j, err = q.Next(context.Background())
+	if err != nil || j != lo {
+		t.Fatalf("second dispatch %v, want the low-priority job", j.Spec.Priority)
+	}
+}
+
+func TestCoalesceRaisesPriority(t *testing.T) {
+	q := NewQueue(16, 0)
+	j, _, _ := q.Submit(mustSpec(t, req("l0", "low", "a", 1)))
+	q.Submit(mustSpec(t, req("l0", "normal", "a", 2)))
+	// A high-priority waiter joins the low job: it must now dispatch first.
+	q.Submit(mustSpec(t, req("l0", "high", "b", 1)))
+	got, err := q.Next(context.Background())
+	if err != nil || got != j {
+		t.Fatalf("promoted job not dispatched first")
+	}
+}
+
+func TestTenantLimit(t *testing.T) {
+	q := NewQueue(16, 2)
+	for i := uint64(1); i <= 2; i++ {
+		if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 3))); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("got %v, want ErrTenantLimit", err)
+	}
+	// Another tenant is unaffected.
+	if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "b", 4))); err != nil {
+		t.Fatalf("tenant b rejected: %v", err)
+	}
+}
+
+func TestRequeueAfterDrain(t *testing.T) {
+	q := NewQueue(8, 0)
+	j, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	if _, err := q.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q.Requeue(j)
+	if j.State() != StateQueued {
+		t.Fatalf("state %v after requeue, want queued", j.State())
+	}
+	got, err := q.Next(context.Background())
+	if err != nil || got != j {
+		t.Fatalf("requeued job not redispatched")
+	}
+}

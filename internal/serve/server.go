@@ -1,0 +1,627 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"vcoma/internal/experiments"
+	"vcoma/internal/report"
+	"vcoma/internal/runner"
+	"vcoma/internal/sim"
+)
+
+// Options configures a Server.
+type Options struct {
+	// StateDir holds everything durable: the artifact store (StateDir/
+	// artifacts), the accept journal and the advisory lock. Two servers
+	// sharing a StateDir is a configuration error the lock catches.
+	StateDir string
+	// Workers bounds concurrent simulations; <= 0 means 1.
+	Workers int
+	// MaxQueue bounds the backlog; <= 0 means 64.
+	MaxQueue int
+	// MaxPerTenant bounds one tenant's queued jobs; 0 = no bound.
+	MaxPerTenant int
+	// MaxStoreBytes bounds the artifact store; 0 = unbounded.
+	MaxStoreBytes int64
+	// JobTimeout bounds each simulation attempt; 0 = unbounded.
+	JobTimeout time.Duration
+	// Retry re-runs transiently-failed simulations.
+	Retry runner.Retry
+	// Budget arms the simulation watchdog inside every job.
+	Budget sim.Budget
+	// Metrics writes per-job observability sidecars next to artifacts.
+	Metrics bool
+	// Chaos, if non-nil, wraps every job with the fault injector — the
+	// smoke test's handle for holding a job mid-flight.
+	Chaos *runner.Chaos
+	// DrainGrace bounds the HTTP shutdown on SIGTERM; 0 means 5s.
+	DrainGrace time.Duration
+	// Log receives operational lines; nil silences them.
+	Log io.Writer
+}
+
+// Server is the vcoma simulation service: an HTTP/JSON API over the
+// multi-tenant Queue, executing jobs through runner.Run into the shared
+// artifact Store, journaling admissions so a restart resumes the backlog.
+type Server struct {
+	opts    Options
+	queue   *Queue
+	store   *Store
+	journal *Journal
+	lock    *runner.DirLock
+	metrics *serverMetrics
+
+	jmu sync.Mutex // serializes journal writes
+
+	wg       sync.WaitGroup
+	draining chan struct{}
+	drainOnce sync.Once
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "vcoma-serve: "+format+"\n", args...)
+	}
+}
+
+// New opens the state directory (store, journal, lock) and replays any
+// pending backlog from a previous incarnation into the queue. The server
+// does no work until Start.
+func New(opts Options) (*Server, error) {
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("serve: empty state directory")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 64
+	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = 5 * time.Second
+	}
+
+	store, err := OpenStore(filepath.Join(opts.StateDir, "artifacts"), opts.MaxStoreBytes)
+	if err != nil {
+		return nil, err
+	}
+	lock, err := runner.AcquireDirLock(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	journal, pending, err := OpenJournal(opts.StateDir)
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+
+	s := &Server{
+		opts:     opts,
+		queue:    NewQueue(opts.MaxQueue, opts.MaxPerTenant),
+		store:    store,
+		journal:  journal,
+		lock:     lock,
+		draining: make(chan struct{}),
+	}
+	s.metrics = newServerMetrics(s.queue, s.store)
+	s.queue.OnShed = func(j *Job) {
+		s.metrics.shed.Add(1)
+		// Journal write deferred out of the queue's critical section is not
+		// worth the machinery here: shedding is rare and the fsync is small.
+		s.journalRetire(j.Key, "cancel")
+	}
+
+	// Resume: jobs accepted by the previous incarnation re-enter the queue;
+	// ones whose artifact already exists are simply retired.
+	for _, req := range pending {
+		spec, err := req.Resolve()
+		if err != nil {
+			continue // compaction already dropped these, but be safe
+		}
+		key := spec.Key()
+		if _, ok := store.GetRaw(key); ok {
+			s.journalRetire(key, "done")
+			continue
+		}
+		if _, _, err := s.queue.Submit(spec); err != nil {
+			// Leave it pending in the journal; the next boot retries.
+			s.logf("resume: %s not re-enqueued: %v", spec.Name(), err)
+			continue
+		}
+		s.metrics.resumed.Add(1)
+		s.logf("resume: re-enqueued %s (%.16s…)", spec.Name(), key)
+	}
+	return s, nil
+}
+
+// journalRetire writes a terminal journal record, serialized because the
+// queue, workers and handlers all retire jobs.
+func (s *Server) journalRetire(key runner.Key, op string) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	var err error
+	switch op {
+	case "done":
+		err = s.journal.Done(key)
+	case "fail":
+		err = s.journal.Fail(key)
+	default:
+		err = s.journal.Cancel(key)
+	}
+	if err != nil {
+		s.logf("journal: %v", err)
+	}
+}
+
+func (s *Server) journalAccept(key runner.Key, req Request) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.journal.Accept(key, req)
+}
+
+// Start launches the worker pool under ctx. Cancelling ctx stops dispatch;
+// in-flight jobs are cancelled and re-queued in memory (and stay pending in
+// the journal), which is the drain path.
+func (s *Server) Start(ctx context.Context) {
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, err := s.queue.Next(ctx)
+				if err != nil {
+					return
+				}
+				s.runJob(ctx, j)
+			}
+		}()
+	}
+}
+
+// Shutdown completes the drain: stops admission, waits for workers to
+// return, then closes the journal and releases the lock. Safe to call once
+// after the Start context is cancelled.
+func (s *Server) Shutdown() {
+	s.drainOnce.Do(func() { close(s.draining) })
+	s.queue.Close()
+	s.wg.Wait()
+	if err := s.journal.Close(); err != nil {
+		s.logf("journal close: %v", err)
+	}
+	if err := s.lock.Release(); err != nil {
+		s.logf("lock release: %v", err)
+	}
+}
+
+// runJob executes one dequeued job through runner.Run: the artifact store's
+// cache serves key-equal repeats, chaos wraps it when configured, and the
+// progress reporter streams lines into the job's event log.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	j.bindCancel(cancel)
+
+	spec := j.Spec
+	waited := time.Since(j.Snapshot().QueuedAt)
+	s.metrics.observeQueueWait(uint64(waited.Milliseconds()))
+
+	rj := runner.New(spec.Name(), j.Key, func(c context.Context) (report.RunSummary, error) {
+		return experiments.SimulateCtx(experiments.WithBudget(c, s.opts.Budget), spec.Config, spec.Bench, spec.Scale)
+	})
+	jobs := []runner.Job{rj}
+	if s.opts.Chaos != nil {
+		jobs = s.opts.Chaos.Wrap(jobs)
+	}
+	progress := runner.NewProgress(jobWriter{j})
+	start := time.Now()
+	res, err := runner.Run(jobCtx, jobs, runner.Options{
+		Workers:    1,
+		Cache:      s.store.Cache(),
+		Progress:   progress,
+		Metrics:    s.opts.Metrics,
+		JobTimeout: s.opts.JobTimeout,
+		Retry:      s.opts.Retry,
+	})
+
+	if err == nil {
+		if r, ok := res.Jobs[spec.Name()]; ok && !r.Cached {
+			s.metrics.simsExecuted.Add(1)
+			s.metrics.observeRunTime(uint64(time.Since(start).Milliseconds()))
+		} else {
+			s.metrics.storeHits.Add(1)
+		}
+		s.store.Note(j.Key)
+		s.journalRetire(j.Key, "done")
+		s.queue.Finish(j, nil)
+		return
+	}
+
+	// Drain: the worker context died but no waiter asked to cancel — put
+	// the job back so the journal's pending record matches the queue, and
+	// the next incarnation re-runs it.
+	if ctx.Err() != nil && j.State() == StateRunning {
+		canceled := false
+		j.mu.Lock()
+		canceled = j.cancelRequested
+		j.mu.Unlock()
+		if !canceled {
+			s.logf("drain: requeueing %s", spec.Name())
+			s.queue.Requeue(j)
+			return
+		}
+	}
+
+	j.mu.Lock()
+	canceled := j.cancelRequested
+	j.mu.Unlock()
+	if canceled && errors.Is(err, context.Canceled) {
+		s.metrics.canceled.Add(1)
+		s.journalRetire(j.Key, "cancel")
+	} else {
+		s.metrics.failed.Add(1)
+		s.journalRetire(j.Key, "fail")
+	}
+	s.queue.Finish(j, err)
+}
+
+// jobWriter adapts the runner progress reporter to the job's event log.
+type jobWriter struct{ j *Job }
+
+func (w jobWriter) Write(p []byte) (int, error) {
+	line := string(p)
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	if line != "" {
+		w.j.appendProgress(line)
+	}
+	return len(p), nil
+}
+
+// Run serves the HTTP API on addr until ctx is cancelled (SIGTERM via
+// cli.SignalContext), then drains: stop accepting, shut the listener down
+// within DrainGrace, cancel in-flight work (requeued + journaled pending),
+// flush and release state. Returns the cancellation cause so callers can
+// map a signal to its conventional exit status.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	s.Start(ctx)
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	s.logf("listening on %s (state %s, %d workers, queue %d)", addr, s.opts.StateDir, s.opts.Workers, s.opts.MaxQueue)
+
+	select {
+	case <-ctx.Done():
+		s.logf("draining: %v", context.Cause(ctx))
+		shCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainGrace)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+		s.Shutdown()
+		return context.Cause(ctx)
+	case err := <-errCh:
+		s.Shutdown()
+		return err
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs            submit one simulation (Request JSON)
+//	POST   /v1/sweeps          submit one request per scheme
+//	GET    /v1/jobs/{key}      job status
+//	GET    /v1/jobs/{key}/result  stored artifact bytes (byte-identical)
+//	GET    /v1/jobs/{key}/events  SSE: status changes + progress lines
+//	DELETE /v1/jobs/{key}      remove this waiter (cancel when last)
+//	GET    /v1/queue           queue + store snapshot
+//	GET    /healthz            liveness
+//	GET    /metrics            text metrics exposition
+//	GET    /debug/pprof/       live profiling
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{key}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{key}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{key}", s.handleCancel)
+	mux.HandleFunc("GET /v1/queue", s.handleQueue)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.metrics.write(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// submitResponse is the body of a submit's 200/202.
+type submitResponse struct {
+	Key    string `json:"key"`
+	Name   string `json:"name"`
+	State  string `json:"state"`
+	Result string `json:"result_url"`
+	Events string `json:"events_url"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) draining429(w http.ResponseWriter) bool {
+	select {
+	case <-s.draining:
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+		return true
+	default:
+		return false
+	}
+}
+
+// retryAfter estimates seconds until queue pressure clears: backlog over
+// worker count, floored at 1 — advisory, monotone in load.
+func (s *Server) retryAfter() string {
+	st := s.queue.Snapshot()
+	secs := (st.Queued + st.Running) / s.opts.Workers
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admit runs one resolved spec through the store fast path and the queue,
+// journaling fresh admissions. Shared by submit and sweep.
+func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
+	key := spec.Key()
+	resp := submitResponse{
+		Key:    string(key),
+		Name:   spec.Name(),
+		Result: "/v1/jobs/" + string(key) + "/result",
+		Events: "/v1/jobs/" + string(key) + "/events",
+	}
+
+	// Fast path: the artifact already exists — answer without queueing.
+	if _, ok := s.store.GetRaw(key); ok {
+		s.metrics.storeHits.Add(1)
+		resp.State = StateDone.String()
+		return resp, http.StatusOK, nil
+	}
+
+	j, outcome, err := s.queue.Submit(spec)
+	if err != nil {
+		return resp, 0, err
+	}
+	s.metrics.submits.Add(1)
+	switch outcome {
+	case OutcomeDone:
+		resp.State = StateDone.String()
+		return resp, http.StatusOK, nil
+	case OutcomeCoalesced:
+		s.metrics.coalesced.Add(1)
+		resp.State = j.State().String()
+		return resp, http.StatusAccepted, nil
+	default:
+		// Journal before the client hears 202: once accepted, a crash must
+		// not lose the job.
+		if err := s.journalAccept(key, req); err != nil {
+			s.logf("journal: %v", err)
+		}
+		resp.State = StateQueued.String()
+		return resp, http.StatusAccepted, nil
+	}
+}
+
+func (s *Server) rejectStatus(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrTenantLimit):
+		s.metrics.tenantLimit.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining429(w) {
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	spec, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, status, err := s.admit(req, spec)
+	if err != nil {
+		s.rejectStatus(w, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// sweepRequest expands one request template over all five schemes.
+type sweepRequest struct {
+	Request
+	// Schemes optionally restricts the sweep; empty = all five.
+	Schemes []string `json:"schemes,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining429(w) {
+		return
+	}
+	var req sweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	schemes := req.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{"l0", "l1", "l2", "l3", "vcoma"}
+	}
+	var out []submitResponse
+	for _, scheme := range schemes {
+		one := req.Request
+		one.Scheme = scheme
+		spec, err := one.Resolve()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, _, err := s.admit(one, spec)
+		if err != nil {
+			// Partial sweep: report what was admitted plus the refusal.
+			s.rejectStatus(w, fmt.Errorf("%w (admitted %d of %d)", err, len(out), len(schemes)))
+			return
+		}
+		out = append(out, resp)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": out})
+}
+
+// lookup resolves the {key} path segment against queue then store.
+func (s *Server) lookup(r *http.Request) (runner.Key, *Job, bool) {
+	key := runner.Key(r.PathValue("key"))
+	j, ok := s.queue.Get(key)
+	return key, j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	key, j, ok := s.lookup(r)
+	if ok {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+		return
+	}
+	// Not in the queue's memory: a stored artifact still answers, so
+	// results survive both retention eviction and restarts.
+	if _, stored := s.store.GetRaw(key); stored {
+		writeJSON(w, http.StatusOK, Status{Key: string(key), State: StateDone.String()})
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", key))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, j, ok := s.lookup(r)
+	raw, stored := s.store.GetRaw(key)
+	if stored {
+		// The artifact bytes are served exactly as cached — the
+		// byte-identity contract across coalesced waiters and restarts.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", key))
+		return
+	}
+	switch j.State() {
+	case StateFailed, StateCanceled, StateShed:
+		writeJSON(w, http.StatusInternalServerError, j.Snapshot())
+	default:
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	key := runner.Key(r.PathValue("key"))
+	if !s.queue.Cancel(key) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", key))
+		return
+	}
+	if j, ok := s.queue.Get(key); ok {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"key": string(key), "state": "canceled"})
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue": s.queue.Snapshot(),
+		"store": s.store.Snapshot(),
+	})
+}
+
+// handleEvents streams a job's lifecycle as server-sent events: a `status`
+// event per state change and a `progress` event per reporter line, with
+// heartbeats so idle proxies keep the stream open. The stream ends when the
+// job reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	_, j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusNotImplemented, errors.New("serve: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	sent := 0 // progress lines already delivered
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		change := j.Watch()
+		st := j.Snapshot()
+		for ; sent < len(st.Progress); sent++ {
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", st.Progress[sent])
+		}
+		data, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+		fl.Flush()
+		if j.State().Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case <-change:
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vcoma/internal/runner"
+)
+
+// fill puts a payload of roughly size bytes under a derived key and
+// accounts it in the store.
+func fill(t *testing.T, s *Store, i int, size int) runner.Key {
+	t.Helper()
+	key := runner.KeyOf("store-test", i)
+	payload := make([]byte, size)
+	for j := range payload {
+		payload[j] = byte('a' + i%26)
+	}
+	if err := s.Cache().Put(key, fmt.Sprintf("job-%d", i), string(payload)); err != nil {
+		t.Fatal(err)
+	}
+	s.Note(key)
+	return key
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is ~1.2 KB on disk (payload + envelope); cap at ~4 KB so
+	// the fourth insert evicts the least recently used.
+	s, err := OpenStore(dir, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := fill(t, s, 0, 1024)
+	k1 := fill(t, s, 1, 1024)
+	k2 := fill(t, s, 2, 1024)
+	// Touch k0 so k1 is now the least recently used.
+	if _, ok := s.GetRaw(k0); !ok {
+		t.Fatalf("k0 missing before eviction")
+	}
+	k3 := fill(t, s, 3, 1024)
+	if _, ok := s.GetRaw(k1); ok {
+		t.Fatalf("k1 survived eviction; LRU order ignored")
+	}
+	for _, k := range []runner.Key{k0, k2, k3} {
+		if _, ok := s.GetRaw(k); !ok {
+			t.Fatalf("recently-used key %.16s… evicted", k)
+		}
+	}
+	st := s.Snapshot()
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("store over budget after eviction: %+v", st)
+	}
+}
+
+func TestStoreReindexAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := fill(t, s, 0, 512)
+	time.Sleep(10 * time.Millisecond) // distinct mtimes order the reseeded LRU
+	k1 := fill(t, s, 1, 512)
+
+	// Reopen with a budget that only fits one entry: the older k0 goes.
+	s2, err := OpenStore(dir, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetRaw(k1); !ok {
+		t.Fatalf("newest entry evicted at reopen")
+	}
+	if _, ok := s2.GetRaw(k0); ok {
+		t.Fatalf("oldest entry survived a one-entry budget")
+	}
+}
+
+// TestEvictionRacesConcurrentRead drives GetRaw and Note/evict from
+// separate goroutines (run under -race): a reader racing an eviction must
+// see either valid bytes or a clean miss — never a torn read or a data
+// race. The runner cache guarantees this via atomic replace/unlink; this
+// test pins the Store's locking on top of it.
+func TestEvictionRacesConcurrentRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 3<<10) // ~2 entries resident at a time
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := fill(t, s, 0, 1024)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			raw, ok := s.GetRaw(hot)
+			if ok && len(raw) == 0 {
+				t.Error("torn read: ok with empty payload")
+				return
+			}
+		}
+	}()
+	// Writer loop: churn new entries so the bound keeps evicting, the hot
+	// key included whenever the reader hasn't touched it recently enough.
+	for i := 1; i < 60; i++ {
+		fill(t, s, i, 1024)
+	}
+	close(stop)
+	wg.Wait()
+
+	if st := s.Snapshot(); st.Bytes > st.MaxBytes {
+		t.Fatalf("store over budget after churn: %+v", st)
+	}
+}
+
+func TestStoreQuarantineSurvivesAccounting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := fill(t, s, 0, 256)
+	// Corrupt the entry in place: the next read quarantines it and reports
+	// a miss, and the store drops it from the LRU accounting.
+	path := s.Cache().EntryPath(k)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Cache().SetLog(nil)
+	if _, ok := s.GetRaw(k); ok {
+		t.Fatalf("corrupt entry served")
+	}
+	if got := s.Snapshot().Quarantined; got != 1 {
+		t.Fatalf("quarantined=%d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine")); err != nil {
+		t.Fatalf("quarantine dir missing: %v", err)
+	}
+	if s.Snapshot().Entries != 0 {
+		t.Fatalf("quarantined entry still accounted: %+v", s.Snapshot())
+	}
+}

@@ -1,0 +1,260 @@
+// Command benchsnapshot measures the vcoma-serve service path end to end —
+// in-process HTTP against a real Server — and prints a JSON snapshot for
+// BENCH_serve.json. Run via `make bench-snapshot`.
+//
+// The numbers are wall-clock and machine-dependent; the snapshot is a
+// before/after reference for service-layer changes, not a CI gate. The
+// invariant fields (sims executed per scenario) are exact.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"vcoma/internal/serve"
+	"vcoma/internal/sim"
+)
+
+type scenario struct {
+	Name string `json:"name"`
+	// Millis is the wall time for the scenario; for bursts it covers all
+	// requests reaching a terminal state, not just the submits.
+	Millis float64 `json:"ms"`
+	// Sims is how many simulations actually executed (vs. served from the
+	// store or coalesced) — exact, asserted by the scenario.
+	Sims uint64 `json:"sims_executed"`
+	Note string `json:"note,omitempty"`
+}
+
+type snapshot struct {
+	Schema    string     `json:"schema"`
+	GoVersion string     `json:"go"`
+	OS        string     `json:"os"`
+	Arch      string     `json:"arch"`
+	CPUs      int        `json:"cpus"`
+	Scale     string     `json:"scale"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+type client struct {
+	base string
+}
+
+func (c client) submit(body string) (key, state string, err error) {
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		return "", "", fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var out struct {
+		Key   string `json:"key"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", "", err
+	}
+	return out.Key, out.State, nil
+}
+
+func (c client) waitDone(key string) error {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(c.base + "/v1/jobs/" + key)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "canceled", "shed":
+			return fmt.Errorf("job %s ended %s", key, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s timed out", key)
+}
+
+func (c client) simsExecuted() (uint64, error) {
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if _, err := fmt.Sscanf(string(line), "serve/sims.executed %d", &n); err == nil {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("serve/sims.executed not exposed")
+}
+
+func cell(scheme string, seed uint64) string {
+	return fmt.Sprintf(`{"bench":"RADIX","scheme":%q,"scale":"test","seed":%d}`, scheme, seed)
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "vcoma-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := serve.New(serve.Options{
+		StateDir: dir,
+		Workers:  2,
+		MaxQueue: 64,
+		Budget:   sim.Budget{MaxWall: 5 * time.Minute},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	srv.Start(ctx)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown()
+	defer stop()
+	c := client{base: ts.URL}
+
+	var snap snapshot
+	snap.Schema = "vcoma-bench-serve-v1"
+	snap.GoVersion = runtime.Version()
+	snap.OS = runtime.GOOS
+	snap.Arch = runtime.GOARCH
+	snap.CPUs = runtime.NumCPU()
+	snap.Scale = "test"
+
+	measure := func(name, note string, wantSims uint64, body func() error) error {
+		before, err := c.simsExecuted()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := body(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		after, err := c.simsExecuted()
+		if err != nil {
+			return err
+		}
+		if got := after - before; got != wantSims {
+			return fmt.Errorf("%s: executed %d sims, want %d", name, got, wantSims)
+		}
+		snap.Scenarios = append(snap.Scenarios, scenario{Name: name, Millis: ms, Sims: wantSims, Note: note})
+		return nil
+	}
+
+	// Cold submit: a fresh cell pays for the full simulation.
+	for _, scheme := range []string{"l3", "vcoma"} {
+		scheme := scheme
+		err := measure("cold_submit_"+scheme, "fresh cell, full simulation", 1, func() error {
+			key, _, err := c.submit(cell(scheme, 0))
+			if err != nil {
+				return err
+			}
+			return c.waitDone(key)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Warm hit: the same cell again is served from the artifact store.
+	if err := measure("warm_store_hit", "same cell resubmitted", 0, func() error {
+		_, state, err := c.submit(cell("vcoma", 0))
+		if err != nil {
+			return err
+		}
+		if state != "done" {
+			return fmt.Errorf("warm submit state %q, want done", state)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Coalesced burst: 8 concurrent key-equal submits share one simulation.
+	if err := measure("coalesced_burst_8", "8 concurrent key-equal clients", 1, func() error {
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				key, _, err := c.submit(cell("l0", 77))
+				if err == nil {
+					err = c.waitDone(key)
+				}
+				errs[i] = err
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Queue drain: 6 distinct cells through 2 workers, submit to all-done.
+	if err := measure("queue_drain_6x2", "6 distinct cells, 2 workers", 6, func() error {
+		var keys []string
+		for seed := uint64(100); seed < 106; seed++ {
+			key, _, err := c.submit(cell("l1", seed))
+			if err != nil {
+				return err
+			}
+			keys = append(keys, key)
+		}
+		for _, key := range keys {
+			if err := c.waitDone(key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnapshot:", err)
+		os.Exit(1)
+	}
+}
