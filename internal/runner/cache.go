@@ -91,6 +91,14 @@ func resultSum(raw []byte) string {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// keyOK reports whether key can safely be mapped onto the cache's file
+// layout: lowercase hex only, at least one shard's worth. Keys arrive from
+// KeyOf in library use but from URL paths in the serve layer, so a key with
+// path separators (or anything else non-hex) must never reach path().
+func keyOK(key Key) bool {
+	return len(key) >= 2 && isHex(string(key))
+}
+
 func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, string(key[:2]), string(key)+".json")
 }
@@ -105,7 +113,7 @@ func (c *Cache) metricsPath(key Key) string {
 // file or an entry from an older schema is a plain miss; a corrupt entry is
 // quarantined with a reason and logged before reporting the miss.
 func (c *Cache) get(key Key) (json.RawMessage, bool) {
-	if len(key) < 2 {
+	if !keyOK(key) {
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(key))
@@ -142,7 +150,7 @@ func (c *Cache) get(key Key) (json.RawMessage, bool) {
 // consulted again but remain on disk for inspection; a recompute writes a
 // fresh entry in the normal location.
 func (c *Cache) Quarantine(key Key, reason string) {
-	if len(key) < 2 {
+	if !keyOK(key) {
 		return
 	}
 	src := c.path(key)
@@ -194,7 +202,7 @@ func (c *Cache) GetRaw(key Key) (json.RawMessage, bool) {
 // entry or a plain miss — never a torn file — because entries are only ever
 // replaced atomically or unlinked.
 func (c *Cache) Remove(key Key) error {
-	if len(key) < 2 {
+	if !keyOK(key) {
 		return fmt.Errorf("runner: invalid cache key %q", key)
 	}
 	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
@@ -220,7 +228,7 @@ func (c *Cache) Get(key Key, out any) bool {
 // Put stores a job result under key, atomically replacing any previous
 // entry.
 func (c *Cache) Put(key Key, job string, v any) error {
-	if len(key) < 2 {
+	if !keyOK(key) {
 		return fmt.Errorf("runner: invalid cache key %q", key)
 	}
 	raw, err := json.Marshal(v)
@@ -238,7 +246,7 @@ func (c *Cache) Put(key Key, job string, v any) error {
 // atomically like Put. The sidecar is informational: it is never consulted
 // by the cache probe, so a missing or stale one cannot change results.
 func (c *Cache) PutMetrics(key Key, m JobMetrics) error {
-	if len(key) < 2 {
+	if !keyOK(key) {
 		return fmt.Errorf("runner: invalid cache key %q", key)
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -251,7 +259,7 @@ func (c *Cache) PutMetrics(key Key, m JobMetrics) error {
 // GetMetrics loads the metrics sidecar for key, if one exists.
 func (c *Cache) GetMetrics(key Key) (JobMetrics, bool) {
 	var m JobMetrics
-	if len(key) < 2 {
+	if !keyOK(key) {
 		return m, false
 	}
 	data, err := os.ReadFile(c.metricsPath(key))

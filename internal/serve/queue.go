@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -74,10 +76,10 @@ type Job struct {
 	mu       sync.Mutex
 	state    State
 	err      string
-	refs     int            // live waiters; 0 → cancel
-	priority Priority       // effective: most urgent among waiters
-	tenant   string         // fairness bucket (first submitter)
-	tenants  map[string]int // waiter count per tenant, for introspection
+	waiters  map[string]string // cancellation token → tenant; empty → cancel
+	priority Priority          // effective: most urgent among waiters
+	tenant   string            // fairness bucket (first submitter)
+	tenants  map[string]int    // waiter count per tenant, for introspection
 	progress []string
 	change   chan struct{}      // closed and replaced on every visible change
 	cancel   context.CancelFunc // set while running
@@ -86,6 +88,18 @@ type Job struct {
 	queuedAt  time.Time
 	startedAt time.Time
 	doneAt    time.Time
+}
+
+// newWaiterID mints an unguessable per-waiter cancellation token. Job keys
+// are shared across tenants by design (that is what coalescing means), so
+// the key alone must not authorize cancellation; only the submitter who was
+// handed this token can withdraw their own waiter.
+func newWaiterID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random waiter id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // notifyLocked wakes every watcher; callers hold j.mu.
@@ -127,7 +141,7 @@ func (j *Job) Snapshot() Status {
 		State:    j.state.String(),
 		Priority: j.priority.String(),
 		Tenants:  len(j.tenants),
-		Waiters:  j.refs,
+		Waiters:  len(j.waiters),
 		Error:    j.err,
 		Progress: append([]string(nil), j.progress...),
 		QueuedAt: j.queuedAt,
@@ -314,37 +328,40 @@ const (
 // job (raising its priority if the newcomer is more urgent). When the
 // backlog is full, a strictly-less-urgent queued job is shed to make room;
 // with no victim available the request is rejected with ErrOverloaded.
-func (q *Queue) Submit(spec Spec) (*Job, Outcome, error) {
+// The returned waiter id is this submitter's cancellation token; it is
+// empty when the job already finished (nothing left to cancel).
+func (q *Queue) Submit(spec Spec) (*Job, string, Outcome, error) {
 	key := spec.Key()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return nil, 0, ErrClosed
+		return nil, "", 0, ErrClosed
 	}
 
 	if j, ok := q.jobs[key]; ok {
 		q.coalesceCount++
-		q.joinLocked(j, spec)
-		return j, OutcomeCoalesced, nil
+		waiter := q.joinLocked(j, spec)
+		return j, waiter, OutcomeCoalesced, nil
 	}
 	if j, ok := q.done[key]; ok && j.State() == StateDone {
-		return j, OutcomeDone, nil
+		return j, "", OutcomeDone, nil
 	}
 
 	if q.maxPerTenant > 0 && q.queuedForTenantLocked(spec.Tenant) >= q.maxPerTenant {
-		return nil, 0, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantLimit, spec.Tenant, q.maxPerTenant)
+		return nil, "", 0, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantLimit, spec.Tenant, q.maxPerTenant)
 	}
 	if q.queued >= q.maxQueue {
 		if !q.shedLocked(spec.Priority) {
-			return nil, 0, ErrOverloaded
+			return nil, "", 0, ErrOverloaded
 		}
 	}
 
+	waiter := newWaiterID()
 	j := &Job{
 		Spec:     spec,
 		Key:      key,
 		state:    StateQueued,
-		refs:     1,
+		waiters:  map[string]string{waiter: spec.Tenant},
 		priority: spec.Priority,
 		tenant:   spec.Tenant,
 		tenants:  map[string]int{spec.Tenant: 1},
@@ -355,14 +372,15 @@ func (q *Queue) Submit(spec Spec) (*Job, Outcome, error) {
 	q.buckets[spec.Priority].push(j)
 	q.queued++
 	q.signalLocked()
-	return j, OutcomeQueued, nil
+	return j, waiter, OutcomeQueued, nil
 }
 
 // joinLocked adds one waiter to an in-flight job, promoting its queue
-// position if the newcomer is more urgent.
-func (q *Queue) joinLocked(j *Job, spec Spec) {
+// position if the newcomer is more urgent. Returns the newcomer's waiter id.
+func (q *Queue) joinLocked(j *Job, spec Spec) string {
+	waiter := newWaiterID()
 	j.mu.Lock()
-	j.refs++
+	j.waiters[waiter] = spec.Tenant
 	j.tenants[spec.Tenant]++
 	raise := spec.Priority < j.priority
 	queued := j.state == StateQueued
@@ -376,6 +394,7 @@ func (q *Queue) joinLocked(j *Job, spec Spec) {
 			q.buckets[spec.Priority].push(j)
 		}
 	}
+	return waiter
 }
 
 func (q *Queue) queuedForTenantLocked(tenant string) int {
@@ -507,41 +526,54 @@ func (q *Queue) Requeue(j *Job) {
 	q.signalLocked()
 }
 
-// retireLocked moves a job into bounded done-retention.
+// retireLocked moves a job into bounded done-retention. A key retired more
+// than once (fail, resubmit, finish) keeps its original doneOrder slot, so
+// the order never holds duplicates and eviction at the retention boundary
+// is always safe.
 func (q *Queue) retireLocked(j *Job) {
+	if _, ok := q.done[j.Key]; !ok {
+		q.doneOrder = append(q.doneOrder, j.Key)
+	}
 	q.done[j.Key] = j
-	q.doneOrder = append(q.doneOrder, j.Key)
 	for len(q.doneOrder) > doneRetention {
 		old := q.doneOrder[0]
 		q.doneOrder = q.doneOrder[1:]
-		if q.done[old] != j {
-			delete(q.done, old)
-		}
+		delete(q.done, old)
 	}
 }
 
-// Cancel removes one waiter from the job. When the last waiter leaves, a
-// queued job is withdrawn immediately and a running one has its context
-// canceled (the worker then Finishes it as canceled). Reports whether the
-// key was known.
-func (q *Queue) Cancel(key runner.Key) bool {
+// Cancel removes the waiter identified by its submit-issued token from the
+// job. When the last waiter leaves, a queued job is withdrawn immediately
+// and a running one has its context canceled (the worker then Finishes it
+// as canceled). Returns found=false when the key is unknown, and
+// removed=false when the key exists but the token matches none of its
+// waiters — key-equal jobs coalesce across tenants, so the key alone must
+// not let one client drain waiters that other tenants registered.
+func (q *Queue) Cancel(key runner.Key, waiter string) (found, removed bool) {
 	q.mu.Lock()
 	j, ok := q.jobs[key]
 	if !ok {
 		_, ok = q.done[key]
 		q.mu.Unlock()
-		return ok // already terminal: cancel is a no-op, but the key exists
+		return ok, ok // already terminal: cancel is a no-op, but the key exists
 	}
 
 	j.mu.Lock()
-	if j.refs > 0 {
-		j.refs--
+	tenant, ok := j.waiters[waiter]
+	if !ok {
+		j.mu.Unlock()
+		q.mu.Unlock()
+		return true, false
 	}
-	if j.refs > 0 {
+	delete(j.waiters, waiter)
+	if j.tenants[tenant]--; j.tenants[tenant] <= 0 {
+		delete(j.tenants, tenant)
+	}
+	if len(j.waiters) > 0 {
 		j.notifyLocked()
 		j.mu.Unlock()
 		q.mu.Unlock()
-		return true
+		return true, true
 	}
 	// Last waiter gone.
 	if j.state == StateQueued {
@@ -556,7 +588,7 @@ func (q *Queue) Cancel(key runner.Key) bool {
 		q.queued--
 		q.retireLocked(j)
 		q.mu.Unlock()
-		return true
+		return true, true
 	}
 	// Running: ask the worker to stop; Finish records the terminal state.
 	j.cancelRequested = true
@@ -566,7 +598,7 @@ func (q *Queue) Cancel(key runner.Key) bool {
 	if cancel != nil {
 		cancel()
 	}
-	return true
+	return true, true
 }
 
 // Get looks a job up by key among queued, running and retained-done jobs.

@@ -35,16 +35,19 @@ func TestRequestKeyExcludesTenantAndPriority(t *testing.T) {
 
 func TestSubmitCoalescesEqualKeys(t *testing.T) {
 	q := NewQueue(8, 0)
-	j1, out1, err := q.Submit(mustSpec(t, req("l0", "normal", "alice", 0)))
+	j1, w1, out1, err := q.Submit(mustSpec(t, req("l0", "normal", "alice", 0)))
 	if err != nil || out1 != OutcomeQueued {
 		t.Fatalf("first submit: %v %v", out1, err)
 	}
-	j2, out2, err := q.Submit(mustSpec(t, req("l0", "normal", "bob", 0)))
+	j2, w2, out2, err := q.Submit(mustSpec(t, req("l0", "normal", "bob", 0)))
 	if err != nil || out2 != OutcomeCoalesced {
 		t.Fatalf("second submit: %v %v", out2, err)
 	}
 	if j1 != j2 {
 		t.Fatalf("coalesced submits produced distinct jobs")
+	}
+	if w1 == "" || w2 == "" || w1 == w2 {
+		t.Fatalf("waiter ids not distinct: %q %q", w1, w2)
 	}
 	if st := q.Snapshot(); st.Queued != 1 || st.Coalesced != 1 {
 		t.Fatalf("snapshot after coalesce: %+v", st)
@@ -57,12 +60,12 @@ func TestSubmitCoalescesEqualKeys(t *testing.T) {
 func TestQueueFullRejects(t *testing.T) {
 	q := NewQueue(2, 0)
 	for i := uint64(1); i <= 2; i++ {
-		if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", i))); err != nil {
+		if _, _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", i))); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
 	// Same priority: nothing to shed, so the third request bounces.
-	_, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 3)))
+	_, _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 3)))
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("overflow submit: got %v, want ErrOverloaded", err)
 	}
@@ -72,13 +75,13 @@ func TestShedMakesRoomForHigherPriority(t *testing.T) {
 	q := NewQueue(2, 0)
 	var low []*Job
 	for i := uint64(1); i <= 2; i++ {
-		j, _, err := q.Submit(mustSpec(t, req("l0", "low", "a", i)))
+		j, _, _, err := q.Submit(mustSpec(t, req("l0", "low", "a", i)))
 		if err != nil {
 			t.Fatalf("low submit %d: %v", i, err)
 		}
 		low = append(low, j)
 	}
-	hi, out, err := q.Submit(mustSpec(t, req("l0", "high", "b", 3)))
+	hi, _, out, err := q.Submit(mustSpec(t, req("l0", "high", "b", 3)))
 	if err != nil || out != OutcomeQueued {
 		t.Fatalf("high submit: %v %v", out, err)
 	}
@@ -98,24 +101,24 @@ func TestShedMakesRoomForHigherPriority(t *testing.T) {
 		t.Fatalf("high job state %v, want queued", hi.State())
 	}
 	// The remaining low job is still a victim for the next high submit…
-	if _, _, err := q.Submit(mustSpec(t, req("l0", "high", "b", 4))); err != nil {
+	if _, _, _, err := q.Submit(mustSpec(t, req("l0", "high", "b", 4))); err != nil {
 		t.Fatalf("second high submit: %v", err)
 	}
 	// …but once only high-priority work is queued, equal priority must
 	// never shed: the next high submit bounces instead.
-	if _, _, err := q.Submit(mustSpec(t, req("l0", "high", "b", 5))); !errors.Is(err, ErrOverloaded) {
+	if _, _, _, err := q.Submit(mustSpec(t, req("l0", "high", "b", 5))); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("equal-priority overflow: got %v, want ErrOverloaded", err)
 	}
 }
 
 func TestCancelQueuedJob(t *testing.T) {
 	q := NewQueue(8, 0)
-	j, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	j, w, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !q.Cancel(j.Key) {
-		t.Fatalf("cancel reported unknown key")
+	if found, removed := q.Cancel(j.Key, w); !found || !removed {
+		t.Fatalf("cancel with own waiter id: found=%v removed=%v", found, removed)
 	}
 	if j.State() != StateCanceled {
 		t.Fatalf("state %v, want canceled", j.State())
@@ -137,27 +140,38 @@ func TestCancelQueuedJob(t *testing.T) {
 
 func TestCancelOnlyLastWaiterWithdraws(t *testing.T) {
 	q := NewQueue(8, 0)
-	j, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
-	q.Submit(mustSpec(t, req("l0", "normal", "b", 0))) // coalesce
-	if !q.Cancel(j.Key) || j.State() != StateQueued {
+	j, w1, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	_, w2, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "b", 0))) // coalesce
+	if found, removed := q.Cancel(j.Key, w1); !found || !removed || j.State() != StateQueued {
 		t.Fatalf("first cancel should only drop one waiter (state %v)", j.State())
 	}
-	if !q.Cancel(j.Key) || j.State() != StateCanceled {
+	// Replaying a spent token (or guessing one) must not drain other
+	// tenants' waiters: the key is shared, the token is not.
+	if found, removed := q.Cancel(j.Key, w1); !found || removed {
+		t.Fatalf("spent waiter id still cancels: found=%v removed=%v", found, removed)
+	}
+	if found, removed := q.Cancel(j.Key, "not-a-waiter"); !found || removed {
+		t.Fatalf("bogus waiter id cancels: found=%v removed=%v", found, removed)
+	}
+	if j.State() != StateQueued {
+		t.Fatalf("unauthorized cancels changed state to %v", j.State())
+	}
+	if found, removed := q.Cancel(j.Key, w2); !found || !removed || j.State() != StateCanceled {
 		t.Fatalf("second cancel should withdraw the job (state %v)", j.State())
 	}
 }
 
 func TestCancelRunningJobFiresContext(t *testing.T) {
 	q := NewQueue(8, 0)
-	j, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	j, w, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
 	got, err := q.Next(context.Background())
 	if err != nil || got != j {
 		t.Fatalf("Next: %v %v", got, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j.bindCancel(cancel)
-	if !q.Cancel(j.Key) {
-		t.Fatalf("cancel reported unknown key")
+	if found, removed := q.Cancel(j.Key, w); !found || !removed {
+		t.Fatalf("cancel with own waiter id: found=%v removed=%v", found, removed)
 	}
 	select {
 	case <-ctx.Done():
@@ -196,8 +210,8 @@ func TestTenantRoundRobin(t *testing.T) {
 
 func TestPriorityDispatchOrder(t *testing.T) {
 	q := NewQueue(16, 0)
-	lo, _, _ := q.Submit(mustSpec(t, req("l0", "low", "a", 1)))
-	hi, _, _ := q.Submit(mustSpec(t, req("l0", "high", "a", 2)))
+	lo, _, _, _ := q.Submit(mustSpec(t, req("l0", "low", "a", 1)))
+	hi, _, _, _ := q.Submit(mustSpec(t, req("l0", "high", "a", 2)))
 	j, err := q.Next(context.Background())
 	if err != nil || j != hi {
 		t.Fatalf("first dispatch %v, want the high-priority job", j.Spec.Priority)
@@ -210,7 +224,7 @@ func TestPriorityDispatchOrder(t *testing.T) {
 
 func TestCoalesceRaisesPriority(t *testing.T) {
 	q := NewQueue(16, 0)
-	j, _, _ := q.Submit(mustSpec(t, req("l0", "low", "a", 1)))
+	j, _, _, _ := q.Submit(mustSpec(t, req("l0", "low", "a", 1)))
 	q.Submit(mustSpec(t, req("l0", "normal", "a", 2)))
 	// A high-priority waiter joins the low job: it must now dispatch first.
 	q.Submit(mustSpec(t, req("l0", "high", "b", 1)))
@@ -223,22 +237,22 @@ func TestCoalesceRaisesPriority(t *testing.T) {
 func TestTenantLimit(t *testing.T) {
 	q := NewQueue(16, 2)
 	for i := uint64(1); i <= 2; i++ {
-		if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", i))); err != nil {
+		if _, _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 3))); !errors.Is(err, ErrTenantLimit) {
+	if _, _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "a", 3))); !errors.Is(err, ErrTenantLimit) {
 		t.Fatalf("got %v, want ErrTenantLimit", err)
 	}
 	// Another tenant is unaffected.
-	if _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "b", 4))); err != nil {
+	if _, _, _, err := q.Submit(mustSpec(t, req("l0", "normal", "b", 4))); err != nil {
 		t.Fatalf("tenant b rejected: %v", err)
 	}
 }
 
 func TestRequeueAfterDrain(t *testing.T) {
 	q := NewQueue(8, 0)
-	j, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
+	j, _, _, _ := q.Submit(mustSpec(t, req("l0", "normal", "a", 0)))
 	if _, err := q.Next(context.Background()); err != nil {
 		t.Fatal(err)
 	}

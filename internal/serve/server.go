@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -133,7 +134,10 @@ func New(opts Options) (*Server, error) {
 			s.journalRetire(key, "done")
 			continue
 		}
-		if _, _, err := s.queue.Submit(spec); err != nil {
+		// The waiter token is discarded: the server itself is the resumed
+		// job's only waiter (HTTP clients did not survive the restart), so
+		// it runs to completion and lands in the store.
+		if _, _, _, err := s.queue.Submit(spec); err != nil {
 			// Leave it pending in the journal; the next boot retries.
 			s.logf("resume: %s not re-enqueued: %v", spec.Name(), err)
 			continue
@@ -222,7 +226,8 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	if s.opts.Chaos != nil {
 		jobs = s.opts.Chaos.Wrap(jobs)
 	}
-	progress := runner.NewProgress(jobWriter{j})
+	pw := &jobWriter{j: j}
+	progress := runner.NewProgress(pw)
 	start := time.Now()
 	res, err := runner.Run(jobCtx, jobs, runner.Options{
 		Workers:    1,
@@ -232,6 +237,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		JobTimeout: s.opts.JobTimeout,
 		Retry:      s.opts.Retry,
 	})
+	pw.flush()
 
 	if err == nil {
 		if r, ok := res.Jobs[spec.Name()]; ok && !r.Cached {
@@ -274,18 +280,46 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	s.queue.Finish(j, err)
 }
 
-// jobWriter adapts the runner progress reporter to the job's event log.
-type jobWriter struct{ j *Job }
+// jobWriter adapts the runner progress reporter to the job's event log,
+// splitting the byte stream on newlines (buffering partial lines) so each
+// progress entry is exactly one line — entries feed SSE `data:` fields,
+// whose framing an embedded newline would corrupt.
+type jobWriter struct {
+	j   *Job
+	mu  sync.Mutex
+	buf []byte
+}
 
-func (w jobWriter) Write(p []byte) (int, error) {
-	line := string(p)
-	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
-		line = line[:len(line)-1]
-	}
-	if line != "" {
-		w.j.appendProgress(line)
+func (w *jobWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			break
+		}
+		w.emit(w.buf[:i])
+		w.buf = w.buf[i+1:]
 	}
 	return len(p), nil
+}
+
+func (w *jobWriter) emit(line []byte) {
+	for len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	if len(line) > 0 {
+		w.j.appendProgress(string(line))
+	}
+}
+
+// flush emits any unterminated tail once the job's run is over.
+func (w *jobWriter) flush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.emit(w.buf)
+	w.buf = nil
 }
 
 // Run serves the HTTP API on addr until ctx is cancelled (SIGTERM via
@@ -350,11 +384,14 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// submitResponse is the body of a submit's 200/202.
+// submitResponse is the body of a submit's 200/202. Waiter is this
+// submitter's private cancellation token: job keys are shared across
+// tenants (coalescing), so DELETE requires the token, not just the key.
 type submitResponse struct {
 	Key    string `json:"key"`
 	Name   string `json:"name"`
 	State  string `json:"state"`
+	Waiter string `json:"waiter_id,omitempty"`
 	Result string `json:"result_url"`
 	Events string `json:"events_url"`
 }
@@ -393,6 +430,11 @@ func (s *Server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
+// errJournal marks an admission refused because the accept record could not
+// be made durable; the API maps it to 503 so the client retries rather than
+// trusting a 202 a crash could forget.
+var errJournal = errors.New("serve: journal write failed")
+
 // admit runs one resolved spec through the store fast path and the queue,
 // journaling fresh admissions. Shared by submit and sweep.
 func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
@@ -411,25 +453,35 @@ func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
 		return resp, http.StatusOK, nil
 	}
 
-	j, outcome, err := s.queue.Submit(spec)
+	// Journal before the client hears 202: once accepted, a crash must not
+	// lose the job. The accept is fsync'd before the queue can even start
+	// it — a worker's "done" can then never precede it in the log — and a
+	// journal failure refuses the job instead of accepting it undurably.
+	if err := s.journalAccept(key, req); err != nil {
+		s.logf("journal: %v", err)
+		return resp, 0, fmt.Errorf("%w: %v", errJournal, err)
+	}
+	j, waiter, outcome, err := s.queue.Submit(spec)
 	if err != nil {
+		// Not admitted after all: retire the speculative accept so a
+		// restart does not resurrect a job the client was refused.
+		s.journalRetire(key, "cancel")
 		return resp, 0, err
 	}
 	s.metrics.submits.Add(1)
+	resp.Waiter = waiter
 	switch outcome {
 	case OutcomeDone:
+		s.journalRetire(key, "done")
 		resp.State = StateDone.String()
 		return resp, http.StatusOK, nil
 	case OutcomeCoalesced:
+		// The duplicate accept record is harmless: replay tracks liveness
+		// per key, and the job's eventual retirement covers every accept.
 		s.metrics.coalesced.Add(1)
 		resp.State = j.State().String()
 		return resp, http.StatusAccepted, nil
 	default:
-		// Journal before the client hears 202: once accepted, a crash must
-		// not lose the job.
-		if err := s.journalAccept(key, req); err != nil {
-			s.logf("journal: %v", err)
-		}
 		resp.State = StateQueued.String()
 		return resp, http.StatusAccepted, nil
 	}
@@ -445,7 +497,7 @@ func (s *Server) rejectStatus(w http.ResponseWriter, err error) {
 		s.metrics.tenantLimit.Add(1)
 		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, errJournal):
 		w.Header().Set("Retry-After", "10")
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
@@ -515,9 +567,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": out})
 }
 
-// lookup resolves the {key} path segment against queue then store.
+// validKey reports whether a {key} path segment is a well-formed job key:
+// exactly the 64 lowercase hex digits of a sha256. The segment feeds the
+// artifact store's file layout (and Go 1.22's ServeMux decodes %2F inside
+// wildcards), so anything else — traversal sequences especially — must be
+// rejected at the API boundary before it reaches any store or queue lookup.
+func validKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup validates the {key} path segment and resolves it against the
+// queue. A malformed key resolves to the empty key, which misses every
+// queue and store probe, so the handlers fall through to their 404s.
 func (s *Server) lookup(r *http.Request) (runner.Key, *Job, bool) {
-	key := runner.Key(r.PathValue("key"))
+	raw := r.PathValue("key")
+	if !validKey(raw) {
+		return "", nil, false
+	}
+	key := runner.Key(raw)
 	j, ok := s.queue.Get(key)
 	return key, j, ok
 }
@@ -561,9 +637,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	key := runner.Key(r.PathValue("key"))
-	if !s.queue.Cancel(key) {
+	raw := r.PathValue("key")
+	if !validKey(raw) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", raw))
+		return
+	}
+	key := runner.Key(raw)
+	found, removed := s.queue.Cancel(key, r.URL.Query().Get("waiter"))
+	if !found {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", key))
+		return
+	}
+	if !removed {
+		writeError(w, http.StatusForbidden, errors.New("serve: cancel requires the waiter_id issued by your submit (?waiter=…)"))
 		return
 	}
 	if j, ok := s.queue.Get(key); ok {

@@ -123,7 +123,7 @@ func metricValue(t *testing.T, base, name string) float64 {
 	return -1
 }
 
-func submitKey(t *testing.T, base string, r Request, wantCode int) string {
+func submitJob(t *testing.T, base string, r Request, wantCode int) submitResponse {
 	t.Helper()
 	code, body, _ := post(t, base+"/v1/jobs", r)
 	if code != wantCode {
@@ -133,7 +133,17 @@ func submitKey(t *testing.T, base string, r Request, wantCode int) string {
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
-	return resp.Key
+	return resp
+}
+
+func submitKey(t *testing.T, base string, r Request, wantCode int) string {
+	t.Helper()
+	return submitJob(t, base, r, wantCode).Key
+}
+
+// cancelURL builds the DELETE target carrying the submit's waiter token.
+func cancelURL(base string, resp submitResponse) string {
+	return base + "/v1/jobs/" + resp.Key + "?waiter=" + resp.Waiter
 }
 
 // gateChaos holds any L3 job mid-flight, parking the single worker so tests
@@ -156,7 +166,8 @@ func TestServiceCoalescingRunsOneSimulation(t *testing.T) {
 	_, ts, _ := testServer(t, t.TempDir(), func(o *Options) { o.Chaos = gateChaos(t) })
 
 	// Park the worker on the gate job.
-	gateKey := submitKey(t, ts.URL, gateReq, http.StatusAccepted)
+	gate := submitJob(t, ts.URL, gateReq, http.StatusAccepted)
+	gateKey := gate.Key
 	waitFor(t, "gate running", func() bool { return jobState(t, ts.URL, gateKey) == "running" })
 
 	// Two clients, different tenants, same cell.
@@ -172,8 +183,13 @@ func TestServiceCoalescingRunsOneSimulation(t *testing.T) {
 		t.Fatalf("coalesced=%v, want 1", got)
 	}
 
+	// A DELETE without the waiter token must not touch the job (the key is
+	// shared across tenants; the token is the cancel capability).
+	if code, _ := del(t, ts.URL+"/v1/jobs/"+gateKey); code != http.StatusForbidden {
+		t.Fatalf("tokenless cancel: %d, want 403", code)
+	}
 	// Release the gate: its only waiter cancels, freeing the worker.
-	if code, body := del(t, ts.URL+"/v1/jobs/"+gateKey); code != http.StatusOK {
+	if code, body := del(t, cancelURL(ts.URL, gate)); code != http.StatusOK {
 		t.Fatalf("cancel gate: %d %s", code, body)
 	}
 	waitFor(t, "target done", func() bool { return jobState(t, ts.URL, k1) == "done" })
@@ -214,7 +230,8 @@ func TestServiceFloodRejectedWithoutStarvation(t *testing.T) {
 		o.MaxQueue = 2
 	})
 
-	gateKey := submitKey(t, ts.URL, gateReq, http.StatusAccepted)
+	gate := submitJob(t, ts.URL, gateReq, http.StatusAccepted)
+	gateKey := gate.Key
 	waitFor(t, "gate running", func() bool { return jobState(t, ts.URL, gateKey) == "running" })
 
 	// Fill the admitted backlog.
@@ -241,7 +258,7 @@ func TestServiceFloodRejectedWithoutStarvation(t *testing.T) {
 	}
 
 	// The admitted jobs are not starved: release the gate and they finish.
-	del(t, ts.URL+"/v1/jobs/"+gateKey)
+	del(t, cancelURL(ts.URL, gate))
 	for _, k := range admitted {
 		k := k
 		waitFor(t, "admitted job done", func() bool { return jobState(t, ts.URL, k) == "done" })
@@ -296,11 +313,16 @@ func TestServiceDrainRestartByteIdentical(t *testing.T) {
 
 func TestServiceCancelQueuedJob(t *testing.T) {
 	_, ts, _ := testServer(t, t.TempDir(), func(o *Options) { o.Chaos = gateChaos(t) })
-	gateKey := submitKey(t, ts.URL, gateReq, http.StatusAccepted)
+	gate := submitJob(t, ts.URL, gateReq, http.StatusAccepted)
+	gateKey := gate.Key
 	waitFor(t, "gate running", func() bool { return jobState(t, ts.URL, gateKey) == "running" })
 
-	key := submitKey(t, ts.URL, Request{Bench: "RADIX", Scheme: "l0", Scale: "test"}, http.StatusAccepted)
-	if code, body := del(t, ts.URL+"/v1/jobs/"+key); code != http.StatusOK {
+	job := submitJob(t, ts.URL, Request{Bench: "RADIX", Scheme: "l0", Scale: "test"}, http.StatusAccepted)
+	key := job.Key
+	if job.Waiter == "" {
+		t.Fatalf("202 carried no waiter_id")
+	}
+	if code, body := del(t, cancelURL(ts.URL, job)); code != http.StatusOK {
 		t.Fatalf("cancel: %d %s", code, body)
 	}
 	if st := jobState(t, ts.URL, key); st != "canceled" {
@@ -310,7 +332,7 @@ func TestServiceCancelQueuedJob(t *testing.T) {
 		t.Fatalf("result of canceled job: %d, want 500", code)
 	}
 	// The canceled job must never run.
-	del(t, ts.URL+"/v1/jobs/"+gateKey)
+	del(t, cancelURL(ts.URL, gate))
 	time.Sleep(50 * time.Millisecond)
 	if got := metricValue(t, ts.URL, "serve/sims.executed"); got != 0 {
 		t.Fatalf("canceled job was simulated (%v)", got)
@@ -336,6 +358,25 @@ func TestServiceValidationAndIntrospection(t *testing.T) {
 	}
 	if code, _ := get(t, ts.URL+"/v1/jobs/ffffffffffffffff"); code != http.StatusNotFound {
 		t.Fatalf("unknown job: %d", code)
+	}
+	// A {key} that is not exact sha256-hex must 404 before it reaches the
+	// store's file layout — ServeMux decodes %2F inside the wildcard, so a
+	// traversal key would otherwise escape the artifact directory (and the
+	// cache quarantines what it reads but can't validate).
+	for _, k := range []string{
+		"..%2F..%2Fserve-journal",
+		strings.Repeat("A", 64), // right length, wrong alphabet
+		strings.Repeat("f", 63), // right alphabet, wrong length
+	} {
+		if code, _ := get(t, ts.URL+"/v1/jobs/"+k); code != http.StatusNotFound {
+			t.Fatalf("malformed key %q: %d, want 404", k, code)
+		}
+		if code, _ := get(t, ts.URL+"/v1/jobs/"+k+"/result"); code != http.StatusNotFound {
+			t.Fatalf("malformed key %q result: %d, want 404", k, code)
+		}
+		if code, _ := del(t, ts.URL+"/v1/jobs/"+k); code != http.StatusNotFound {
+			t.Fatalf("malformed key %q cancel: %d, want 404", k, code)
+		}
 	}
 	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("pprof: %d", code)
