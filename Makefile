@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke bench-snapshot clean
+.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke bench-snapshot bench-snapshot-core clean
 
 all: check
 
@@ -50,6 +50,14 @@ serve-smoke:
 bench-snapshot:
 	$(GO) run ./scripts/benchsnapshot > BENCH_serve.json
 	cat BENCH_serve.json
+
+# Refresh BENCH_core.json: simulator-core hot paths (end-to-end engine per
+# scheme, TLB access, SLC read, trace generator) via testing.Benchmark.
+# Compare snapshots with `go run ./scripts/benchdiff old.json new.json`
+# (±10% regression threshold by default).
+bench-snapshot-core:
+	$(GO) run ./scripts/benchcore > BENCH_core.json
+	cat BENCH_core.json
 
 # The full local gate: what CI runs, minus the long benchmark artifacts.
 check: vet build

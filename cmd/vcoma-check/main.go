@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,7 +43,9 @@ func main() {
 		scanEvery = flag.Uint64("scan-every", 512, "full invariant scan period in references")
 		verbose   = flag.Bool("v", false, "print every run, not just failures")
 	)
+	newLog := cli.LogFlags("vcoma-check")
 	flag.Parse()
+	log = newLog()
 
 	// SIGINT/SIGTERM stops the soak at the next seed boundary: artifacts
 	// already written stay on disk and the summary still prints.
@@ -53,6 +56,7 @@ func main() {
 		if err := checkBenchmark(*benchName, *scaleStr, *diff, *scanEvery); err != nil {
 			fatal(err)
 		}
+		cli.LogExit(log, "vcoma-check", startTime, cli.ExitOK, nil)
 		return
 	}
 
@@ -117,12 +121,16 @@ func main() {
 
 	fmt.Printf("%d run(s), %d failure(s)\n", ran, failures)
 	if failures > 0 {
+		cli.LogExit(log, "vcoma-check", startTime, cli.ExitErr, fmt.Errorf("%d failing seed(s)", failures))
 		os.Exit(1)
 	}
 	if interrupted {
 		// 128+signum per the shared convention (130 SIGINT, 143 SIGTERM).
-		os.Exit(cli.ExitCode(ctx, context.Cause(ctx)))
+		code := cli.ExitCode(ctx, context.Cause(ctx))
+		cli.LogExit(log, "vcoma-check", startTime, code, context.Cause(ctx))
+		os.Exit(code)
 	}
+	cli.LogExit(log, "vcoma-check", startTime, cli.ExitOK, nil)
 }
 
 // deriveInputs maps a seed to (scenario, size) fuzz inputs, honoring a
@@ -217,7 +225,14 @@ func status(err error, format string, args ...any) {
 	fmt.Printf("ok   %s\n", msg)
 }
 
+// startTime and log feed the final structured line every exit path emits.
+var (
+	startTime = time.Now()
+	log       *slog.Logger
+)
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "vcoma-check: %v\n", err)
+	cli.LogExit(log, "vcoma-check", startTime, cli.ExitErr, err)
 	os.Exit(1)
 }

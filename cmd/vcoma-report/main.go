@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,7 +37,11 @@ import (
 	"vcoma/internal/workload"
 )
 
-func main() { os.Exit(run()) }
+func main() {
+	code := run()
+	cli.LogExit(log, "vcoma-report", startTime, code, nil)
+	os.Exit(code)
+}
 
 func run() int {
 	var (
@@ -57,7 +62,9 @@ func run() int {
 	)
 	budgetOf := cli.BudgetFlags()
 	retryOf, jobTimeout := cli.RetryFlags()
+	newLog := cli.LogFlags("vcoma-report")
 	flag.Parse()
+	log = newLog()
 	if err := obs.StartPprof(*pprofAddr); err != nil {
 		return fatal(err)
 	}
@@ -214,8 +221,13 @@ func run() int {
 }
 
 // runCtx is the signal context once armed; fatal consults it so an
-// interrupted suite exits 128+signum per the shared convention.
-var runCtx context.Context
+// interrupted suite exits 128+signum per the shared convention. startTime
+// and log feed the final structured line main emits on every exit path.
+var (
+	runCtx    context.Context
+	startTime = time.Now()
+	log       *slog.Logger
+)
 
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "vcoma-report:", err)

@@ -9,7 +9,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net/http"
 	"os"
 	"time"
@@ -22,6 +21,7 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
+	start := time.Now()
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
 	state := flag.String("state", "serve-state", "state directory (artifact store, journal, lock)")
 	workers := flag.Int("workers", 2, "concurrent simulations")
@@ -33,11 +33,14 @@ func run() int {
 	drainGrace := flag.Duration("drain-grace", 5*time.Second, "HTTP shutdown grace on SIGTERM")
 	budget := cli.BudgetFlags()
 	retry, jobTimeout := cli.RetryFlags()
+	newLog := cli.LogFlags("vcoma-serve")
 	flag.Parse()
+	log := newLog()
 
 	chaos, err := runner.ParseChaos(*chaosSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vcoma-serve:", err)
+		log.Error("chaos spec", "error", err.Error())
+		cli.LogExit(log, "vcoma-serve", start, cli.ExitErr, err)
 		return cli.ExitErr
 	}
 
@@ -59,17 +62,20 @@ func run() int {
 		Metrics:       *jobMetrics,
 		Chaos:         chaos,
 		DrainGrace:    *drainGrace,
-		Log:           os.Stderr,
+		Log:           log,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vcoma-serve:", err)
+		log.Error("startup", "error", err.Error())
+		cli.LogExit(log, "vcoma-serve", start, cli.ExitErr, err)
 		return cli.ExitErr
 	}
 
 	err = srv.Run(ctx, *addr)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "vcoma-serve:", err)
-		return cli.ExitCode(ctx, err)
+		code := cli.ExitCode(ctx, err)
+		cli.LogExit(log, "vcoma-serve", start, code, err)
+		return code
 	}
+	cli.LogExit(log, "vcoma-serve", start, cli.ExitOK, nil)
 	return cli.ExitOK
 }

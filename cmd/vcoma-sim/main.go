@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -44,7 +45,9 @@ func main() {
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	budgetOf := cli.BudgetFlags()
+	newLog := cli.LogFlags("vcoma-sim")
 	flag.Parse()
+	log = newLog()
 
 	if err := obs.StartPprof(*pprofAddr); err != nil {
 		fatal(err)
@@ -135,6 +138,7 @@ func main() {
 		if err := enc.Encode(sum); err != nil {
 			fatal(err)
 		}
+		cli.LogExit(log, "vcoma-sim", startTime, cli.ExitOK, nil)
 		return
 	}
 
@@ -201,6 +205,7 @@ func main() {
 		}
 		fmt.Println(report.Table([]string{"node", "refs", "busy", "sync", "loc", "rem", "trans", "finish"}, rows))
 	}
+	cli.LogExit(log, "vcoma-sim", startTime, cli.ExitOK, nil)
 }
 
 func pct(v, total float64) string { return fmt.Sprintf("%.1f%%", 100*v/total) }
@@ -236,10 +241,17 @@ func parseScale(s string) (vcoma.Scale, error) {
 }
 
 // runCtx is the signal context once armed; fatal consults it so an
-// interrupted run exits 128+signum per the shared convention.
-var runCtx context.Context
+// interrupted run exits 128+signum per the shared convention. startTime and
+// log feed the final structured line every exit path emits.
+var (
+	runCtx    context.Context
+	startTime = time.Now()
+	log       *slog.Logger
+)
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vcoma-sim:", err)
-	os.Exit(cli.ExitCode(runCtx, err))
+	code := cli.ExitCode(runCtx, err)
+	cli.LogExit(log, "vcoma-sim", startTime, code, err)
+	os.Exit(code)
 }

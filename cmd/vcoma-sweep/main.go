@@ -24,9 +24,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"vcoma"
 	"vcoma/internal/cli"
@@ -36,7 +38,11 @@ import (
 	"vcoma/internal/workload"
 )
 
-func main() { os.Exit(run()) }
+func main() {
+	code := run()
+	cli.LogExit(log, "vcoma-sweep", startTime, code, nil)
+	os.Exit(code)
+}
 
 func run() int {
 	var (
@@ -56,7 +62,9 @@ func run() int {
 	)
 	budgetOf := cli.BudgetFlags()
 	retryOf, jobTimeout := cli.RetryFlags()
+	newLog := cli.LogFlags("vcoma-sweep")
 	flag.Parse()
+	log = newLog()
 	if err := obs.StartPprof(*pprofAddr); err != nil {
 		return fatal(err)
 	}
@@ -314,8 +322,13 @@ func parseScale(s string) (workload.Scale, error) {
 }
 
 // runCtx is the signal context once armed; fatal consults it so an
-// interrupted sweep exits 128+signum per the shared convention.
-var runCtx context.Context
+// interrupted sweep exits 128+signum per the shared convention. startTime
+// and log feed the final structured line main emits on every exit path.
+var (
+	runCtx    context.Context
+	startTime = time.Now()
+	log       *slog.Logger
+)
 
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "vcoma-sweep:", err)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +49,9 @@ func main() {
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	budgetOf := cli.BudgetFlags()
+	newLog := cli.LogFlags("vcoma-trace")
 	flag.Parse()
+	log = newLog()
 	if *dir == "" || *record == *replay {
 		fatal(fmt.Errorf("need exactly one of -record/-replay, and -dir"))
 	}
@@ -65,6 +68,7 @@ func main() {
 		if err := doRecord(cfg, *benchName, scale, *dir); err != nil {
 			fatal(err)
 		}
+		cli.LogExit(log, "vcoma-trace", startTime, cli.ExitOK, nil)
 		return
 	}
 	scheme := map[string]vcoma.Scheme{
@@ -89,6 +93,7 @@ func main() {
 		}
 		fatal(err)
 	}
+	cli.LogExit(log, "vcoma-trace", startTime, cli.ExitOK, nil)
 }
 
 // layoutFile stores the regions needed to preload a replayed trace:
@@ -259,10 +264,17 @@ func replaySummary(res sim.Result) string {
 }
 
 // runCtx is the replay's signal context once armed; fatal consults it so an
-// interrupted replay exits 128+signum per the shared convention.
-var runCtx context.Context
+// interrupted replay exits 128+signum per the shared convention. startTime
+// and log feed the final structured line every exit path emits.
+var (
+	runCtx    context.Context
+	startTime = time.Now()
+	log       *slog.Logger
+)
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vcoma-trace:", err)
-	os.Exit(cli.ExitCode(runCtx, err))
+	code := cli.ExitCode(runCtx, err)
+	cli.LogExit(log, "vcoma-trace", startTime, code, err)
+	os.Exit(code)
 }

@@ -89,11 +89,19 @@ func runPassCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark
 // SimulateCtx; it additionally returns the built program so callers can
 // report the workload's layout.
 func passCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, specs []tlb.Spec, o *obs.Observer) (*machine.Machine, *workload.Program, sim.Result, error) {
+	// Request-scoped tracing: when a service request's span rides the
+	// context, the pass's phases nest under it (all no-ops otherwise).
+	parent := obs.SpanFrom(ctx)
+
+	sp := parent.StartChild("build")
+	sp.SetAttr("bench", bench.Name())
 	m, err := machine.New(cfg)
 	if err != nil {
+		sp.End()
 		return nil, nil, sim.Result{}, err
 	}
 	prog, err := bench.Build(cfg.Geometry, cfg.Geometry.Nodes())
+	sp.End()
 	if err != nil {
 		return nil, nil, sim.Result{}, err
 	}
@@ -111,7 +119,11 @@ func passCtx(ctx context.Context, cfg config.Config, bench workload.Benchmark, s
 	eng.SetBudget(BudgetFrom(ctx))
 	eng.SetContext(ctx)
 	eng.SetObserver(o)
+	simSp := parent.StartChild("simulate")
+	simSp.SetAttr("scheme", cfg.Scheme.String())
+	eng.SetSpan(simSp)
 	res, err := eng.Run()
+	simSp.End()
 	if err != nil {
 		return nil, nil, sim.Result{}, fmt.Errorf("experiments: %s/%v: %w", bench.Name(), cfg.Scheme, err)
 	}

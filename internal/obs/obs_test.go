@@ -38,12 +38,14 @@ func TestCounterGaugeNilSafety(t *testing.T) {
 // repository root measures the cycle cost of the same path end to end.
 func TestObsDisabledZeroAlloc(t *testing.T) {
 	var (
-		c *Counter
-		g *Gauge
-		h *Histogram
-		s *Sampler
-		r *Registry
-		w *Tracer
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		s  *Sampler
+		r  *Registry
+		w  *Tracer
+		tr *Trace
+		sp *Span
 	)
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
@@ -56,6 +58,13 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 		w.Complete("coh", "remote-read", 3, 0, 100, 40)
 		w.Instant("trans", "tlb-miss", 1, 0, 50)
 		_ = w.Enabled("sync")
+		_ = tr.ID()
+		sp = tr.StartSpan("req")
+		sp = sp.StartChild("run")
+		sp.SetAttr("k", "v")
+		sp.SetAttrUint("n", 7)
+		sp.End()
+		_ = sp.Trace()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation path allocates: %v allocs/op, want 0", allocs)

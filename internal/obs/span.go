@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceID correlates one request across every layer it touches: the HTTP
+// response that accepted it, every structured log line it caused, the span
+// tree served by the trace endpoint, and the exported Perfetto track.
+type TraceID string
+
+// NewTraceID mints a random 16-hex-digit trace id.
+func NewTraceID() TraceID {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading random trace id: %v", err))
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// ValidTraceID reports whether s is a well-formed trace id: exactly 16
+// lowercase hex digits.
+func ValidTraceID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Attr is one span attribute. Values are strings so the span dump is
+// schema-stable; use the SetAttr/SetAttrUint helpers.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// spanRecord is one span's storage inside a Trace. Parent is the span id of
+// the enclosing span, or -1 for roots.
+type spanRecord struct {
+	id     int
+	parent int
+	name   string
+	start  time.Duration // since the trace epoch
+	end    time.Duration // start for still-open spans until End
+	ended  bool
+	attrs  []Attr
+}
+
+// Trace is one request's span collection: a tree of named, timed spans all
+// carrying one TraceID. A nil *Trace disables everything — StartSpan returns
+// a nil *Span whose methods are allocation-free no-ops, so call sites thread
+// a Trace unconditionally and pay one nil check when tracing is off.
+//
+// Unlike the rest of this package, a Trace is synchronized: request spans
+// cross the HTTP-handler/worker boundary (admit happens on the accepting
+// goroutine, run on a worker), so concurrent StartSpan/End/Export must be
+// safe. The simulation-loop instruments stay unsynchronized; only this
+// request-scoped layer pays for a mutex.
+type Trace struct {
+	id    TraceID
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []spanRecord
+}
+
+// NewTrace starts an empty trace with the given id (mint one with
+// NewTraceID). The epoch — timestamp zero for every span — is now.
+func NewTrace(id TraceID) *Trace {
+	return &Trace{id: id, epoch: time.Now()}
+}
+
+func (t *Trace) lock()   { t.mu.Lock() }
+func (t *Trace) unlock() { t.mu.Unlock() }
+
+// ID returns the trace id ("" for a nil trace).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span is a handle to one span of a Trace. The zero of the API is the nil
+// *Span: every method is a no-op on it, with zero allocations.
+type Span struct {
+	t  *Trace
+	id int
+}
+
+// StartSpan opens a root span. Returns nil on a nil trace.
+func (t *Trace) StartSpan(name string) *Span {
+	return t.startSpan(name, -1)
+}
+
+func (t *Trace) startSpan(name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.lock()
+	id := len(t.spans)
+	now := time.Since(t.epoch)
+	t.spans = append(t.spans, spanRecord{id: id, parent: parent, name: name, start: now, end: now})
+	t.unlock()
+	return &Span{t: t, id: id}
+}
+
+// StartChild opens a span nested under s. Returns nil on a nil span, so
+// chains like trace.StartSpan("run").StartChild("simulate") degrade to
+// no-ops when tracing is off.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.startSpan(name, s.id)
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.t.lock()
+	r := &s.t.spans[s.id]
+	r.attrs = append(r.attrs, Attr{Key: key, Val: val})
+	s.t.unlock()
+}
+
+// SetAttrUint attaches an integer attribute (rendered in decimal).
+func (s *Span) SetAttrUint(key string, val uint64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, fmt.Sprintf("%d", val))
+}
+
+// End closes the span. Ending twice keeps the first end time; an unended
+// span exports with its duration up to the export instant.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.lock()
+	r := &s.t.spans[s.id]
+	if !r.ended {
+		r.ended = true
+		r.end = time.Since(s.t.epoch)
+	}
+	s.t.unlock()
+}
+
+// Trace returns the owning trace (nil for a nil span), letting deep layers
+// start sibling spans from a handle alone.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.t
+}
+
+// SpanNode is one exported span: timing in microseconds since the trace
+// epoch, attributes, and nested children — the JSON the trace endpoint
+// serves.
+type SpanNode struct {
+	Name     string     `json:"name"`
+	StartUS  uint64     `json:"start_us"`
+	DurUS    uint64     `json:"dur_us"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// SpanTree is a trace's exported form: the id plus its root spans in start
+// order.
+type SpanTree struct {
+	TraceID TraceID    `json:"trace_id"`
+	Spans   []SpanNode `json:"spans"`
+}
+
+// Export snapshots the trace as a span tree. Open spans export with their
+// duration so far. Safe to call while spans are still being recorded.
+func (t *Trace) Export() SpanTree {
+	if t == nil {
+		return SpanTree{}
+	}
+	t.lock()
+	now := time.Since(t.epoch)
+	recs := make([]spanRecord, len(t.spans))
+	copy(recs, t.spans)
+	t.unlock()
+
+	nodes := make([]SpanNode, len(recs))
+	for i, r := range recs {
+		end := r.end
+		if !r.ended {
+			end = now
+		}
+		nodes[i] = SpanNode{
+			Name:    r.name,
+			StartUS: uint64(r.start / time.Microsecond),
+			DurUS:   uint64((end - r.start) / time.Microsecond),
+			Attrs:   r.attrs,
+		}
+	}
+	// Children are appended parent-first because span ids are allocation-
+	// ordered and a child is always started after its parent.
+	var roots []SpanNode
+	for i := len(recs) - 1; i >= 0; i-- {
+		if p := recs[i].parent; p >= 0 {
+			nodes[p].Children = append([]SpanNode{nodes[i]}, nodes[p].Children...)
+		}
+	}
+	for i, r := range recs {
+		if r.parent < 0 {
+			roots = append(roots, nodes[i])
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].StartUS < roots[j].StartUS })
+	return SpanTree{TraceID: t.id, Spans: roots}
+}
+
+// ChromeEvents converts the trace into Chrome trace-event "X" slices on the
+// (pid, tid) track, one per span, each carrying the trace id and the span's
+// attributes as args — the per-request track loaded into Perfetto next to
+// the simulator's per-node tracks. Timestamps are microseconds since the
+// trace epoch (wall time, unlike the simulator tracks' simulated cycles).
+func (t *Trace) ChromeEvents(pid, tid int) []Event {
+	if t == nil {
+		return nil
+	}
+	tree := t.Export()
+	var out []Event
+	var walk func(n SpanNode)
+	walk = func(n SpanNode) {
+		args := map[string]any{"trace_id": string(tree.TraceID)}
+		for _, a := range n.Attrs {
+			args[a.Key] = a.Val
+		}
+		dur := n.DurUS
+		if dur == 0 {
+			dur = 1 // zero-width slices vanish in viewers
+		}
+		out = append(out, Event{
+			Name: n.Name, Cat: "request", Ph: "X",
+			TS: n.StartUS, Dur: dur, PID: pid, TID: tid, Args: args,
+		})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tree.Spans {
+		walk(r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// AppendChrome pushes the trace's events onto an existing tracer as the
+// (pid, tid) track, so per-request spans land in the same Perfetto file as
+// the simulator's per-node tracks. No-op when either side is nil.
+func (t *Trace) AppendChrome(tr *Tracer, pid, tid int) {
+	if t == nil || tr == nil {
+		return
+	}
+	for _, e := range t.ChromeEvents(pid, tid) {
+		if tr.Enabled(e.Cat) {
+			tr.push(e)
+		}
+	}
+}
+
+// traceCtxKey carries a request's Trace through contexts into the runner,
+// the experiment passes and the simulation engine.
+type traceCtxKey struct{}
+
+// spanCtxKey carries the innermost open Span, so deep layers nest under it.
+type spanCtxKey struct{}
+
+// WithTrace returns a context carrying t. A nil t returns ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the context's Trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// WithSpan returns a context carrying s as the innermost open span. A nil s
+// returns ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the innermost span installed by WithSpan, or nil — on
+// which StartChild and every other method are no-ops, so layers instrument
+// unconditionally.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	root := tr.StartSpan("request")
+	root.SetAttr("tenant", "acme")
+	admit := root.StartChild("admit")
+	fsync := admit.StartChild("journal-fsync")
+	fsync.End()
+	admit.End()
+	run := root.StartChild("run")
+	run.SetAttrUint("exec_cycles", 12345)
+	run.End()
+	root.End()
+
+	tree := tr.Export()
+	if tree.TraceID != tr.ID() {
+		t.Fatalf("tree id %q, trace id %q", tree.TraceID, tr.ID())
+	}
+	if len(tree.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(tree.Spans))
+	}
+	r := tree.Spans[0]
+	if r.Name != "request" || len(r.Attrs) != 1 || r.Attrs[0].Key != "tenant" {
+		t.Fatalf("bad root: %+v", r)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "admit" || r.Children[1].Name != "run" {
+		t.Fatalf("bad children: %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "journal-fsync" {
+		t.Fatalf("grandchild lost: %+v", r.Children[0])
+	}
+	if r.Children[1].Attrs[0].Val != "12345" {
+		t.Fatalf("uint attr rendered %q", r.Children[1].Attrs[0].Val)
+	}
+	// The tree must be JSON-exportable (the /trace endpoint serves it raw).
+	if _, err := json.Marshal(tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanTimingMonotone(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	root := tr.StartSpan("outer")
+	time.Sleep(2 * time.Millisecond)
+	in := root.StartChild("inner")
+	time.Sleep(2 * time.Millisecond)
+	in.End()
+	root.End()
+
+	tree := tr.Export()
+	r := tree.Spans[0]
+	c := r.Children[0]
+	if c.StartUS < r.StartUS {
+		t.Fatalf("child starts (%d) before parent (%d)", c.StartUS, r.StartUS)
+	}
+	if c.StartUS+c.DurUS > r.StartUS+r.DurUS {
+		t.Fatalf("child ends after parent: child [%d,+%d], parent [%d,+%d]",
+			c.StartUS, c.DurUS, r.StartUS, r.DurUS)
+	}
+	if c.DurUS == 0 || r.DurUS == 0 {
+		t.Fatalf("slept spans have zero duration: child %d, root %d", c.DurUS, r.DurUS)
+	}
+}
+
+func TestSpanOpenSpansExport(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	s := tr.StartSpan("open")
+	time.Sleep(time.Millisecond)
+	tree := tr.Export() // not ended: exports with duration so far
+	if tree.Spans[0].DurUS == 0 {
+		t.Fatal("open span exported with zero duration")
+	}
+	s.End()
+	first := tr.Export().Spans[0].DurUS
+	time.Sleep(time.Millisecond)
+	if again := tr.Export().Spans[0].DurUS; again != first {
+		t.Fatalf("End not sticky: %d then %d", first, again)
+	}
+}
+
+func TestSpanNilReceivers(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an id")
+	}
+	s := tr.StartSpan("x")
+	if s != nil {
+		t.Fatal("nil trace returned a live span")
+	}
+	// All of these must be safe no-ops.
+	c := s.StartChild("y")
+	c.SetAttr("k", "v")
+	c.SetAttrUint("n", 1)
+	c.End()
+	if c.Trace() != nil {
+		t.Fatal("nil span has a trace")
+	}
+	if got := tr.Export(); got.TraceID != "" || got.Spans != nil {
+		t.Fatalf("nil trace exported %+v", got)
+	}
+	if ev := tr.ChromeEvents(0, 0); ev != nil {
+		t.Fatal("nil trace produced events")
+	}
+	tr.AppendChrome(NewTracer(8, ""), 0, 0)
+}
+
+func TestSpanContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil || SpanFrom(ctx) != nil {
+		t.Fatal("empty context carries a trace")
+	}
+	if WithTrace(ctx, nil) != ctx || WithSpan(ctx, nil) != ctx {
+		t.Fatal("nil install should return ctx unchanged")
+	}
+	tr := NewTrace(NewTraceID())
+	s := tr.StartSpan("root")
+	ctx = WithSpan(WithTrace(ctx, tr), s)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	if SpanFrom(ctx) != s {
+		t.Fatal("span lost in context")
+	}
+}
+
+func TestSpanChromeEvents(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	root := tr.StartSpan("request")
+	ch := root.StartChild("run")
+	ch.SetAttr("bench", "RADIX")
+	ch.End()
+	root.End()
+
+	evs := tr.ChromeEvents(7, 3)
+	if len(evs) != 2 {
+		t.Fatalf("want 2 events, got %d", len(evs))
+	}
+	for _, e := range evs {
+		if e.Ph != "X" || e.Cat != "request" || e.PID != 7 || e.TID != 3 {
+			t.Fatalf("bad event %+v", e)
+		}
+		if e.Args["trace_id"] != string(tr.ID()) {
+			t.Fatalf("event lost the trace id: %+v", e.Args)
+		}
+		if e.Dur == 0 {
+			t.Fatalf("zero-width slice: %+v", e)
+		}
+	}
+	if evs[1].Args["bench"] != "RADIX" {
+		t.Fatalf("attr lost: %+v", evs[1].Args)
+	}
+
+	// Appended onto a tracer, the events survive WriteJSON round-trip.
+	tracer := NewTracer(16, "")
+	tr.AppendChrome(tracer, 7, 3)
+	if tracer.Len() != 2 {
+		t.Fatalf("tracer holds %d events, want 2", tracer.Len())
+	}
+}
+
+func TestSpanConcurrentUse(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	root := tr.StartSpan("request")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s := root.StartChild("work")
+				s.SetAttrUint("j", uint64(j))
+				s.End()
+				_ = tr.Export()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tree := tr.Export()
+	if got := len(tree.Spans[0].Children); got != 800 {
+		t.Fatalf("lost spans under concurrency: %d of 800", got)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	if id := NewTraceID(); !ValidTraceID(string(id)) {
+		t.Fatalf("minted id %q invalid", id)
+	}
+	for _, bad := range []string{"", "abc", "ABCDEF0123456789", "0123456789abcdeg", "0123456789abcdef0"} {
+		if ValidTraceID(bad) {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

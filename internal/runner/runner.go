@@ -404,9 +404,14 @@ func anySkipped(results map[string]Result) bool {
 func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 	start := time.Now()
 	res.Name = j.Name
+	span := obs.SpanFrom(ctx) // request-scoped trace; nil = all no-ops
 	if opt.Cache != nil && j.Key != "" && j.decode != nil {
-		if raw, ok := opt.Cache.get(j.Key); ok {
+		probe := span.StartChild("cache-probe")
+		raw, ok := opt.Cache.get(j.Key)
+		if ok {
 			if v, err := j.decode(raw); err == nil {
+				probe.SetAttr("hit", "true")
+				probe.End()
 				res.Value, res.Cached = v, true
 				res.Wall = time.Since(start)
 				return res
@@ -415,12 +420,20 @@ func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 			// result type: quarantine it for inspection and recompute.
 			opt.Cache.Quarantine(j.Key, fmt.Sprintf("entry does not decode into %s's result type", j.Name))
 		}
+		probe.SetAttr("hit", "false")
+		probe.End()
 	}
 	var o *obs.Observer
 	for attempt := 0; ; attempt++ {
 		res.Attempts = attempt + 1
-		res.Value, o, res.Err = runAttempt(ctx, j, opt)
+		asp := span.StartChild("attempt")
+		asp.SetAttrUint("n", uint64(attempt+1))
+		res.Value, o, res.Err = runAttempt(obs.WithSpan(ctx, asp), j, opt)
 		res.Class = Classify(res.Err)
+		if res.Err != nil {
+			asp.SetAttr("class", res.Class.String())
+		}
+		asp.End()
 		if res.Class != ClassTransient || attempt >= opt.Retry.Max {
 			break
 		}
@@ -435,7 +448,9 @@ func execute(ctx context.Context, j *Job, opt Options) (res Result) {
 	res.Wall = time.Since(start)
 	if res.Err == nil && opt.Cache != nil && j.Key != "" {
 		// A failed write only costs a recomputation next run.
+		put := span.StartChild("store-put")
 		_ = opt.Cache.Put(j.Key, j.Name, res.Value)
+		put.End()
 		if o != nil && o.Registry.Len() > 0 {
 			ts := o.Sampler.Export()
 			_ = opt.Cache.PutMetrics(j.Key, JobMetrics{

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestServiceEventsSlowConsumer pins the SSE isolation contract: a consumer
+// that connects and then never reads must not block the worker (the worker
+// appends to the Job and signals; only the per-connection handler goroutine
+// writes to the socket), and once the consumers disconnect every handler
+// goroutine exits. Run under -race in CI.
+func TestServiceEventsSlowConsumer(t *testing.T) {
+	_, ts, _ := testServer(t, t.TempDir(), func(o *Options) { o.Chaos = gateChaos(t) })
+
+	before := runtime.NumGoroutine()
+
+	// Park the single worker on the gate job so consumers attach to a
+	// genuinely running job.
+	gate := submitJob(t, ts.URL, gateReq, http.StatusAccepted)
+	waitFor(t, "gate running", func() bool { return jobState(t, ts.URL, gate.Key) == "running" })
+
+	// Stalled consumers: speak just enough HTTP to get the stream started,
+	// confirm the 200, then never read another byte.
+	const consumers = 4
+	conns := make([]net.Conn, consumers)
+	for i := range conns {
+		c, err := net.Dial("tcp", ts.Listener.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		fmt.Fprintf(c, "GET /v1/jobs/%s/events HTTP/1.1\r\nHost: test\r\nAccept: text/event-stream\r\n\r\n", gate.Key)
+		status, err := bufio.NewReader(c).ReadString('\n')
+		if err != nil {
+			t.Fatalf("consumer %d: reading status line: %v", i, err)
+		}
+		if !strings.Contains(status, " 200 ") {
+			t.Fatalf("consumer %d: events stream answered %q", i, status)
+		}
+		conns[i] = c
+	}
+
+	// With every consumer stalled, the worker must still retire the gate job
+	// (cancel is the only way to end a hung chaos job)...
+	if code, body := del(t, cancelURL(ts.URL, gate)); code != http.StatusOK {
+		t.Fatalf("cancel gate: %d: %s", code, body)
+	}
+	waitFor(t, "gate canceled", func() bool { return jobState(t, ts.URL, gate.Key) == "canceled" })
+
+	// ...and the freed worker must run fresh work to completion while the
+	// dead-weight connections are still attached.
+	key := submitKey(t, ts.URL, Request{Bench: "RADIX", Scheme: "l0", Scale: "test"}, http.StatusAccepted)
+	waitFor(t, "follow-up job done", func() bool { return jobState(t, ts.URL, key) == "done" })
+
+	// Disconnect. Every events-handler goroutine (and the server-side conn
+	// goroutines) must drain back to the pre-test baseline.
+	for _, c := range conns {
+		c.Close()
+	}
+	waitFor(t, "goroutines to drain", func() bool {
+		http.DefaultClient.CloseIdleConnections()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

@@ -26,10 +26,36 @@ type serverMetrics struct {
 	canceled     atomic.Uint64 // jobs whose every waiter gave up
 	failed       atomic.Uint64 // simulations that errored
 	resumed      atomic.Uint64 // jobs re-enqueued from the journal at boot
+	profiles     atomic.Uint64 // CPU-profile artifacts captured
 
 	hmu       sync.Mutex
 	queueWait *obs.Histogram // milliseconds queued before a worker picked it up
 	runTime   *obs.Histogram // milliseconds simulating (fresh runs only)
+}
+
+// metricMeta maps each registry name to its Prometheus HELP text and TYPE.
+// Names absent from the table are exposed as untyped gauges without help —
+// nothing is silently dropped when someone registers a new probe.
+var metricMeta = map[string]struct{ Help, Type string }{
+	"serve/submits":            {"Accepted requests, including coalesced joins.", "counter"},
+	"serve/coalesced":          {"Requests joined onto an already in-flight job.", "counter"},
+	"serve/store.hits":         {"Requests answered directly from the artifact store.", "counter"},
+	"serve/sims.executed":      {"Simulations actually executed (store misses).", "counter"},
+	"serve/rejected.overload":  {"Submits rejected because the queue was full with no shed victim.", "counter"},
+	"serve/rejected.tenant":    {"Submits rejected by the per-tenant queued-job bound.", "counter"},
+	"serve/shed":               {"Queued jobs evicted to admit higher-priority work.", "counter"},
+	"serve/canceled":           {"Jobs canceled because every waiter withdrew.", "counter"},
+	"serve/failed":             {"Jobs whose simulation errored.", "counter"},
+	"serve/resumed":            {"Jobs re-enqueued from the accept journal at boot.", "counter"},
+	"serve/profiles":           {"CPU-profile artifacts captured alongside results.", "counter"},
+	"serve/queue.depth":        {"Jobs currently queued.", "gauge"},
+	"serve/queue.running":      {"Jobs currently being simulated.", "gauge"},
+	"serve/store.bytes":        {"Artifact store payload bytes on disk.", "gauge"},
+	"serve/store.entries":      {"Artifact store entries on disk.", "gauge"},
+	"serve/store.evicted":      {"Artifacts evicted by the store's LRU bound.", "counter"},
+	"serve/store.quarantined":  {"Corrupt artifacts quarantined by checksum verification.", "counter"},
+	"serve/lat.queue_wait_ms":  {"Milliseconds a job waited in queue before dispatch.", "histogram"},
+	"serve/lat.run_ms":         {"Milliseconds a fresh simulation took end to end.", "histogram"},
 }
 
 func newServerMetrics(queue *Queue, store *Store) *serverMetrics {
@@ -47,6 +73,7 @@ func newServerMetrics(queue *Queue, store *Store) *serverMetrics {
 	probe("serve/canceled", &m.canceled)
 	probe("serve/failed", &m.failed)
 	probe("serve/resumed", &m.resumed)
+	probe("serve/profiles", &m.profiles)
 	m.reg.Probe("serve/queue.depth", func() float64 { return float64(queue.Snapshot().Queued) })
 	m.reg.Probe("serve/queue.running", func() float64 { return float64(queue.Snapshot().Running) })
 	m.reg.Probe("serve/store.bytes", func() float64 { return float64(store.Snapshot().Bytes) })
@@ -70,27 +97,66 @@ func (m *serverMetrics) observeRunTime(ms uint64) {
 	m.hmu.Unlock()
 }
 
-// write renders the text exposition for GET /metrics: one `name value` line
-// per scalar metric, then count/sum/max plus cumulative `le` buckets per
-// histogram — greppable by scripts and close enough to the common scrape
-// formats to be machine-ingested.
+// promName maps an internal registry name ("serve/lat.queue_wait_ms") to a
+// legal Prometheus metric name ("vcoma_serve_lat_queue_wait_ms"): every
+// non-alphanumeric rune becomes an underscore under a vcoma_ namespace.
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+6)
+	b = append(b, "vcoma_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// write renders GET /metrics in the Prometheus text exposition format:
+// every series preceded by its # HELP and # TYPE lines, histograms as
+// cumulative _bucket{le="..."} series (power-of-two upper bounds, closed by
+// le="+Inf") plus _sum and _count. The histogram's observed maximum, which
+// the bucket layout would otherwise round up, is kept as a companion
+// _max gauge.
 func (m *serverMetrics) write(w io.Writer) {
 	for _, name := range m.reg.Names() {
-		if v, ok := m.reg.Value(name); ok {
-			fmt.Fprintf(w, "%s %g\n", name, v)
+		v, ok := m.reg.Value(name)
+		if !ok {
+			continue
 		}
+		pn := promName(name)
+		meta := metricMeta[name]
+		if meta.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", pn, meta.Help)
+		}
+		typ := meta.Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
+		fmt.Fprintf(w, "%s %g\n", pn, v)
 	}
 	m.hmu.Lock()
 	hists := m.reg.Histograms()
 	m.hmu.Unlock()
 	for _, h := range hists {
-		fmt.Fprintf(w, "%s.count %d\n", h.Name, h.Count)
-		fmt.Fprintf(w, "%s.sum %d\n", h.Name, h.Sum)
-		fmt.Fprintf(w, "%s.max %d\n", h.Name, h.Max)
+		pn := promName(h.Name)
+		if meta := metricMeta[h.Name]; meta.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", pn, meta.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
 		cum := uint64(0)
 		for _, b := range h.Buckets {
 			cum += b.Count
-			fmt.Fprintf(w, "%s.bucket{le=%q} %d\n", h.Name, fmt.Sprint(b.Hi), cum)
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Hi, cum)
 		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n", pn)
+		fmt.Fprintf(w, "%s_max %d\n", pn, h.Max)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"vcoma/internal/obs"
 	"vcoma/internal/runner"
 )
 
@@ -85,6 +86,14 @@ type Job struct {
 	cancel   context.CancelFunc // set while running
 	cancelRequested bool
 
+	// Request-trace state (nil when the submit was untraced). The first
+	// submitter's trace is the job's trace; later coalesced submits attach
+	// to it as spans rather than bringing their own.
+	trace     *obs.Trace
+	root      *obs.Span // request root, ended when the job retires
+	queueSpan *obs.Span // open queue-wait span while queued
+	profile   bool      // any waiter asked for a CPU profile artifact
+
 	queuedAt  time.Time
 	startedAt time.Time
 	doneAt    time.Time
@@ -120,6 +129,7 @@ func (j *Job) Watch() <-chan struct{} {
 type Status struct {
 	Key      string    `json:"key"`
 	Name     string    `json:"name"`
+	TraceID  string    `json:"trace_id,omitempty"`
 	State    string    `json:"state"`
 	Priority string    `json:"priority"`
 	Tenants  int       `json:"tenants"`
@@ -138,6 +148,7 @@ func (j *Job) Snapshot() Status {
 	s := Status{
 		Key:      string(j.Key),
 		Name:     j.Spec.Name(),
+		TraceID:  string(j.trace.ID()),
 		State:    j.state.String(),
 		Priority: j.priority.String(),
 		Tenants:  len(j.tenants),
@@ -170,6 +181,42 @@ func (j *Job) appendProgress(line string) {
 	j.progress = append(j.progress, line)
 	j.notifyLocked()
 	j.mu.Unlock()
+}
+
+// Trace returns the job's request trace (nil when untraced).
+func (j *Job) Trace() *obs.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// TraceID returns the job's trace id, or "" when untraced.
+func (j *Job) TraceID() obs.TraceID {
+	return j.Trace().ID()
+}
+
+// Root returns the job's open request-root span (nil when untraced).
+func (j *Job) Root() *obs.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.root
+}
+
+// Profile reports whether any waiter asked for a CPU profile.
+func (j *Job) Profile() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile
+}
+
+// endTraceLocked closes the job's request trace with its final outcome.
+// Callers hold j.mu. Span methods are nil-safe, so untraced jobs fall
+// through for free.
+func (j *Job) endTraceLocked(outcome string) {
+	j.queueSpan.End()
+	j.queueSpan = nil
+	j.root.SetAttr("outcome", outcome)
+	j.root.End()
 }
 
 // bindCancel installs the running job's cancel func; if a waiter already
@@ -367,7 +414,11 @@ func (q *Queue) Submit(spec Spec) (*Job, string, Outcome, error) {
 		tenants:  map[string]int{spec.Tenant: 1},
 		change:   make(chan struct{}),
 		queuedAt: time.Now(),
+		trace:    spec.Trace,
+		root:     spec.Root,
+		profile:  spec.Profile,
 	}
+	j.queueSpan = spec.Root.StartChild("queue-wait")
 	q.jobs[key] = j
 	q.buckets[spec.Priority].push(j)
 	q.queued++
@@ -377,6 +428,9 @@ func (q *Queue) Submit(spec Spec) (*Job, string, Outcome, error) {
 
 // joinLocked adds one waiter to an in-flight job, promoting its queue
 // position if the newcomer is more urgent. Returns the newcomer's waiter id.
+// The newcomer's own trace (if any) is abandoned by the caller; instead the
+// attach is recorded as a coalesce-attach span on the job's trace, so the
+// one trace that exists for the key shows every rider.
 func (q *Queue) joinLocked(j *Job, spec Spec) string {
 	waiter := newWaiterID()
 	j.mu.Lock()
@@ -387,6 +441,17 @@ func (q *Queue) joinLocked(j *Job, spec Spec) string {
 	old := j.priority
 	if raise {
 		j.priority = spec.Priority
+	}
+	if spec.Profile {
+		j.profile = true
+	}
+	if sp := j.root.StartChild("coalesce-attach"); sp != nil {
+		sp.SetAttr("tenant", spec.Tenant)
+		sp.SetAttr("priority", spec.Priority.String())
+		if id := spec.Trace.ID(); id != "" {
+			sp.SetAttr("joined_trace_id", string(id))
+		}
+		sp.End()
 	}
 	j.mu.Unlock()
 	if raise && queued {
@@ -423,6 +488,7 @@ func (q *Queue) shedLocked(incoming Priority) bool {
 		v.state = StateShed
 		v.err = "shed: evicted by higher-priority work under load"
 		v.doneAt = time.Now()
+		v.endTraceLocked("shed")
 		v.notifyLocked()
 		v.mu.Unlock()
 		if q.OnShed != nil {
@@ -462,6 +528,8 @@ func (q *Queue) Next(ctx context.Context) (*Job, error) {
 				j.mu.Lock()
 				j.state = StateRunning
 				j.startedAt = time.Now()
+				j.queueSpan.End()
+				j.queueSpan = nil
 				j.notifyLocked()
 				j.mu.Unlock()
 				return j, nil
@@ -500,6 +568,7 @@ func (q *Queue) Finish(j *Job, err error) {
 	}
 	j.cancel = nil
 	j.doneAt = time.Now()
+	j.endTraceLocked(j.state.String())
 	j.notifyLocked()
 	j.mu.Unlock()
 }
@@ -519,6 +588,8 @@ func (q *Queue) Requeue(j *Job) {
 	j.state = StateQueued
 	j.startedAt = time.Time{}
 	j.cancel = nil
+	// The job waits again, so the trace gets a fresh queue-wait span.
+	j.queueSpan = j.root.StartChild("queue-wait")
 	j.notifyLocked()
 	prio := j.priority
 	j.mu.Unlock()
@@ -580,6 +651,7 @@ func (q *Queue) Cancel(key runner.Key, waiter string) (found, removed bool) {
 		j.state = StateCanceled
 		j.err = "canceled by all waiters"
 		j.doneAt = time.Now()
+		j.endTraceLocked("canceled")
 		j.notifyLocked()
 		prio := j.priority
 		j.mu.Unlock()

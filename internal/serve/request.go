@@ -13,6 +13,7 @@ import (
 
 	"vcoma/internal/config"
 	"vcoma/internal/experiments"
+	"vcoma/internal/obs"
 	"vcoma/internal/runner"
 	"vcoma/internal/workload"
 )
@@ -88,12 +89,24 @@ type Request struct {
 
 // Spec is a validated, normalized request: the exact simulation inputs plus
 // the queueing attributes, ready to run.
+//
+// Trace, Root and Profile are per-submit observability state: like Tenant
+// and Priority they ride the queue but are deliberately excluded from Key,
+// so a traced and an untraced request for the same cell still coalesce onto
+// one simulation and one artifact.
 type Spec struct {
 	Config   config.Config
 	Bench    workload.Benchmark
 	Scale    workload.Scale
 	Priority Priority
 	Tenant   string
+
+	// Trace is the submit's request trace (nil = untraced).
+	Trace *obs.Trace
+	// Root is the open request-root span, ended when the job retires.
+	Root *obs.Span
+	// Profile asks for a CPU-profile artifact next to the result.
+	Profile bool
 }
 
 // Key returns the job's content address: a hash of everything that can

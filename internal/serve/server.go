@@ -7,14 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vcoma/internal/cli"
 	"vcoma/internal/experiments"
+	"vcoma/internal/obs"
 	"vcoma/internal/report"
 	"vcoma/internal/runner"
 	"vcoma/internal/sim"
@@ -47,8 +51,9 @@ type Options struct {
 	Chaos *runner.Chaos
 	// DrainGrace bounds the HTTP shutdown on SIGTERM; 0 means 5s.
 	DrainGrace time.Duration
-	// Log receives operational lines; nil silences them.
-	Log io.Writer
+	// Log receives structured operational lines; nil silences them. Every
+	// job-scoped line carries trace_id, job_key and tenant.
+	Log *slog.Logger
 }
 
 // Server is the vcoma simulation service: an HTTP/JSON API over the
@@ -56,6 +61,7 @@ type Options struct {
 // artifact Store, journaling admissions so a restart resumes the backlog.
 type Server struct {
 	opts    Options
+	log     *slog.Logger
 	queue   *Queue
 	store   *Store
 	journal *Journal
@@ -64,15 +70,25 @@ type Server struct {
 
 	jmu sync.Mutex // serializes journal writes
 
+	// profiling guards the process-global CPU profiler: the Go runtime
+	// allows one profile at a time, so concurrent ?profile=cpu jobs race
+	// for the slot and losers run unprofiled.
+	profiling atomic.Bool
+
 	wg       sync.WaitGroup
 	draining chan struct{}
 	drainOnce sync.Once
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Log != nil {
-		fmt.Fprintf(s.opts.Log, "vcoma-serve: "+format+"\n", args...)
-	}
+// jobLog returns the logger for one job's lines: every record carries the
+// trace_id/job_key/tenant triple the README documents, so one grep by any
+// of the three reconstructs the job's history.
+func (s *Server) jobLog(j *Job) *slog.Logger {
+	return s.log.With(
+		"trace_id", string(j.TraceID()),
+		"job_key", string(j.Key),
+		"tenant", j.Spec.Tenant,
+	)
 }
 
 // New opens the state directory (store, journal, lock) and replays any
@@ -106,8 +122,13 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 
+	log := opts.Log
+	if log == nil {
+		log = cli.Discard()
+	}
 	s := &Server{
 		opts:     opts,
+		log:      log,
 		queue:    NewQueue(opts.MaxQueue, opts.MaxPerTenant),
 		store:    store,
 		journal:  journal,
@@ -120,6 +141,8 @@ func New(opts Options) (*Server, error) {
 		// Journal write deferred out of the queue's critical section is not
 		// worth the machinery here: shedding is rare and the fsync is small.
 		s.journalRetire(j.Key, "cancel")
+		s.writeTrace(j)
+		s.jobLog(j).Warn("job shed", "name", j.Spec.Name())
 	}
 
 	// Resume: jobs accepted by the previous incarnation re-enter the queue;
@@ -134,16 +157,23 @@ func New(opts Options) (*Server, error) {
 			s.journalRetire(key, "done")
 			continue
 		}
+		// A resumed job gets a fresh trace: the original's spans died with
+		// the previous process, but the re-run should still be traceable.
+		spec.Trace = obs.NewTrace(obs.NewTraceID())
+		spec.Root = spec.Trace.StartSpan("request")
+		spec.Root.SetAttr("name", spec.Name())
+		spec.Root.SetAttr("tenant", spec.Tenant)
+		spec.Root.SetAttr("resumed", "true")
 		// The waiter token is discarded: the server itself is the resumed
 		// job's only waiter (HTTP clients did not survive the restart), so
 		// it runs to completion and lands in the store.
 		if _, _, _, err := s.queue.Submit(spec); err != nil {
 			// Leave it pending in the journal; the next boot retries.
-			s.logf("resume: %s not re-enqueued: %v", spec.Name(), err)
+			s.log.Warn("resume: not re-enqueued", "name", spec.Name(), "job_key", string(key), "error", err.Error())
 			continue
 		}
 		s.metrics.resumed.Add(1)
-		s.logf("resume: re-enqueued %s (%.16s…)", spec.Name(), key)
+		s.log.Info("resume: re-enqueued", "name", spec.Name(), "job_key", string(key), "trace_id", string(spec.Trace.ID()))
 	}
 	return s, nil
 }
@@ -163,7 +193,7 @@ func (s *Server) journalRetire(key runner.Key, op string) {
 		err = s.journal.Cancel(key)
 	}
 	if err != nil {
-		s.logf("journal: %v", err)
+		s.log.Warn("journal", "op", op, "job_key", string(key), "error", err.Error())
 	}
 }
 
@@ -200,24 +230,36 @@ func (s *Server) Shutdown() {
 	s.queue.Close()
 	s.wg.Wait()
 	if err := s.journal.Close(); err != nil {
-		s.logf("journal close: %v", err)
+		s.log.Warn("journal close", "error", err.Error())
 	}
 	if err := s.lock.Release(); err != nil {
-		s.logf("lock release: %v", err)
+		s.log.Warn("lock release", "error", err.Error())
 	}
 }
 
 // runJob executes one dequeued job through runner.Run: the artifact store's
 // cache serves key-equal repeats, chaos wraps it when configured, and the
-// progress reporter streams lines into the job's event log.
+// progress reporter streams lines into the job's event log. The job's trace
+// rides the context into the runner, the experiment passes and the engine,
+// so one trace id spans HTTP accept to simulated cycle.
 func (s *Server) runJob(ctx context.Context, j *Job) {
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	j.bindCancel(cancel)
 
 	spec := j.Spec
+	jl := s.jobLog(j)
 	waited := time.Since(j.Snapshot().QueuedAt)
 	s.metrics.observeQueueWait(uint64(waited.Milliseconds()))
+
+	runSp := j.Root().StartChild("run")
+	runCtx := obs.WithSpan(obs.WithTrace(jobCtx, j.Trace()), runSp)
+	jl.Info("job start", "name", spec.Name(), "queue_wait", waited.Round(time.Millisecond).String())
+
+	var stopProfile func()
+	if j.Profile() {
+		stopProfile = s.startProfile(jl, j.Key, runSp)
+	}
 
 	rj := runner.New(spec.Name(), j.Key, func(c context.Context) (report.RunSummary, error) {
 		return experiments.SimulateCtx(experiments.WithBudget(c, s.opts.Budget), spec.Config, spec.Bench, spec.Scale)
@@ -229,7 +271,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	pw := &jobWriter{j: j}
 	progress := runner.NewProgress(pw)
 	start := time.Now()
-	res, err := runner.Run(jobCtx, jobs, runner.Options{
+	res, err := runner.Run(runCtx, jobs, runner.Options{
 		Workers:    1,
 		Cache:      s.store.Cache(),
 		Progress:   progress,
@@ -238,17 +280,29 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		Retry:      s.opts.Retry,
 	})
 	pw.flush()
+	if stopProfile != nil {
+		stopProfile()
+	}
+	elapsed := time.Since(start)
 
 	if err == nil {
-		if r, ok := res.Jobs[spec.Name()]; ok && !r.Cached {
-			s.metrics.simsExecuted.Add(1)
-			s.metrics.observeRunTime(uint64(time.Since(start).Milliseconds()))
-		} else {
-			s.metrics.storeHits.Add(1)
+		cached := false
+		if r, ok := res.Jobs[spec.Name()]; ok && r.Cached {
+			cached = true
 		}
+		if cached {
+			s.metrics.storeHits.Add(1)
+		} else {
+			s.metrics.simsExecuted.Add(1)
+			s.metrics.observeRunTime(uint64(elapsed.Milliseconds()))
+		}
+		runSp.SetAttr("cached", strconv.FormatBool(cached))
+		runSp.End()
 		s.store.Note(j.Key)
 		s.journalRetire(j.Key, "done")
 		s.queue.Finish(j, nil)
+		s.writeTrace(j)
+		jl.Info("job done", "state", StateDone.String(), "cached", cached, "duration", elapsed.Round(time.Millisecond).String())
 		return
 	}
 
@@ -261,23 +315,32 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		canceled = j.cancelRequested
 		j.mu.Unlock()
 		if !canceled {
-			s.logf("drain: requeueing %s", spec.Name())
+			runSp.SetAttr("outcome", "requeued")
+			runSp.End()
+			jl.Info("drain: requeueing", "name", spec.Name())
 			s.queue.Requeue(j)
 			return
 		}
 	}
 
+	runSp.SetAttr("error", err.Error())
+	runSp.End()
 	j.mu.Lock()
 	canceled := j.cancelRequested
 	j.mu.Unlock()
 	if canceled && errors.Is(err, context.Canceled) {
 		s.metrics.canceled.Add(1)
 		s.journalRetire(j.Key, "cancel")
-	} else {
-		s.metrics.failed.Add(1)
-		s.journalRetire(j.Key, "fail")
+		s.queue.Finish(j, err)
+		s.writeTrace(j)
+		jl.Warn("job canceled", "duration", elapsed.Round(time.Millisecond).String())
+		return
 	}
+	s.metrics.failed.Add(1)
+	s.journalRetire(j.Key, "fail")
 	s.queue.Finish(j, err)
+	s.writeTrace(j)
+	jl.Error("job failed", "error", err.Error(), "duration", elapsed.Round(time.Millisecond).String())
 }
 
 // jobWriter adapts the runner progress reporter to the job's event log,
@@ -332,11 +395,11 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	s.logf("listening on %s (state %s, %d workers, queue %d)", addr, s.opts.StateDir, s.opts.Workers, s.opts.MaxQueue)
+	s.log.Info("listening", "addr", addr, "state", s.opts.StateDir, "workers", s.opts.Workers, "queue", s.opts.MaxQueue)
 
 	select {
 	case <-ctx.Done():
-		s.logf("draining: %v", context.Cause(ctx))
+		s.log.Info("draining", "cause", fmt.Sprint(context.Cause(ctx)))
 		shCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainGrace)
 		defer cancel()
 		_ = srv.Shutdown(shCtx)
@@ -355,10 +418,12 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 //	GET    /v1/jobs/{key}      job status
 //	GET    /v1/jobs/{key}/result  stored artifact bytes (byte-identical)
 //	GET    /v1/jobs/{key}/events  SSE: status changes + progress lines
+//	GET    /v1/jobs/{key}/trace   request span tree (?format=chrome → Perfetto)
+//	GET    /v1/jobs/{key}/profile CPU-profile artifact (submit with ?profile=cpu)
 //	DELETE /v1/jobs/{key}      remove this waiter (cancel when last)
 //	GET    /v1/queue           queue + store snapshot
 //	GET    /healthz            liveness
-//	GET    /metrics            text metrics exposition
+//	GET    /metrics            Prometheus text exposition
 //	GET    /debug/pprof/       live profiling
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -367,13 +432,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{key}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{key}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{key}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{key}/profile", s.handleProfile)
 	mux.HandleFunc("DELETE /v1/jobs/{key}", s.handleCancel)
 	mux.HandleFunc("GET /v1/queue", s.handleQueue)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.write(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -387,13 +454,17 @@ func (s *Server) Handler() http.Handler {
 // submitResponse is the body of a submit's 200/202. Waiter is this
 // submitter's private cancellation token: job keys are shared across
 // tenants (coalescing), so DELETE requires the token, not just the key.
+// TraceID is the id every log line, span and Perfetto slice for this
+// request carries; it is echoed in the X-Vcoma-Trace response header.
 type submitResponse struct {
-	Key    string `json:"key"`
-	Name   string `json:"name"`
-	State  string `json:"state"`
-	Waiter string `json:"waiter_id,omitempty"`
-	Result string `json:"result_url"`
-	Events string `json:"events_url"`
+	Key     string `json:"key"`
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Waiter  string `json:"waiter_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	Result  string `json:"result_url"`
+	Events  string `json:"events_url"`
+	Trace   string `json:"trace_url,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -436,20 +507,38 @@ func (s *Server) retryAfter() string {
 var errJournal = errors.New("serve: journal write failed")
 
 // admit runs one resolved spec through the store fast path and the queue,
-// journaling fresh admissions. Shared by submit and sweep.
+// journaling fresh admissions. Shared by submit and sweep. Every admission
+// mints a trace; when the request coalesces onto an in-flight job, the
+// minted trace is abandoned (ended as coalesced) and the response carries
+// the job's original trace id — one key, one trace, every rider visible as
+// a coalesce-attach span on it.
 func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
 	key := spec.Key()
+	spec.Trace = obs.NewTrace(obs.NewTraceID())
+	spec.Root = spec.Trace.StartSpan("request")
+	spec.Root.SetAttr("name", spec.Name())
+	spec.Root.SetAttr("tenant", spec.Tenant)
+	spec.Root.SetAttr("priority", spec.Priority.String())
 	resp := submitResponse{
-		Key:    string(key),
-		Name:   spec.Name(),
-		Result: "/v1/jobs/" + string(key) + "/result",
-		Events: "/v1/jobs/" + string(key) + "/events",
+		Key:     string(key),
+		Name:    spec.Name(),
+		TraceID: string(spec.Trace.ID()),
+		Result:  "/v1/jobs/" + string(key) + "/result",
+		Events:  "/v1/jobs/" + string(key) + "/events",
+		Trace:   "/v1/jobs/" + string(key) + "/trace",
 	}
+	al := s.log.With("trace_id", resp.TraceID, "job_key", string(key), "tenant", spec.Tenant)
 
+	admitSp := spec.Root.StartChild("admit")
 	// Fast path: the artifact already exists — answer without queueing.
 	if _, ok := s.store.GetRaw(key); ok {
 		s.metrics.storeHits.Add(1)
+		admitSp.SetAttr("outcome", "store-hit")
+		admitSp.End()
+		spec.Root.SetAttr("outcome", "store-hit")
+		spec.Root.End()
 		resp.State = StateDone.String()
+		al.Info("submit", "name", spec.Name(), "outcome", "store-hit")
 		return resp, http.StatusOK, nil
 	}
 
@@ -457,8 +546,11 @@ func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
 	// lose the job. The accept is fsync'd before the queue can even start
 	// it — a worker's "done" can then never precede it in the log — and a
 	// journal failure refuses the job instead of accepting it undurably.
-	if err := s.journalAccept(key, req); err != nil {
-		s.logf("journal: %v", err)
+	jsp := admitSp.StartChild("journal-fsync")
+	err := s.journalAccept(key, req)
+	jsp.End()
+	if err != nil {
+		al.Error("journal accept", "error", err.Error())
 		return resp, 0, fmt.Errorf("%w: %v", errJournal, err)
 	}
 	j, waiter, outcome, err := s.queue.Submit(spec)
@@ -466,6 +558,7 @@ func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
 		// Not admitted after all: retire the speculative accept so a
 		// restart does not resurrect a job the client was refused.
 		s.journalRetire(key, "cancel")
+		al.Warn("submit rejected", "name", spec.Name(), "error", err.Error())
 		return resp, 0, err
 	}
 	s.metrics.submits.Add(1)
@@ -473,16 +566,36 @@ func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
 	switch outcome {
 	case OutcomeDone:
 		s.journalRetire(key, "done")
+		admitSp.SetAttr("outcome", "done-retained")
+		admitSp.End()
+		spec.Root.SetAttr("outcome", "done-retained")
+		spec.Root.End()
 		resp.State = StateDone.String()
+		al.Info("submit", "name", spec.Name(), "outcome", "done-retained")
 		return resp, http.StatusOK, nil
 	case OutcomeCoalesced:
 		// The duplicate accept record is harmless: replay tracks liveness
 		// per key, and the job's eventual retirement covers every accept.
 		s.metrics.coalesced.Add(1)
+		admitSp.SetAttr("outcome", "coalesced")
+		admitSp.End()
+		spec.Root.SetAttr("outcome", "coalesced")
+		spec.Root.End()
+		// The coalesce-attach span on the job's trace is the surviving
+		// record; hand the client the id it can actually fetch spans under.
+		if id := j.TraceID(); id != "" {
+			resp.TraceID = string(id)
+		}
 		resp.State = j.State().String()
+		al.Info("submit", "name", spec.Name(), "outcome", "coalesced", "joined_trace_id", resp.TraceID)
 		return resp, http.StatusAccepted, nil
 	default:
+		// The queue owns the trace now; the root span stays open until the
+		// job retires.
+		admitSp.SetAttr("outcome", "queued")
+		admitSp.End()
 		resp.State = StateQueued.String()
+		al.Info("submit", "name", spec.Name(), "outcome", "queued", "priority", spec.Priority.String())
 		return resp, http.StatusAccepted, nil
 	}
 }
@@ -505,8 +618,26 @@ func (s *Server) rejectStatus(w http.ResponseWriter, err error) {
 	}
 }
 
+// parseProfile validates the opt-in ?profile= submit flag: "cpu" asks for a
+// CPU-profile artifact next to the result, empty means none.
+func parseProfile(r *http.Request) (bool, error) {
+	switch r.URL.Query().Get("profile") {
+	case "":
+		return false, nil
+	case "cpu":
+		return true, nil
+	default:
+		return false, fmt.Errorf("serve: unknown profile %q (want cpu)", r.URL.Query().Get("profile"))
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining429(w) {
+		return
+	}
+	profile, err := parseProfile(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var req Request
@@ -519,11 +650,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	spec.Profile = profile
 	resp, status, err := s.admit(req, spec)
 	if err != nil {
 		s.rejectStatus(w, err)
 		return
 	}
+	w.Header().Set("X-Vcoma-Trace", resp.TraceID)
 	writeJSON(w, status, resp)
 }
 
@@ -653,6 +786,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j, ok := s.queue.Get(key); ok {
+		// A queued job whose last waiter just left went terminal without a
+		// worker ever seeing it; persist its trace here.
+		if j.State() == StateCanceled {
+			s.writeTrace(j)
+			s.jobLog(j).Info("job canceled while queued", "name", j.Spec.Name())
+		}
 		writeJSON(w, http.StatusOK, j.Snapshot())
 		return
 	}

@@ -111,12 +111,16 @@ func jobState(t *testing.T, base, key string) string {
 	return st.State
 }
 
+// metricValue scrapes one series from /metrics by its internal registry
+// name ("serve/coalesced"), translated to the exposition name the same way
+// the server renders it.
 func metricValue(t *testing.T, base, name string) float64 {
 	t.Helper()
 	_, body := get(t, base+"/metrics")
+	pn := promName(name)
 	for _, line := range strings.Split(string(body), "\n") {
 		var v float64
-		if n, _ := fmt.Sscanf(line, name+" %g", &v); n == 1 {
+		if n, _ := fmt.Sscanf(line, pn+" %g", &v); n == 1 {
 			return v
 		}
 	}

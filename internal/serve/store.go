@@ -68,6 +68,13 @@ func OpenStore(dir string, maxBytes int64) (*Store, error) {
 // write results straight into the store.
 func (s *Store) Cache() *runner.Cache { return s.cache }
 
+// ProfilePath returns where key's optional CPU-profile sidecar lives: next
+// to the artifact, with the .json suffix swapped for .cpuprofile (so reindex
+// and the LRU never mistake it for an artifact).
+func (s *Store) ProfilePath(key runner.Key) string {
+	return strings.TrimSuffix(s.cache.EntryPath(key), ".json") + ".cpuprofile"
+}
+
 // reindex scans the cache directory and seeds the LRU from file mtimes
 // (oldest = least recent). Only the cache's own two-hex-digit shard layout
 // is consulted; quarantine and metrics sidecars are skipped.
@@ -177,6 +184,9 @@ func (s *Store) evictLocked(keep runner.Key) {
 		s.removeLocked(el)
 		if err := s.cache.Remove(e.key); err == nil {
 			s.evicted++
+			// The profile sidecar rides its artifact: best-effort removal so
+			// eviction never strands an orphaned .cpuprofile on disk.
+			os.Remove(s.ProfilePath(e.key))
 		}
 	}
 }

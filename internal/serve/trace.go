@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+
+	"vcoma/internal/obs"
+	"vcoma/internal/runner"
+)
+
+// Per-job trace persistence. When a job retires, its request trace is
+// written twice under StateDir/traces: <key>.spans.json (the span tree the
+// /trace endpoint serves, exactly) and <key>.trace.json (the same spans as a
+// Chrome/Perfetto trace-event file, loadable into the viewer next to the
+// simulator's own per-node dumps). Live jobs serve their tree from memory;
+// the files make traces outlive done-retention and restarts.
+
+// traceRetention bounds how many trace file pairs StateDir/traces keeps;
+// older pairs are pruned oldest-first. Matches the queue's done-retention
+// scale rather than the (much larger) artifact store bound, because traces
+// describe requests, not results.
+const traceRetention = doneRetention
+
+func (s *Server) traceDir() string {
+	return filepath.Join(s.opts.StateDir, "traces")
+}
+
+func (s *Server) spanPath(key runner.Key) string {
+	return filepath.Join(s.traceDir(), string(key)+".spans.json")
+}
+
+func (s *Server) chromePath(key runner.Key) string {
+	return filepath.Join(s.traceDir(), string(key)+".trace.json")
+}
+
+// writeTrace persists a retired job's trace files. Failures are logged, not
+// fatal: tracing is observational and must never fail a job that simulated
+// correctly.
+func (s *Server) writeTrace(j *Job) {
+	tr := j.Trace()
+	if tr == nil {
+		return
+	}
+	if err := os.MkdirAll(s.traceDir(), 0o755); err != nil {
+		s.log.Warn("trace dir", "error", err.Error())
+		return
+	}
+	tree := tr.Export()
+	b, err := json.MarshalIndent(tree, "", "  ")
+	if err == nil {
+		err = os.WriteFile(s.spanPath(j.Key), append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		s.log.Warn("trace write", "trace_id", string(tr.ID()), "job_key", string(j.Key), "error", err.Error())
+		return
+	}
+	// The Perfetto rendering: a fresh tracer holding just this request's
+	// track (pid 0 = the service, tid 1 = the request).
+	ct := obs.NewTracer(4096, "")
+	tr.AppendChrome(ct, 0, 1)
+	if err := ct.WriteFile(s.chromePath(j.Key), "vcoma-serve request "+string(tr.ID())); err != nil {
+		s.log.Warn("trace write", "trace_id", string(tr.ID()), "job_key", string(j.Key), "error", err.Error())
+	}
+	s.pruneTraces()
+}
+
+// pruneTraces drops the oldest trace files once the directory exceeds
+// retention. Best-effort: a failed scan just means pruning waits for the
+// next retirement.
+func (s *Server) pruneTraces() {
+	ents, err := os.ReadDir(s.traceDir())
+	if err != nil {
+		return
+	}
+	// Two files per job; prune by span-dump count so pairs leave together.
+	type aged struct {
+		key   string
+		mtime int64
+	}
+	var dumps []aged
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".json" {
+			continue
+		}
+		const suffix = ".spans.json"
+		if len(name) <= len(suffix) || name[len(name)-len(suffix):] != suffix {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		dumps = append(dumps, aged{key: name[:len(name)-len(suffix)], mtime: info.ModTime().UnixNano()})
+	}
+	if len(dumps) <= traceRetention {
+		return
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].mtime < dumps[j].mtime })
+	for _, d := range dumps[:len(dumps)-traceRetention] {
+		os.Remove(filepath.Join(s.traceDir(), d.key+".spans.json"))
+		os.Remove(filepath.Join(s.traceDir(), d.key+".trace.json"))
+	}
+}
+
+// handleTrace serves a job's span tree: live jobs (queued, running, or still
+// in done-retention) export straight from memory — open spans show their
+// duration so far — and retired jobs fall back to the persisted span dump.
+// ?format=chrome serves the Perfetto trace-event rendering instead.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key, j, ok := s.lookup(r)
+	chrome := r.URL.Query().Get("format") == "chrome"
+	if ok {
+		if tr := j.Trace(); tr != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Vcoma-Trace", string(tr.ID()))
+			if chrome {
+				ct := obs.NewTracer(4096, "")
+				tr.AppendChrome(ct, 0, 1)
+				_ = ct.WriteJSON(w, "vcoma-serve request "+string(tr.ID()))
+				return
+			}
+			writeJSON(w, http.StatusOK, tr.Export())
+			return
+		}
+	}
+	path := s.spanPath(key)
+	if chrome {
+		path = s.chromePath(key)
+	}
+	if b, err := os.ReadFile(path); err == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("serve: no trace for job %.16s…", key))
+}
+
+// handleProfile serves the CPU-profile artifact captured for a job submitted
+// with ?profile=cpu, once its run is over.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("key")
+	if !validKey(raw) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", raw))
+		return
+	}
+	b, err := os.ReadFile(s.store.ProfilePath(runner.Key(raw)))
+	if err != nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no CPU profile for this job (submit with ?profile=cpu)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+raw[:16]+`.cpuprofile"`)
+	w.Write(b)
+}
+
+// startProfile begins the opt-in CPU profile for a job. The Go runtime
+// allows one CPU profile per process, so concurrent profiled jobs race for
+// a single slot; the loser runs unprofiled (logged, never failed). Returns
+// the stop func, or nil when no profile was started.
+func (s *Server) startProfile(jl *slog.Logger, key runner.Key, sp *obs.Span) func() {
+	if !s.profiling.CompareAndSwap(false, true) {
+		jl.Warn("cpu profile skipped: another job is profiling")
+		return nil
+	}
+	// The profile lands in the store's shard directory for the key, which
+	// the store itself only creates at put time — after the run.
+	path := s.store.ProfilePath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.profiling.Store(false)
+		jl.Warn("cpu profile skipped", "error", err.Error())
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		s.profiling.Store(false)
+		jl.Warn("cpu profile skipped", "error", err.Error())
+		return nil
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		s.profiling.Store(false)
+		jl.Warn("cpu profile skipped", "error", err.Error())
+		return nil
+	}
+	sp.SetAttr("profile", "cpu")
+	return func() {
+		pprof.StopCPUProfile()
+		err := f.Close()
+		s.profiling.Store(false)
+		if err != nil {
+			jl.Warn("cpu profile close", "error", err.Error())
+			return
+		}
+		s.metrics.profiles.Add(1)
+		jl.Info("cpu profile written", "path", path)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"vcoma/internal/cli"
+	"vcoma/internal/obs"
+)
+
+// syncBuf captures the server's log from concurrent goroutines.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// spanNames flattens a span tree into the set of span names it holds.
+func spanNames(nodes []obs.SpanNode, into map[string]bool) {
+	for _, n := range nodes {
+		into[n.Name] = true
+		spanNames(n.Children, into)
+	}
+}
+
+// TestServiceTraceEndToEnd is the tentpole acceptance criterion: one
+// submitted job yields the same trace id in the 202 body, the X-Vcoma-Trace
+// header, every structured log line about the job, the /trace span tree —
+// which holds the full accept-to-simulate chain — and the persisted
+// Perfetto file.
+func TestServiceTraceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	logBuf := &syncBuf{}
+	_, ts, _ := testServer(t, dir, func(o *Options) {
+		o.Log = cli.NewLogger(logBuf, "vcoma-serve", "json", slog.LevelDebug)
+	})
+
+	code, body, hdr := post(t, ts.URL+"/v1/jobs", Request{Bench: "RADIX", Scheme: "l0", Scale: "test", Tenant: "tracer"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, body)
+	}
+	var resp submitResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID == "" || !obs.ValidTraceID(resp.TraceID) {
+		t.Fatalf("202 carried no valid trace id: %q", resp.TraceID)
+	}
+	if got := hdr.Get("X-Vcoma-Trace"); got != resp.TraceID {
+		t.Fatalf("X-Vcoma-Trace %q != body trace_id %q", got, resp.TraceID)
+	}
+	if resp.Trace == "" {
+		t.Fatal("202 carried no trace_url")
+	}
+	waitFor(t, "job done", func() bool { return jobState(t, ts.URL, resp.Key) == "done" })
+
+	// The status snapshot names the same trace.
+	var st Status
+	_, stBody := get(t, ts.URL+"/v1/jobs/"+resp.Key)
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != resp.TraceID {
+		t.Fatalf("status trace_id %q != submit trace_id %q", st.TraceID, resp.TraceID)
+	}
+
+	// The span tree is served under the same id and holds the whole chain
+	// from HTTP accept to the simulation pass.
+	code, tb := get(t, ts.URL+resp.Trace)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", resp.Trace, code, tb)
+	}
+	var tree obs.SpanTree
+	if err := json.Unmarshal(tb, &tree); err != nil {
+		t.Fatalf("span tree is not valid JSON: %v", err)
+	}
+	if string(tree.TraceID) != resp.TraceID {
+		t.Fatalf("span tree trace_id %q != submit trace_id %q", tree.TraceID, resp.TraceID)
+	}
+	names := map[string]bool{}
+	spanNames(tree.Spans, names)
+	for _, want := range []string{"request", "admit", "journal-fsync", "queue-wait", "run", "build", "simulate"} {
+		if !names[want] {
+			t.Errorf("span tree lacks the %s span (has %v)", want, names)
+		}
+	}
+
+	// A Perfetto-loadable trace file is persisted next to the spans and
+	// carries the id.
+	chrome, err := os.ReadFile(filepath.Join(dir, "traces", resp.Key+".trace.json"))
+	if err != nil {
+		t.Fatalf("persisted Perfetto trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("Perfetto trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Perfetto trace holds no events")
+	}
+	if !bytes.Contains(chrome, []byte(resp.TraceID)) {
+		t.Fatal("Perfetto trace lacks the trace id")
+	}
+
+	// A plain submit must not have produced a profile artifact.
+	if code, _ := get(t, ts.URL+"/v1/jobs/"+resp.Key+"/profile"); code != http.StatusNotFound {
+		t.Fatalf("unprofiled job serves a profile: %d", code)
+	}
+
+	// Every log line about this job carries the trace id — the grep contract
+	// operators rely on.
+	jobLines := 0
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, `"job_key":"`+resp.Key+`"`) {
+			continue
+		}
+		jobLines++
+		if !strings.Contains(line, `"trace_id":"`+resp.TraceID+`"`) {
+			t.Errorf("job log line lacks trace_id: %s", line)
+		}
+	}
+	if jobLines < 2 {
+		t.Fatalf("expected at least start+done log lines for the job, got %d", jobLines)
+	}
+}
+
+// TestServiceProfileCapture pins the opt-in CPU-profile artifact: a submit
+// with ?profile=cpu stores a pprof profile next to the result (created
+// before the store's shard directory exists — a regression), served by
+// GET /v1/jobs/{key}/profile, and counted by vcoma_serve_profiles.
+func TestServiceProfileCapture(t *testing.T) {
+	_, ts, _ := testServer(t, t.TempDir(), nil)
+
+	code, body, _ := post(t, ts.URL+"/v1/jobs?profile=cpu", Request{Bench: "RADIX", Scheme: "l1", Scale: "test"})
+	if code != http.StatusAccepted {
+		t.Fatalf("profiled submit: %d: %s", code, body)
+	}
+	var resp submitResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "profiled job done", func() bool { return jobState(t, ts.URL, resp.Key) == "done" })
+
+	code, prof := get(t, ts.URL+"/v1/jobs/"+resp.Key+"/profile")
+	if code != http.StatusOK {
+		t.Fatalf("GET profile: %d: %s", code, prof)
+	}
+	if len(prof) == 0 {
+		t.Fatal("profile artifact is empty")
+	}
+	if got := metricValue(t, ts.URL, "serve/profiles"); got != 1 {
+		t.Fatalf("serve/profiles = %g, want 1", got)
+	}
+
+	// An unknown profile kind is rejected before the body is even decoded.
+	code, _, _ = post(t, ts.URL+"/v1/jobs?profile=heap", Request{Bench: "RADIX", Scheme: "l1", Scale: "test"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("profile=heap: %d, want 400", code)
+	}
+}

@@ -104,12 +104,20 @@ type Engine struct {
 
 	sampler *obs.Sampler
 	tracer  *obs.Tracer
+	span    *obs.Span
 
 	// stepObs observes every executed event in global execution order
 	// (nil by default). internal/check digests the architectural event
 	// stream through it; the callback must be purely observational.
 	stepObs func(proc int, ev trace.Event)
 }
+
+// SetSpan attaches a request-scoped trace span to the run. On completion
+// the engine annotates it with the simulated cycle count and the number of
+// retired events — the deepest link in the one-trace-id chain from HTTP
+// accept down to the simulated cycle. Purely observational: a nil span (the
+// default) costs one nil check, and annotating never changes the result.
+func (e *Engine) SetSpan(s *obs.Span) { e.span = s }
 
 // SetStepObserver registers a callback invoked after each executed event
 // (memory references, compute, and synchronization), in the engine's global
@@ -213,6 +221,8 @@ func (e *Engine) Run() (Result, error) {
 		}
 	}
 	e.sampler.Finish(res.ExecTime)
+	e.span.SetAttrUint("exec_cycles", res.ExecTime)
+	e.span.SetAttrUint("events", res.Events)
 	return res, nil
 }
 

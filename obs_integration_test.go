@@ -2,9 +2,13 @@ package vcoma
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
+
+	"vcoma/internal/experiments"
+	"vcoma/internal/obs"
 )
 
 // obsRun is a RADIX test-scale instrumented run shared by the acceptance
@@ -163,5 +167,51 @@ func TestObsInstrumentationIsObservational(t *testing.T) {
 	}
 	if plain.Machine.TotalStats() != inst.Machine.TotalStats() {
 		t.Fatal("instrumentation changed machine counters")
+	}
+}
+
+// TestObsSpanInstrumentationIsObservational extends the contract to request
+// tracing: a span riding the context through the experiment pass — the
+// serve path threads one through every job — must leave the simulation
+// cycle-identical, while still capturing the build and simulate phases.
+func TestObsSpanInstrumentationIsObservational(t *testing.T) {
+	bench, err := BenchmarkByName("RADIX", ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := experiments.SimulateCtx(context.Background(), benchConfig(), bench, ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace(obs.NewTraceID())
+	root := tr.StartSpan("request")
+	ctx := obs.WithSpan(obs.WithTrace(context.Background(), tr), root)
+	traced, err := experiments.SimulateCtx(ctx, benchConfig(), bench, ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	pj, _ := json.Marshal(plain)
+	tj, _ := json.Marshal(traced)
+	if !bytes.Equal(pj, tj) {
+		t.Fatalf("span instrumentation changed the run:\nplain:  %s\ntraced: %s", pj, tj)
+	}
+
+	tree := tr.Export()
+	names := map[string]bool{}
+	var walk func(nodes []obs.SpanNode)
+	walk = func(nodes []obs.SpanNode) {
+		for _, n := range nodes {
+			names[n.Name] = true
+			walk(n.Children)
+		}
+	}
+	walk(tree.Spans)
+	for _, want := range []string{"request", "build", "simulate"} {
+		if !names[want] {
+			t.Errorf("traced pass produced no %s span (has %v)", want, names)
+		}
 	}
 }

@@ -1,0 +1,111 @@
+// Command benchdiff compares two benchmark snapshots (BENCH_core.json or
+// BENCH_serve.json) scenario by scenario and fails when the new snapshot
+// regresses past a threshold.
+//
+//	go run ./scripts/benchdiff old.json new.json              # ±10% default
+//	go run ./scripts/benchdiff -threshold 25 old.json new.json
+//
+// Scenarios are matched by name; a scenario present in only one snapshot is
+// reported but never fails the diff (coverage changes are not regressions).
+// The compared quantity is ns_op (core snapshots) or ms (serve snapshots).
+// Exit status: 0 clean, 1 at least one regression beyond the threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type scenario struct {
+	Name string `json:"name"`
+	// Exactly one of these is set depending on the snapshot flavor.
+	NsOp   float64 `json:"ns_op"`
+	Millis float64 `json:"ms"`
+}
+
+func (s scenario) value() (float64, string) {
+	if s.NsOp != 0 {
+		return s.NsOp, "ns/op"
+	}
+	return s.Millis, "ms"
+}
+
+type snapshot struct {
+	Schema    string     `json:"schema"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+func load(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldSnap, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if oldSnap.Schema != newSnap.Schema {
+		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: %q vs %q\n", oldSnap.Schema, newSnap.Schema)
+		os.Exit(2)
+	}
+
+	byName := make(map[string]scenario, len(oldSnap.Scenarios))
+	for _, s := range oldSnap.Scenarios {
+		byName[s.Name] = s
+	}
+	regressions := 0
+	for _, n := range newSnap.Scenarios {
+		o, ok := byName[n.Name]
+		if !ok {
+			fmt.Printf("NEW   %-24s (no baseline)\n", n.Name)
+			continue
+		}
+		delete(byName, n.Name)
+		ov, unit := o.value()
+		nv, _ := n.value()
+		if ov == 0 {
+			fmt.Printf("SKIP  %-24s baseline is zero\n", n.Name)
+			continue
+		}
+		pct := (nv - ov) / ov * 100
+		switch {
+		case pct > *threshold:
+			regressions++
+			fmt.Printf("REGR  %-24s %.0f -> %.0f %s (%+.1f%%, threshold %.0f%%)\n", n.Name, ov, nv, unit, pct, *threshold)
+		case pct < -*threshold:
+			fmt.Printf("FAST  %-24s %.0f -> %.0f %s (%+.1f%%)\n", n.Name, ov, nv, unit, pct)
+		default:
+			fmt.Printf("ok    %-24s %.0f -> %.0f %s (%+.1f%%)\n", n.Name, ov, nv, unit, pct)
+		}
+	}
+	for name := range byName {
+		fmt.Printf("GONE  %-24s (not in new snapshot)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d regression(s) beyond ±%.0f%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("no regressions beyond the threshold")
+}

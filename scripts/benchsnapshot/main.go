@@ -107,11 +107,11 @@ func (c client) simsExecuted() (uint64, error) {
 	}
 	var n uint64
 	for _, line := range bytes.Split(data, []byte("\n")) {
-		if _, err := fmt.Sscanf(string(line), "serve/sims.executed %d", &n); err == nil {
+		if _, err := fmt.Sscanf(string(line), "vcoma_serve_sims_executed %d", &n); err == nil {
 			return n, nil
 		}
 	}
-	return 0, fmt.Errorf("serve/sims.executed not exposed")
+	return 0, fmt.Errorf("vcoma_serve_sims_executed not exposed")
 }
 
 func cell(scheme string, seed uint64) string {

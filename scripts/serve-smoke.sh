@@ -1,10 +1,13 @@
 #!/bin/sh
 # Serve smoke: exercise vcoma-serve end to end through real HTTP at test
-# scale. Proves the service acceptance path: a SIGTERM mid-job drains with
-# exit 143 and leaves the job pending in the journal, a restarted server
-# resumes it and serves a result byte-identical to an uninterrupted run,
-# repeat submits coalesce onto the stored artifact instead of re-simulating,
-# and an over-budget flood is rejected with 429 + Retry-After.
+# scale. Proves the service acceptance path: one submit's trace id shows up
+# in the 202 header/body, the span tree, the persisted Perfetto file and
+# the structured log; /metrics is well-formed Prometheus text exposition;
+# a SIGTERM mid-job drains with exit 143 and leaves the job pending in the
+# journal, a restarted server resumes it and serves a result byte-identical
+# to an uninterrupted run, repeat submits coalesce onto the stored artifact
+# instead of re-simulating, and an over-budget flood is rejected with
+# 429 + Retry-After.
 #
 # Runs in a scratch directory; pass one as $1 (default: ./serve-smoke.tmp).
 set -eu
@@ -46,18 +49,53 @@ wait_state() {
 }
 
 echo "== reference: uninterrupted server computes the cell"
-bin/vcoma-serve -addr "$ADDR" -state state-ref -workers 1 > ref-server.log 2>&1 &
+bin/vcoma-serve -addr "$ADDR" -state state-ref -workers 1 -log-format json > ref-server.log 2>&1 &
 REF=$!
 wait_http "$BASE/healthz"
-KEY=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/jobs" | field key)
+curl -fsS -D submit-headers.txt -X POST -d "$BODY" "$BASE/v1/jobs" > submit.json
+KEY=$(field key < submit.json)
 [ -n "$KEY" ] || { echo "FAIL: submit returned no key" >&2; exit 1; }
+TID=$(field trace_id < submit.json)
+[ -n "$TID" ] || { echo "FAIL: submit returned no trace_id" >&2; exit 1; }
+grep -qi "^x-vcoma-trace: *$TID" submit-headers.txt \
+    || { echo "FAIL: X-Vcoma-Trace header missing or != body trace_id" >&2; exit 1; }
 wait_state "$KEY" done
 curl -fsS "$BASE/v1/jobs/$KEY/result" > ref.json
+
+echo "== tracing: the accept's trace id names the span tree and log lines"
+curl -fsS "$BASE/v1/jobs/$KEY/trace" > trace.json
+grep -q "\"trace_id\": *\"$TID\"" trace.json \
+    || { echo "FAIL: span tree trace_id != submit trace_id $TID" >&2; cat trace.json >&2; exit 1; }
+for span in request admit journal-fsync queue-wait run simulate; do
+    grep -q "\"name\": *\"$span\"" trace.json \
+        || { echo "FAIL: span tree missing $span span" >&2; cat trace.json >&2; exit 1; }
+done
+[ -f "state-ref/traces/$KEY.trace.json" ] \
+    || { echo "FAIL: no Perfetto trace file persisted" >&2; exit 1; }
+grep -q "$TID" "state-ref/traces/$KEY.trace.json" \
+    || { echo "FAIL: Perfetto file lacks the trace id" >&2; exit 1; }
+grep -q "\"trace_id\":\"$TID\"" ref-server.log \
+    || { echo "FAIL: server log lines lack the trace id" >&2; exit 1; }
+
+echo "== metrics: Prometheus exposition is well-formed"
+curl -fsS "$BASE/metrics" > metrics.txt
+grep -q '^# HELP vcoma_serve_sims_executed ' metrics.txt \
+    || { echo "FAIL: /metrics missing HELP line" >&2; exit 1; }
+grep -q '^# TYPE vcoma_serve_sims_executed counter$' metrics.txt \
+    || { echo "FAIL: /metrics missing TYPE line" >&2; exit 1; }
+grep -q '^# TYPE vcoma_serve_lat_run_ms histogram$' metrics.txt \
+    || { echo "FAIL: /metrics missing histogram TYPE" >&2; exit 1; }
+grep -q '^vcoma_serve_lat_run_ms_bucket{le="+Inf"} ' metrics.txt \
+    || { echo "FAIL: /metrics histogram lacks +Inf bucket" >&2; exit 1; }
+grep -q '^vcoma_serve_lat_run_ms_sum ' metrics.txt \
+    || { echo "FAIL: /metrics histogram lacks _sum" >&2; exit 1; }
+grep -q '^vcoma_serve_lat_run_ms_count ' metrics.txt \
+    || { echo "FAIL: /metrics histogram lacks _count" >&2; exit 1; }
 
 echo "== coalescing: a repeat submit is served from the store, no re-run"
 st=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/jobs" | field state)
 [ "$st" = done ] || { echo "FAIL: repeat submit state $st" >&2; exit 1; }
-sims=$(curl -fsS "$BASE/metrics" | sed -n 's|^serve/sims.executed ||p')
+sims=$(curl -fsS "$BASE/metrics" | sed -n 's|^vcoma_serve_sims_executed ||p')
 [ "$sims" = 1 ] || { echo "FAIL: sims.executed=$sims, want 1" >&2; exit 1; }
 
 echo "== SIGTERM on idle server drains with exit 143"
