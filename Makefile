@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke bench-snapshot bench-snapshot-core clean
+.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke bench-snapshot bench-snapshot-core perf-gate clean
 
 all: check
 
@@ -58,6 +58,16 @@ bench-snapshot:
 bench-snapshot-core:
 	$(GO) run ./scripts/benchcore > BENCH_core.json
 	cat BENCH_core.json
+
+# Perf gate: re-measure the core hot paths and fail on a >10% ns_op
+# regression of the sim_run_* / tlb_access_* scenarios against the committed
+# BENCH_core.json. Other scenarios (cache_read, generator_throughput) are
+# printed but advisory. After an intentional perf change, refresh the
+# baseline with `make bench-snapshot-core` and commit it.
+perf-gate:
+	$(GO) run ./scripts/benchcore > BENCH_core.new.json
+	$(GO) run ./scripts/benchdiff -only '^(sim_run_|tlb_access_)' BENCH_core.json BENCH_core.new.json
+	rm -f BENCH_core.new.json
 
 # The full local gate: what CI runs, minus the long benchmark artifacts.
 check: vet build

@@ -73,7 +73,12 @@ type Cache struct {
 	// Per-line arrays, set-major: index = set*ways + way.
 	tags  []uint64 // block-aligned address
 	state []uint8
-	age   []uint32 // LRU age within the set; 0 = most recent
+	age   []uint8 // LRU age within the set; 0 = most recent, ways = fresh
+
+	// dirtyScratch backs InvalidateRange's result between calls, so the
+	// inclusion-maintenance path (run on every SLC victim) allocates
+	// nothing in steady state.
+	dirtyScratch []uint64
 
 	stats Stats
 }
@@ -84,6 +89,10 @@ func New(cfg config.CacheConfig) *Cache {
 	sets := cfg.Sets()
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two (config not validated?)", sets))
+	}
+	if cfg.Assoc > 255 {
+		// Ages are uint8 with "fresh" = ways; no machine config comes close.
+		panic(fmt.Sprintf("cache: associativity %d exceeds LRU age range", cfg.Assoc))
 	}
 	blockBits := uint(0)
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
@@ -97,7 +106,7 @@ func New(cfg config.CacheConfig) *Cache {
 		writeBack: cfg.WriteBack,
 		tags:      make([]uint64, n),
 		state:     make([]uint8, n),
-		age:       make([]uint32, n),
+		age:       make([]uint8, n),
 	}
 }
 
@@ -151,8 +160,13 @@ func (c *Cache) find(a uint64) int {
 
 // touch marks line i most recently used within its set.
 func (c *Cache) touch(i int) {
-	base := (i / c.ways) * c.ways
 	old := c.age[i]
+	if old == 0 {
+		// Already most recent — repeated hits to the same line (the
+		// common case on bursty reference streams) skip the aging loop.
+		return
+	}
+	base := (i / c.ways) * c.ways
 	for j := base; j < base+c.ways; j++ {
 		if c.age[j] < old {
 			c.age[j]++
@@ -165,7 +179,7 @@ func (c *Cache) touch(i int) {
 // any, else the LRU way.
 func (c *Cache) victimWay(a uint64) int {
 	base := c.setBase(a)
-	lru, lruAge := base, uint32(0)
+	lru, lruAge := base, uint8(0)
 	for i := base; i < base+c.ways; i++ {
 		if c.state[i] == stateInvalid {
 			return i
@@ -198,7 +212,7 @@ func (c *Cache) install(a uint64, i int, dirty bool) Result {
 	// touch ranks every resident line below it; otherwise an install into
 	// an invalid way (age 0) would fail to age its set-mates and LRU
 	// would degenerate into position order.
-	c.age[i] = uint32(c.ways)
+	c.age[i] = uint8(c.ways)
 	c.touch(i)
 	return r
 }
@@ -263,14 +277,17 @@ func (c *Cache) Invalidate(a uint64) (present, dirty bool) {
 // InvalidateRange removes every block of this cache overlapping
 // [a, a+bytes), returning the block addresses that were present and dirty.
 // Used to maintain inclusion when an outer level (larger blocks) evicts or
-// loses a block.
+// loses a block. The returned slice aliases an internal scratch buffer and
+// is only valid until the next InvalidateRange call on this cache.
 func (c *Cache) InvalidateRange(a, bytes uint64) (dirtyBlocks []uint64) {
+	dirtyBlocks = c.dirtyScratch[:0]
 	start := c.BlockAddr(a)
 	for b := start; b < a+bytes; b += c.BlockBytes() {
 		if present, dirty := c.Invalidate(b); present && dirty {
 			dirtyBlocks = append(dirtyBlocks, b)
 		}
 	}
+	c.dirtyScratch = dirtyBlocks
 	return dirtyBlocks
 }
 

@@ -55,9 +55,19 @@ func (e *Entry) AnyHolderExcept(n addr.Node) (addr.Node, bool) {
 
 // Directory is the machine-wide set of directory entries, logically
 // partitioned across home nodes by the home function.
+//
+// Entries are carved out of fixed-capacity chunks rather than allocated
+// one by one: preloading a working set touches thousands of blocks, and
+// per-Entry allocations dominated the simulator's heap profile. A chunk is
+// never reallocated once handed out, so *Entry pointers stay stable for
+// the life of the directory.
 type Directory struct {
 	entries map[uint64]*Entry
+	arena   []Entry // current chunk; full when len == cap
 }
+
+// arenaChunk is the entry-arena chunk size.
+const arenaChunk = 1024
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
@@ -71,7 +81,11 @@ func (d *Directory) Lookup(block uint64) *Entry { return d.entries[block] }
 func (d *Directory) Ensure(block uint64) *Entry {
 	e := d.entries[block]
 	if e == nil {
-		e = &Entry{}
+		if len(d.arena) == cap(d.arena) {
+			d.arena = make([]Entry, 0, arenaChunk)
+		}
+		d.arena = d.arena[:len(d.arena)+1]
+		e = &d.arena[len(d.arena)-1]
 		d.entries[block] = e
 	}
 	return e

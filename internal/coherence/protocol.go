@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vcoma/internal/addr"
 	"vcoma/internal/config"
@@ -338,13 +339,13 @@ func (p *Protocol) remoteWrite(now, t, trans uint64, n, h addr.Node, e *Entry, b
 	}
 
 	// Invalidation path: all holders except the requester, in parallel;
-	// each sends an acknowledgement back to the home.
+	// each sends an acknowledgement back to the home. Iterating the set
+	// bits of the copyset directly visits holders in the same ascending
+	// node order as a full scan without touching the non-holders.
 	tInval := t
 	skippedOne := false
-	for o := addr.Node(0); int(o) < p.g.Nodes(); o++ {
-		if o == n || !e.Holds(o) {
-			continue
-		}
+	for rest := e.Copyset &^ p.bit(n); rest != 0; rest &= rest - 1 {
+		o := addr.Node(bits.TrailingZeros64(rest))
 		if p.bug == BugSkipInvalidate && !skippedOne {
 			// Injected test bug: this holder keeps a stale readable copy.
 			skippedOne = true

@@ -58,7 +58,11 @@ type HomeEngine struct {
 	stats  EngineStats
 	tracer *obs.Tracer
 
+	// seenDirPages backs the DirPagesTouched counter; lastDirPage is a
+	// one-entry memo in front of it, since consecutive directory operations
+	// overwhelmingly resolve within the same directory page.
 	seenDirPages map[int]struct{}
+	lastDirPage  int
 }
 
 // NewHomeEngine builds the engine for node n. The DLB has entries slots in
@@ -79,6 +83,7 @@ func NewHomeEngine(n addr.Node, cfg config.Config, sys *vm.System, entries int, 
 		dlb:          dlb,
 		timing:       cfg.Timing,
 		seenDirPages: make(map[int]struct{}),
+		lastDirPage:  -1,
 	}, nil
 }
 
@@ -120,19 +125,25 @@ func (e *HomeEngine) Translate(v addr.Virtual, critical bool) (addr.DirAddr, uin
 // TranslateAt is Translate with the current simulated time, used to
 // timestamp DLB trace events. Callers without a clock use Translate.
 func (e *HomeEngine) TranslateAt(now uint64, v addr.Virtual, critical bool) (addr.DirAddr, uint64) {
-	home, da := e.sys.DirAddrOf(v)
-	if home != e.node {
-		panic(fmt.Sprintf("core: node %d asked to translate %#x homed at node %d", e.node, uint64(v), home))
+	// One page-table walk serves the home check, the directory address and
+	// the Reference bit (the walk, not three separate Ensure lookups).
+	pg := e.sys.Ensure(v)
+	if pg.Home != e.node {
+		panic(fmt.Sprintf("core: node %d asked to translate %#x homed at node %d", e.node, uint64(v), pg.Home))
 	}
-	e.sys.SetReferenced(v)
+	da := e.g.DirAddrOf(pg.DirPage, v)
+	pg.Referenced = true
 
 	e.stats.Lookups++
 	if critical {
 		e.stats.CriticalLookups++
 	}
-	if _, seen := e.seenDirPages[e.g.DirPageOf(da)]; !seen {
-		e.seenDirPages[e.g.DirPageOf(da)] = struct{}{}
-		e.stats.DirPagesTouched++
+	if dp := e.g.DirPageOf(da); dp != e.lastDirPage {
+		if _, seen := e.seenDirPages[dp]; !seen {
+			e.seenDirPages[dp] = struct{}{}
+			e.stats.DirPagesTouched++
+		}
+		e.lastDirPage = dp
 	}
 
 	if e.dlb.Access(e.g.Page(v)) {

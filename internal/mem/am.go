@@ -113,8 +113,13 @@ func (m *AM) find(block uint64) int {
 }
 
 func (m *AM) touch(i int) {
-	base := (i / m.ways) * m.ways
 	old := m.age[i]
+	if old == 0 {
+		// Already most recent — repeated hits to the same block skip the
+		// aging loop (the dominant pattern on bursty reference streams).
+		return
+	}
+	base := (i / m.ways) * m.ways
 	for j := base; j < base+m.ways; j++ {
 		if m.age[j] < old {
 			m.age[j]++

@@ -13,6 +13,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"vcoma/internal/addr"
@@ -69,27 +70,102 @@ type procState struct {
 	stats   ProcStats
 	done    bool
 	waiting bool // blocked at a lock or barrier
+
+	// Batch-consumption state: when the stream implements
+	// trace.BatchStream, events are pulled thousands at a time and read
+	// from batch by index — per-event stream dispatch disappears from the
+	// hot loop. batcher is nil for plain streams.
+	batcher trace.BatchStream
+	batch   []trace.Event
+	bpos    int
 }
 
+// refill pulls the next batch (or single event, for plain streams) once the
+// local batch runs dry. The in-batch fast path lives inline in step.
+func (p *procState) refill() (trace.Event, bool) {
+	if p.batcher != nil {
+		for {
+			b, ok := p.batcher.NextBatch()
+			if !ok {
+				return trace.Event{}, false
+			}
+			if len(b) > 0 {
+				p.batch, p.bpos = b, 1
+				return b[0], true
+			}
+		}
+	}
+	return p.stream.Next()
+}
+
+// waiter is one queued lock acquirer: who, and the clock it arrived at.
+type waiter struct {
+	proc    int32
+	arrived uint64
+}
+
+// lockState is slice-backed: the FIFO queue is a ring over one backing
+// array (qhead marks the front), so steady-state lock traffic allocates
+// nothing after the first contention.
 type lockState struct {
-	held    bool
-	owner   int
-	queue   []int // waiting processors, FIFO
-	arrival map[int]uint64
+	held  bool
+	owner int32
+	qhead int
+	queue []waiter
 }
 
+func (l *lockState) queueLen() int { return len(l.queue) - l.qhead }
+
+func (l *lockState) push(p int32, arrived uint64) {
+	if l.qhead == len(l.queue) {
+		l.qhead, l.queue = 0, l.queue[:0]
+	}
+	l.queue = append(l.queue, waiter{p, arrived})
+}
+
+func (l *lockState) pop() waiter {
+	w := l.queue[l.qhead]
+	l.qhead++
+	if l.qhead == len(l.queue) {
+		l.qhead, l.queue = 0, l.queue[:0]
+	}
+	return w
+}
+
+// barrierState keeps its arrival list across episodes: a completed barrier
+// resets arrived to length zero instead of being deleted, so the next
+// episode of the same barrier reuses the backing array.
 type barrierState struct {
-	arrived []int
+	arrived []int32
 	latest  uint64
 }
+
+// maxDenseSyncID bounds the dense lock/barrier tables. Workload IDs are
+// small (SPLASH-2 kernels top out near 5000); anything larger or negative
+// falls back to a map so a pathological trace cannot balloon the tables.
+const maxDenseSyncID = 1 << 16
 
 // Engine drives one run. Build with New, run with Run.
 type Engine struct {
 	m        *machine.Machine
 	procs    []procState
-	locks    map[int]*lockState
-	barriers map[int]*barrierState
+	locks    []lockState    // dense, indexed by lock ID
+	barriers []barrierState // dense, indexed by barrier ID
+	locksOv  map[int]*lockState
+	barrsOv  map[int]*barrierState
 	events   uint64
+
+	// sched is a tournament (min) tree over packed (clock << 16 | index)
+	// scheduling keys: leaf schedLeaf+p holds processor p's key (schedIdle
+	// while p is done or blocked), every inner node the minimum of its two
+	// children, so sched[1] is always the key of the processor the
+	// cycle-ordered rule runs next. A clock advance updates one leaf and
+	// replays its root path — O(log P) single-word compares on one small
+	// contiguous array, cheaper per event than either the seed engine's
+	// O(P) pickRunnable scan over procState records or a binary heap's
+	// sift-with-position-maps.
+	sched     []uint64
+	schedLeaf int
 
 	// Watchdog state (see watchdog.go): an optional budget, the context
 	// bounding the run, and the forward-progress trackers the livelock
@@ -138,15 +214,118 @@ func newEngine(m *machine.Machine, streams []trace.Stream) (*Engine, error) {
 	if len(streams) != m.Geometry().Nodes() {
 		return nil, fmt.Errorf("sim: %d streams for %d nodes", len(streams), m.Geometry().Nodes())
 	}
-	e := &Engine{
-		m:        m,
-		locks:    make(map[int]*lockState),
-		barriers: make(map[int]*barrierState),
-	}
+	e := &Engine{m: m}
 	for _, s := range streams {
-		e.procs = append(e.procs, procState{stream: s})
+		p := procState{stream: s}
+		p.batcher, _ = s.(trace.BatchStream)
+		e.procs = append(e.procs, p)
+	}
+	// Every processor starts runnable at clock 0. Leaves pad to a power of
+	// two; unused leaves stay schedIdle and never win.
+	leaf := 1
+	for leaf < len(e.procs) {
+		leaf <<= 1
+	}
+	e.schedLeaf = leaf
+	e.sched = make([]uint64, 2*leaf)
+	for i := range e.sched {
+		e.sched[i] = schedIdle
+	}
+	for i := range e.procs {
+		e.sched[leaf+i] = packSchedKey(0, int32(i))
+	}
+	for n := leaf - 1; n >= 1; n-- {
+		l, r := e.sched[2*n], e.sched[2*n+1]
+		if r < l {
+			l = r
+		}
+		e.sched[n] = l
 	}
 	return e, nil
+}
+
+// lockAt returns the lock table entry for id, creating it on first use.
+func (e *Engine) lockAt(id int) *lockState {
+	if id >= 0 && id < maxDenseSyncID {
+		if id >= len(e.locks) {
+			grown := make([]lockState, id+1)
+			copy(grown, e.locks)
+			e.locks = grown
+		}
+		return &e.locks[id]
+	}
+	if e.locksOv == nil {
+		e.locksOv = make(map[int]*lockState)
+	}
+	l := e.locksOv[id]
+	if l == nil {
+		l = &lockState{}
+		e.locksOv[id] = l
+	}
+	return l
+}
+
+// barrierAt returns the barrier table entry for id, creating it on first use.
+func (e *Engine) barrierAt(id int) *barrierState {
+	if id >= 0 && id < maxDenseSyncID {
+		if id >= len(e.barriers) {
+			grown := make([]barrierState, id+1)
+			copy(grown, e.barriers)
+			e.barriers = grown
+		}
+		return &e.barriers[id]
+	}
+	if e.barrsOv == nil {
+		e.barrsOv = make(map[int]*barrierState)
+	}
+	b := e.barrsOv[id]
+	if b == nil {
+		b = &barrierState{}
+		e.barrsOv[id] = b
+	}
+	return b
+}
+
+// eachLock visits every lock that has ever been touched, in ID order for
+// the dense table followed by overflow IDs; used only on the diagnostic
+// paths (deadlock, watchdog dump), never per event.
+func (e *Engine) eachLock(f func(id int, l *lockState)) {
+	for id := range e.locks {
+		if l := &e.locks[id]; l.held || l.queueLen() > 0 {
+			f(id, l)
+		}
+	}
+	for _, id := range sortedKeys(e.locksOv) {
+		if l := e.locksOv[id]; l.held || l.queueLen() > 0 {
+			f(id, l)
+		}
+	}
+}
+
+// eachBarrier visits every barrier currently holding arrivals.
+func (e *Engine) eachBarrier(f func(id int, b *barrierState)) {
+	for id := range e.barriers {
+		if b := &e.barriers[id]; len(b.arrived) > 0 {
+			f(id, b)
+		}
+	}
+	for _, id := range sortedKeys(e.barrsOv) {
+		if b := e.barrsOv[id]; len(b.arrived) > 0 {
+			f(id, b)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // SetObserver wires an observability sink into the engine: per-processor
@@ -186,6 +365,14 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 
 // Run executes the workload to completion and returns the per-processor
 // accounting. Streams are closed on return.
+//
+// The scheduler reads the tournament-tree root: sched[1] is exactly the
+// (clock, index)-least runnable processor the seed engine's O(P) pickRunnable
+// scan would select (packed keys embed the index, so distinct processors
+// never compare equal). A processor whose refreshed key still holds the root
+// is re-stepped immediately without any tree traffic beyond its own leaf
+// path — and that path update already folded in any lock grants or barrier
+// releases the step handed out.
 func (e *Engine) Run() (Result, error) {
 	defer func() {
 		for i := range e.procs {
@@ -195,21 +382,36 @@ func (e *Engine) Run() (Result, error) {
 	e.wallStart = time.Now()
 	supervised := !e.budget.Zero() || e.ctx != nil
 	for {
-		i := e.pickRunnable()
-		if i < 0 {
-			if e.allDone() {
-				break
-			}
-			return Result{}, e.deadlockError()
+		top := e.sched[1]
+		if top == schedIdle {
+			break // nobody runnable: finished, or deadlocked below
 		}
-		if err := e.step(i); err != nil {
-			return Result{}, err
-		}
-		if supervised {
-			if err := e.checkBudget(); err != nil {
+		i := int(top & (1<<schedIndexBits - 1))
+		p := &e.procs[i]
+		for {
+			if err := e.step(i); err != nil {
 				return Result{}, err
 			}
+			if supervised {
+				if err := e.checkBudget(); err != nil {
+					return Result{}, err
+				}
+			}
+			if p.done || p.waiting {
+				e.schedUpdate(i, schedIdle)
+				break
+			}
+			k := packSchedKey(p.clock, int32(i))
+			e.schedUpdate(i, k)
+			if e.sched[1] != k {
+				break // p lost the minimum: re-read the root
+			}
+			// p is still the strict scheduler minimum: retire its next
+			// event without re-reading the root.
 		}
+	}
+	if !e.allDone() {
+		return Result{}, e.deadlockError()
 	}
 	res := Result{Events: e.events}
 	for i := range e.procs {
@@ -226,20 +428,49 @@ func (e *Engine) Run() (Result, error) {
 	return res, nil
 }
 
-// pickRunnable returns the runnable processor with the smallest clock
-// (lowest index breaks ties), or -1.
-func (e *Engine) pickRunnable() int {
-	best := -1
-	for i := range e.procs {
-		p := &e.procs[i]
-		if p.done || p.waiting {
-			continue
-		}
-		if best < 0 || p.clock < e.procs[best].clock {
-			best = i
-		}
+// schedIndexBits is the low-bit width a processor index occupies inside a
+// packed scheduling key; the clock lives in the 48 bits above it.
+const schedIndexBits = 16
+
+// schedIdle is the key of a processor that cannot run (done or blocked):
+// larger than every packable key, so it never wins the argmin scan.
+const schedIdle = ^uint64(0)
+
+// packSchedKey packs (clock, index) into one integer whose natural order is
+// the cycle-ordered scheduling rule: smallest clock first, lowest index on
+// ties. 48 bits of clock bound a run at ~2.8e14 cycles, far beyond any
+// budgeted simulation; the guard keeps an overflow loud instead of silently
+// misordering the schedule.
+func packSchedKey(clock uint64, idx int32) uint64 {
+	if clock >= 1<<(64-schedIndexBits) {
+		panic("sim: clock overflows scheduling key")
 	}
-	return best
+	return clock<<schedIndexBits | uint64(idx)
+}
+
+// schedUpdate sets processor i's scheduling key and replays its leaf-to-root
+// tournament path. The replay stops as soon as a recomputed node is
+// unchanged, since every ancestor depends only on node values below it.
+func (e *Engine) schedUpdate(i int, k uint64) {
+	t := e.sched
+	n := e.schedLeaf + i
+	t[n] = k
+	for n >>= 1; n >= 1; n >>= 1 {
+		l, r := t[2*n], t[2*n+1]
+		if r < l {
+			l = r
+		}
+		if t[n] == l {
+			return
+		}
+		t[n] = l
+	}
+}
+
+// wakeProc marks a blocked processor runnable again at its (already
+// advanced) clock — a lock grant or barrier release.
+func (e *Engine) wakeProc(p int32) {
+	e.schedUpdate(int(p), packSchedKey(e.procs[p].clock, p))
 }
 
 func (e *Engine) allDone() bool {
@@ -252,27 +483,37 @@ func (e *Engine) allDone() bool {
 }
 
 func (e *Engine) deadlockError() error {
-	waitingBarrier, waitingLock, done := 0, 0, 0
+	done, waiting := 0, 0
 	for i := range e.procs {
 		if e.procs[i].done {
 			done++
 		} else if e.procs[i].waiting {
-			waitingLock++ // refined below if it helps debugging
+			waiting++
 		}
 	}
-	for _, b := range e.barriers {
-		waitingBarrier += len(b.arrived)
-	}
-	return fmt.Errorf("sim: deadlock: %d done, %d waiting (%d at barriers) of %d processors — unbalanced barriers or a lock never released",
-		done, waitingLock, waitingBarrier, len(e.procs))
+	// Classify each waiter by the synchronization object it is actually
+	// blocked on: a waiting processor sits in exactly one lock queue or one
+	// barrier's arrival list (a full barrier releases synchronously, so any
+	// barrier still present holds only blocked processors).
+	atLock, atBarrier := 0, 0
+	e.eachLock(func(_ int, l *lockState) { atLock += l.queueLen() })
+	e.eachBarrier(func(_ int, b *barrierState) { atBarrier += len(b.arrived) })
+	return fmt.Errorf("sim: deadlock: %d done, %d waiting (%d at locks, %d at barriers) of %d processors — unbalanced barriers or a lock never released",
+		done, waiting, atLock, atBarrier, len(e.procs))
 }
 
 func (e *Engine) step(i int) error {
 	p := &e.procs[i]
-	ev, ok := p.stream.Next()
-	if !ok {
-		p.done = true
-		return nil
+	var ev trace.Event
+	if p.bpos < len(p.batch) {
+		ev = p.batch[p.bpos]
+		p.bpos++
+	} else {
+		var ok bool
+		if ev, ok = p.refill(); !ok {
+			p.done = true
+			return nil
+		}
 	}
 	e.events++
 	switch ev.Kind {
@@ -301,14 +542,23 @@ func (e *Engine) step(i int) error {
 	default:
 		return fmt.Errorf("sim: processor %d: unknown event kind %v", i, ev.Kind)
 	}
-	if p.clock > e.maxClock {
-		e.maxClock = p.clock
-	}
+	e.noteClock(p.clock)
 	if e.stepObs != nil {
 		e.stepObs(i, ev)
 	}
 	e.sampler.Tick(p.clock)
 	return nil
+}
+
+// noteClock folds a clock advance into the watchdog's forward-progress
+// tracker. Every site that moves a processor clock must report it here —
+// lock grants and barrier releases advance processors other than the one
+// executing, and missing those leaves the livelock detector staring at a
+// stale maxClock.
+func (e *Engine) noteClock(c uint64) {
+	if c > e.maxClock {
+		e.maxClock = c
+	}
 }
 
 // lockTransferCost is the cost of one lock message exchange with the lock's
@@ -323,28 +573,23 @@ func (e *Engine) lockHomeDistance(id int) uint64 {
 }
 
 func (e *Engine) lockAcquire(i, id int) {
-	l := e.locks[id]
-	if l == nil {
-		l = &lockState{arrival: make(map[int]uint64)}
-		e.locks[id] = l
-	}
+	l := e.lockAt(id)
 	p := &e.procs[i]
 	if !l.held {
 		cost := e.lockHomeDistance(id)
 		l.held = true
-		l.owner = i
+		l.owner = int32(i)
 		p.stats.Sync += cost
 		p.clock += cost
 		return
 	}
-	l.queue = append(l.queue, i)
-	l.arrival[i] = p.clock
+	l.push(int32(i), p.clock)
 	p.waiting = true
 }
 
 func (e *Engine) lockRelease(i, id int) error {
-	l := e.locks[id]
-	if l == nil || !l.held || l.owner != i {
+	l := e.lockAt(id)
+	if !l.held || l.owner != int32(i) {
 		return fmt.Errorf("sim: processor %d releases lock %d it does not hold", i, id)
 	}
 	p := &e.procs[i]
@@ -353,15 +598,14 @@ func (e *Engine) lockRelease(i, id int) error {
 	p.clock += cost
 	releaseDone := p.clock
 
-	if len(l.queue) == 0 {
+	if l.queueLen() == 0 {
 		l.held = false
 		return nil
 	}
-	next := l.queue[0]
-	l.queue = l.queue[1:]
+	w := l.pop()
+	next := int(w.proc)
 	np := &e.procs[next]
-	arrived := l.arrival[next]
-	delete(l.arrival, next)
+	arrived := w.arrived
 	grant := releaseDone
 	if arrived > grant {
 		grant = arrived
@@ -369,8 +613,10 @@ func (e *Engine) lockRelease(i, id int) error {
 	grant += e.lockHomeDistance(id)
 	np.stats.Sync += grant - arrived
 	np.clock = grant
+	e.noteClock(np.clock)
 	np.waiting = false
-	l.owner = next
+	l.owner = w.proc
+	e.wakeProc(w.proc)
 	if e.tracer.Enabled("sync") {
 		e.tracer.Complete("sync", "lock-wait", next, 0, arrived, grant-arrived)
 	}
@@ -378,16 +624,12 @@ func (e *Engine) lockRelease(i, id int) error {
 }
 
 func (e *Engine) barrierArrive(i, id int) {
-	b := e.barriers[id]
-	if b == nil {
-		b = &barrierState{}
-		e.barriers[id] = b
-	}
+	b := e.barrierAt(id)
 	p := &e.procs[i]
 	notify := e.m.Config().Timing.BarrierNotify
 	p.clock += notify
 	p.stats.Sync += notify
-	b.arrived = append(b.arrived, i)
+	b.arrived = append(b.arrived, int32(i))
 	if p.clock > b.latest {
 		b.latest = p.clock
 	}
@@ -409,11 +651,20 @@ func (e *Engine) barrierArrive(i, id int) {
 		// advance), which makes the barrier phase a complete event from
 		// arrival to restart on j's track.
 		if e.tracer.Enabled("sync") {
-			e.tracer.Complete("sync", "barrier", j, 0, q.clock, r-q.clock)
+			e.tracer.Complete("sync", "barrier", int(j), 0, q.clock, r-q.clock)
 		}
 		q.stats.Sync += r - q.clock
 		q.clock = r
+		e.noteClock(q.clock)
 		q.waiting = false
+		if int(j) != i {
+			// The executing (last-arriving) processor is already in the
+			// heap; everyone it released re-enters here.
+			e.wakeProc(j)
+		}
 	}
-	delete(e.barriers, id)
+	// Reset in place: the next episode of this barrier reuses the backing
+	// array (the seed engine deleted and re-allocated the map entry).
+	b.arrived = b.arrived[:0]
+	b.latest = 0
 }

@@ -169,8 +169,14 @@ func TestUnbalancedBarrierDeadlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "deadlock") {
+	_, err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("deadlock not detected: %v", err)
+	}
+	// Proc 3's empty stream finishes; the three barrier arrivals must be
+	// classified as barrier waiters, not lock waiters.
+	if want := "1 done, 3 waiting (0 at locks, 3 at barriers) of 4"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("waiter classification wrong: %v (want %q)", err, want)
 	}
 }
 
@@ -184,8 +190,96 @@ func TestLockNeverGrantedTwice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); err == nil {
+	_, err = e.Run()
+	if err == nil {
 		t.Fatal("lock held at end with a waiter should deadlock")
+	}
+	// Proc 0 finishes still holding the lock; proc 1 is the only waiter and
+	// is queued at the lock, not a barrier.
+	if want := "3 done, 1 waiting (1 at locks, 0 at barriers) of 4"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("waiter classification wrong: %v (want %q)", err, want)
+	}
+}
+
+func TestDeadlockClassifiesMixedWaiters(t *testing.T) {
+	m := newMachine(t)
+	// Proc 0 takes the lock and parks at a barrier that never fills; proc 1
+	// queues behind the lock; proc 2 joins the barrier; proc 3 exits. The
+	// diagnostic must split the three waiters as one lock waiter and two
+	// barrier waiters (the seed code counted all three as lock waiters AND
+	// reported the barrier arrivals on top).
+	e, err := New(m, streams(
+		[]trace.Event{{Kind: trace.LockAcquire, ID: 1}, {Kind: trace.Barrier, ID: 0}},
+		[]trace.Event{{Kind: trace.LockAcquire, ID: 1}},
+		[]trace.Event{{Kind: trace.Barrier, ID: 0}},
+		nil,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+	if want := "1 done, 3 waiting (1 at locks, 2 at barriers) of 4"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("waiter classification wrong: %v (want %q)", err, want)
+	}
+}
+
+// TestMaxClockSeesLockGrant pins the watchdog-staleness fix: a lock grant
+// advances the *granted* processor's clock past everything the executing
+// processor ever reaches, and if the grantee retires no further events the
+// seed engine never folded that advance into maxClock — the livelock
+// detector and the sim/watchdog/maxClock probe ran on stale progress.
+func TestMaxClockSeesLockGrant(t *testing.T) {
+	m := newMachine(t)
+	e, err := New(m, streams(
+		[]trace.Event{
+			{Kind: trace.LockAcquire, ID: 7},
+			{Kind: trace.Compute, Cycles: 500},
+			{Kind: trace.LockRelease, ID: 7},
+		},
+		// Proc 1 blocks on the lock and finishes the moment it is granted:
+		// the grant is the last advance of its clock, and it is performed by
+		// proc 0's release step.
+		[]trace.Event{{Kind: trace.LockAcquire, ID: 7}},
+		nil, nil,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[1].Finish <= res.Procs[0].Finish {
+		t.Fatalf("test premise broken: grantee should finish last (%d vs %d)",
+			res.Procs[1].Finish, res.Procs[0].Finish)
+	}
+	if e.maxClock != res.ExecTime {
+		t.Fatalf("maxClock %d stale after lock grant: execution reached %d", e.maxClock, res.ExecTime)
+	}
+}
+
+// TestMaxClockSeesBarrierRelease is the barrier-side twin: the release loop
+// rewrites every arrived processor's clock, and maxClock must track the
+// largest staggered restart even when no released processor executes again.
+func TestMaxClockSeesBarrierRelease(t *testing.T) {
+	m := newMachine(t)
+	var evs [][]trace.Event
+	for p := 0; p < 4; p++ {
+		evs = append(evs, []trace.Event{{Kind: trace.Barrier, ID: 0}})
+	}
+	e, err := New(m, streams(evs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.maxClock != res.ExecTime {
+		t.Fatalf("maxClock %d stale after barrier release: execution reached %d", e.maxClock, res.ExecTime)
 	}
 }
 

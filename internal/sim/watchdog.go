@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -260,43 +259,33 @@ func (e *Engine) dump(reason string) *Dump {
 	}
 
 	// Which synchronization object is each waiting processor blocked on?
+	// eachLock/eachBarrier iterate the dense tables in ID order (overflow
+	// IDs, sorted, follow) and skip untouched entries.
 	blockedOn := make(map[int]string)
-	var lockIDs []int
-	for id := range e.locks {
-		lockIDs = append(lockIDs, id)
-	}
-	sort.Ints(lockIDs)
-	for _, id := range lockIDs {
-		l := e.locks[id]
-		for _, p := range l.queue {
+	e.eachLock(func(id int, l *lockState) {
+		ld := LockDump{ID: id, Held: l.held, Owner: int(l.owner), QueueDepth: l.queueLen()}
+		for k := l.qhead; k < len(l.queue); k++ {
+			p := int(l.queue[k].proc)
 			blockedOn[p] = fmt.Sprintf("lock %d", id)
+			ld.Queue = append(ld.Queue, p)
 		}
-		if !l.held && len(l.queue) == 0 {
-			continue
-		}
-		ld := LockDump{ID: id, Held: l.held, Owner: l.owner, QueueDepth: len(l.queue)}
-		ld.Queue = append(ld.Queue, l.queue...)
 		if !l.held {
 			ld.Owner = -1
 		}
 		d.Locks = append(d.Locks, ld)
-	}
-	var barrierIDs []int
-	for id := range e.barriers {
-		barrierIDs = append(barrierIDs, id)
-	}
-	sort.Ints(barrierIDs)
-	for _, id := range barrierIDs {
-		br := e.barriers[id]
+	})
+	e.eachBarrier(func(id int, br *barrierState) {
+		arrived := make([]int, 0, len(br.arrived))
 		for _, p := range br.arrived {
-			blockedOn[p] = fmt.Sprintf("barrier %d", id)
+			blockedOn[int(p)] = fmt.Sprintf("barrier %d", id)
+			arrived = append(arrived, int(p))
 		}
 		d.Barriers = append(d.Barriers, BarrierDump{
 			ID:      id,
-			Arrived: append([]int(nil), br.arrived...),
+			Arrived: arrived,
 			Missing: len(e.procs) - len(br.arrived),
 		})
-	}
+	})
 
 	for i := range e.procs {
 		p := &e.procs[i]

@@ -80,61 +80,152 @@ func New(entries int, org config.TLBOrg, indexShift uint, seed uint64) (Buffer, 
 }
 
 // FullyAssoc is a fully-associative buffer with random replacement.
+//
+// The residency index is a flat open-addressed table (linear probing,
+// backward-shift deletion) instead of a Go map, and the most recent hit is
+// memoized: translation streams repeat the same page in bursts, so the
+// common case is one compare. Replacement state (slots, victim choice, rng
+// stream) is unchanged from the map-based version — the contents, stats,
+// and eviction sequence are bit-identical.
 type FullyAssoc struct {
 	capacity int
 	slots    []addr.PageNum
-	index    map[addr.PageNum]int
 	rng      *prng.Source
 	stats    Stats
+
+	memo   addr.PageNum // last page that hit or filled
+	memoOK bool
+
+	// Open-addressed index: keys[i] is resident at slot slotOf[i];
+	// slotOf[i] < 0 marks an empty probe cell. Sized to a power of two at
+	// most half full, so probe chains stay short.
+	keys   []addr.PageNum
+	slotOf []int32
+	mask   uint64
 }
 
 // NewFullyAssoc returns a fully-associative buffer with the given capacity,
 // using a deterministic random replacement stream derived from seed.
 func NewFullyAssoc(entries int, seed uint64) *FullyAssoc {
-	return &FullyAssoc{
+	tab := 8
+	for tab < 2*entries {
+		tab *= 2
+	}
+	b := &FullyAssoc{
 		capacity: entries,
 		slots:    make([]addr.PageNum, 0, entries),
-		index:    make(map[addr.PageNum]int, entries),
 		rng:      prng.New(seed),
+		keys:     make([]addr.PageNum, tab),
+		slotOf:   make([]int32, tab),
+		mask:     uint64(tab - 1),
+	}
+	for i := range b.slotOf {
+		b.slotOf[i] = -1
+	}
+	return b
+}
+
+func (b *FullyAssoc) home(p addr.PageNum) uint64 {
+	return (uint64(p) * 0x9E3779B97F4A7C15) >> 32 & b.mask
+}
+
+// find returns the probe-cell index holding p, or -1.
+func (b *FullyAssoc) find(p addr.PageNum) int {
+	for i := b.home(p); ; i = (i + 1) & b.mask {
+		if b.slotOf[i] < 0 {
+			return -1
+		}
+		if b.keys[i] == p {
+			return int(i)
+		}
+	}
+}
+
+// indexPut records that p is resident at slot s.
+func (b *FullyAssoc) indexPut(p addr.PageNum, s int) {
+	i := b.home(p)
+	for b.slotOf[i] >= 0 {
+		if b.keys[i] == p {
+			b.slotOf[i] = int32(s)
+			return
+		}
+		i = (i + 1) & b.mask
+	}
+	b.keys[i] = p
+	b.slotOf[i] = int32(s)
+}
+
+// indexDelete empties probe cell i, backward-shifting any displaced
+// followers so linear probing stays sound.
+func (b *FullyAssoc) indexDelete(i int) {
+	j := uint64(i)
+	for {
+		b.slotOf[j] = -1
+		hole := j
+		for {
+			j = (j + 1) & b.mask
+			if b.slotOf[j] < 0 {
+				return
+			}
+			h := b.home(b.keys[j])
+			// Move keys[j] into the hole only if its probe path passes
+			// through the hole (cyclic interval test).
+			if (j > hole && (h <= hole || h > j)) || (j < hole && h <= hole && h > j) {
+				break
+			}
+		}
+		b.keys[hole] = b.keys[j]
+		b.slotOf[hole] = b.slotOf[j]
 	}
 }
 
 // Access implements Buffer.
 func (b *FullyAssoc) Access(p addr.PageNum) bool {
 	b.stats.Accesses++
-	if _, ok := b.index[p]; ok {
+	if b.memoOK && p == b.memo {
+		return true
+	}
+	if b.find(p) >= 0 {
+		b.memo, b.memoOK = p, true
 		return true
 	}
 	b.stats.Misses++
 	if len(b.slots) < b.capacity {
-		b.index[p] = len(b.slots)
+		b.indexPut(p, len(b.slots))
 		b.slots = append(b.slots, p)
+		b.memo, b.memoOK = p, true
 		return false
 	}
 	victim := b.rng.Intn(b.capacity)
-	delete(b.index, b.slots[victim])
+	if i := b.find(b.slots[victim]); i >= 0 {
+		b.indexDelete(i)
+	}
 	b.slots[victim] = p
-	b.index[p] = victim
+	b.indexPut(p, victim)
+	b.memo, b.memoOK = p, true
 	return false
 }
 
 // Probe implements Buffer.
 func (b *FullyAssoc) Probe(p addr.PageNum) bool {
-	_, ok := b.index[p]
-	return ok
+	return b.find(p) >= 0
 }
 
 // Invalidate implements Buffer.
 func (b *FullyAssoc) Invalidate(p addr.PageNum) {
-	i, ok := b.index[p]
-	if !ok {
+	i := b.find(p)
+	if i < 0 {
 		return
 	}
+	if b.memoOK && p == b.memo {
+		b.memoOK = false
+	}
+	s := int(b.slotOf[i])
 	last := len(b.slots) - 1
-	delete(b.index, p)
-	if i != last {
-		b.slots[i] = b.slots[last]
-		b.index[b.slots[i]] = i
+	b.indexDelete(i)
+	if s != last {
+		b.slots[s] = b.slots[last]
+		b.indexPut(b.slots[s], s)
 	}
 	b.slots = b.slots[:last]
 }
@@ -142,7 +233,10 @@ func (b *FullyAssoc) Invalidate(p addr.PageNum) {
 // Flush implements Buffer.
 func (b *FullyAssoc) Flush() {
 	b.slots = b.slots[:0]
-	clear(b.index)
+	b.memoOK = false
+	for i := range b.slotOf {
+		b.slotOf[i] = -1
+	}
 }
 
 // Stats implements Buffer.

@@ -3,16 +3,24 @@ package trace
 import "vcoma/internal/addr"
 
 // generatorBatch is the number of events buffered per channel send. Large
-// enough that channel synchronization is negligible per event.
-const generatorBatch = 4096
+// enough that channel synchronization is negligible per event, small enough
+// that short per-processor streams (a few thousand events at test scale)
+// don't pay for zeroing mostly-unused 128KB batches on every machine build.
+const generatorBatch = 1024
 
 // Generator adapts a straight-line program function into a pull-based
 // Stream. The program runs in its own goroutine and emits events through an
 // Emitter; the consumer pulls them with Next. Abandoning a Generator without
 // draining it requires Close, which unwinds the producer goroutine.
 type Generator struct {
-	ch     chan []Event
-	done   chan struct{}
+	ch   chan []Event
+	done chan struct{}
+	// free carries spent batches back to the producer for reuse: the
+	// consumer finishes a batch, hands the backing array over, and the
+	// producer refills it instead of allocating. Steady-state generation
+	// therefore keeps a constant number of live batches regardless of
+	// stream length.
+	free   chan []Event
 	batch  []Event
 	pos    int
 	closed bool
@@ -33,6 +41,7 @@ type stopGenerator struct{}
 func NewGenerator(program func(*Emitter)) *Generator {
 	g := &Generator{
 		ch:   make(chan []Event, 4),
+		free: make(chan []Event, 4),
 		done: make(chan struct{}),
 	}
 	go func() {
@@ -44,9 +53,9 @@ func NewGenerator(program func(*Emitter)) *Generator {
 				}
 			}
 		}()
-		e := &Emitter{gen: g}
+		e := &Emitter{gen: g, batch: make([]Event, 0, generatorBatch)}
 		program(e)
-		e.flush()
+		e.finish()
 	}()
 	return g
 }
@@ -55,6 +64,16 @@ func NewGenerator(program func(*Emitter)) *Generator {
 // that panic once the buffered events are drained.
 func (g *Generator) Next() (Event, bool) {
 	for g.pos >= len(g.batch) {
+		if g.batch != nil {
+			// The batch is fully consumed (events are returned by value):
+			// recycle its backing array to the producer. Drop it if the
+			// free list is full.
+			select {
+			case g.free <- g.batch[:0]:
+			default:
+			}
+			g.batch = nil
+		}
 		batch, ok := <-g.ch
 		if !ok {
 			if g.failure != nil {
@@ -67,6 +86,35 @@ func (g *Generator) Next() (Event, bool) {
 	e := g.batch[g.pos]
 	g.pos++
 	return e, true
+}
+
+// NextBatch implements BatchStream: it returns the unread remainder of the
+// current batch, or pulls the next one — one channel operation per ~4096
+// events instead of per-event interface calls. The returned slice is valid
+// only until the next NextBatch or Next call (its backing array is then
+// recycled to the producer). Re-raises a producer panic like Next.
+func (g *Generator) NextBatch() ([]Event, bool) {
+	if g.pos < len(g.batch) {
+		b := g.batch[g.pos:]
+		g.pos = len(g.batch)
+		return b, true
+	}
+	if g.batch != nil {
+		select {
+		case g.free <- g.batch[:0]:
+		default:
+		}
+		g.batch, g.pos = nil, 0
+	}
+	batch, ok := <-g.ch
+	if !ok {
+		if g.failure != nil {
+			panic(g.failure)
+		}
+		return nil, false
+	}
+	g.batch, g.pos = batch, len(batch)
+	return batch, true
 }
 
 // Close unwinds the producer goroutine. Safe to call multiple times and
@@ -102,7 +150,25 @@ func (e *Emitter) flush() {
 		return
 	}
 	batch := e.batch
-	e.batch = make([]Event, 0, generatorBatch)
+	select {
+	case e.batch = <-e.gen.free:
+	default:
+		e.batch = make([]Event, 0, generatorBatch)
+	}
+	e.send(batch)
+}
+
+// finish hands off the last partial batch when the program returns; unlike
+// flush it does not take a replacement batch nobody will fill.
+func (e *Emitter) finish() {
+	if len(e.batch) == 0 {
+		return
+	}
+	e.send(e.batch)
+	e.batch = nil
+}
+
+func (e *Emitter) send(batch []Event) {
 	select {
 	case e.gen.ch <- batch:
 	case <-e.gen.done:

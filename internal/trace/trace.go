@@ -66,6 +66,15 @@ type Stream interface {
 	Next() (Event, bool)
 }
 
+// BatchStream is optionally implemented by streams that can hand out whole
+// event batches. Consumers on hot paths (the simulation engine) pull
+// batches to amortize per-event interface dispatch; a returned slice is
+// valid only until the next NextBatch or Next call on the same stream.
+// NextBatch may return empty slices; ok=false means the program finished.
+type BatchStream interface {
+	NextBatch() ([]Event, bool)
+}
+
 // Closer is implemented by streams holding resources (generator goroutines).
 type Closer interface {
 	Close()
@@ -97,6 +106,16 @@ func (s *SliceStream) Next() (Event, bool) {
 	e := s.events[s.pos]
 	s.pos++
 	return e, true
+}
+
+// NextBatch implements BatchStream: the whole unread remainder at once.
+func (s *SliceStream) NextBatch() ([]Event, bool) {
+	if s.pos >= len(s.events) {
+		return nil, false
+	}
+	b := s.events[s.pos:]
+	s.pos = len(s.events)
+	return b, true
 }
 
 // Remaining returns how many events have not been consumed yet.

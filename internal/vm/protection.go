@@ -73,6 +73,7 @@ func (s *System) Unmap(v addr.Virtual) (*Page, error) {
 		return nil, fmt.Errorf("vm: unmap of unmapped page %#x", uint64(pn))
 	}
 	delete(s.pages, pn)
+	s.dropMemo(pn)
 	var gps int
 	switch s.mode {
 	case PhysicalRoundRobin:

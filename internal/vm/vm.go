@@ -76,6 +76,14 @@ type System struct {
 	mode Mode
 
 	pages map[addr.PageNum]*Page
+	// memo is a direct-mapped front for the pages map: the translation path
+	// runs on every simulated reference (often twice — data and protocol
+	// addresses), and references repeat pages in bursts, so most lookups are
+	// answered by one tag compare instead of a map probe. Entries are
+	// evicted by index collision and the whole memo drops on Unmap; a nil
+	// memoPage slot is simply a miss, so staleness cannot outlive an unmap.
+	memoPN   [pageMemoSize]addr.PageNum
+	memoPage [pageMemoSize]*Page
 	// frames reverse-maps allocated frames to their virtual page, the
 	// simulator's stand-in for the backpointers a physical cache keeps to
 	// reach the virtual caches under it (paper §2.2.2).
@@ -127,14 +135,25 @@ func (s *System) MappedPages() int { return len(s.pages) }
 // Lookup returns the page record for v's page, or nil if unmapped.
 func (s *System) Lookup(v addr.Virtual) *Page { return s.pages[s.g.Page(v)] }
 
+// pageMemoSize is the direct-mapped page-memo size (power of two). 256
+// entries cover the hot working set of every paper workload.
+const pageMemoSize = 256
+
 // Ensure maps v's page if needed and returns its record. This is the page-
 // fault path; with preloaded data it only fires on first touch.
 func (s *System) Ensure(v addr.Virtual) *Page {
 	pn := s.g.Page(v)
-	if p := s.pages[pn]; p != nil {
+	slot := int(pn) & (pageMemoSize - 1)
+	if p := s.memoPage[slot]; p != nil && s.memoPN[slot] == pn {
 		return p
 	}
-	return s.mapPage(pn)
+	p := s.pages[pn]
+	if p == nil {
+		p = s.mapPage(pn)
+	}
+	s.memoPN[slot] = pn
+	s.memoPage[slot] = p
+	return p
 }
 
 func (s *System) mapPage(pn addr.PageNum) *Page {
@@ -170,6 +189,14 @@ func (s *System) mapPage(pn addr.PageNum) *Page {
 	}
 	s.pages[pn] = p
 	return p
+}
+
+// dropMemo evicts pn's memo entry (if cached) after an unmap.
+func (s *System) dropMemo(pn addr.PageNum) {
+	slot := int(pn) & (pageMemoSize - 1)
+	if s.memoPN[slot] == pn {
+		s.memoPage[slot] = nil
+	}
 }
 
 func (s *System) account(gps int) {

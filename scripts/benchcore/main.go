@@ -4,9 +4,11 @@
 // snapshot for BENCH_core.json. Run via `make bench-snapshot-core`; compare
 // two snapshots with `go run ./scripts/benchdiff old.json new.json`.
 //
-// The numbers are wall-clock and machine-dependent; the snapshot is a
-// before/after reference for core-simulator changes, not a CI gate. The
-// metric fields (events per run, refs per run) are exact and deterministic.
+// The numbers are wall-clock and machine-dependent; each scenario records
+// the fastest of several repetitions so the snapshot is stable enough for
+// the `make perf-gate` CI check (>10% ns_op regression on the sim_run_* and
+// tlb_access_* scenarios fails the build). The metric fields (events per
+// run, refs per run) are exact and deterministic.
 package main
 
 import (
@@ -50,18 +52,31 @@ type snapshot struct {
 	Scenarios []scenario `json:"scenarios"`
 }
 
+// measureReps is how many times each scenario is benchmarked; the snapshot
+// records the fastest repetition. Wall-clock noise on shared machines is
+// one-sided (interference only ever slows a run down), so min-of-N is the
+// stable estimator — single-shot numbers drift ±10% run to run, which would
+// eat the whole perf-gate threshold.
+const measureReps = 5
+
 func measure(name, note string, f func(b *testing.B)) scenario {
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		f(b)
-	})
-	return scenario{
-		Name:     name,
-		NsOp:     float64(r.NsPerOp()),
-		AllocsOp: r.AllocsPerOp(),
-		BytesOp:  r.AllocedBytesPerOp(),
-		Note:     note,
+	s := scenario{Name: name, Note: note}
+	for rep := 0; rep < measureReps; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		// Float division, not r.NsPerOp(): integer truncation turns a
+		// 2.4-vs-2.6ns rerun of the sub-10ns TLB scenarios into a phantom
+		// ±50% swing at the perf gate.
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if rep == 0 || ns < s.NsOp {
+			s.NsOp = ns
+			s.AllocsOp = r.AllocsPerOp()
+			s.BytesOp = r.AllocedBytesPerOp()
+		}
 	}
+	return s
 }
 
 func run() error {
@@ -98,6 +113,29 @@ func run() error {
 		snap.Scenarios = append(snap.Scenarios, s)
 	}
 
+	// Synchronization-heavy end-to-end run: BARNES takes per-leaf locks and
+	// hits many barriers, so this scenario exercises the dense lock/barrier
+	// tables and the scheduler's wakeup path, which the RADIX runs above
+	// barely touch.
+	{
+		syncBench, err := vcoma.BenchmarkByName("BARNES", vcoma.ScaleTest)
+		if err != nil {
+			return err
+		}
+		var events float64
+		s := measure("sim_run_sync_BARNES", "end-to-end BARNES (lock/barrier heavy), machine build + simulate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := vcoma.Run(cfg.WithScheme(config.L0TLB), syncBench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = float64(res.Sim.Events)
+			}
+		})
+		s.Metrics, s.MetricName = events, "events/run"
+		snap.Scenarios = append(snap.Scenarios, s)
+	}
+
 	// TLB access loop, fully-associative and direct-mapped: the innermost
 	// per-reference operation of every translation scheme.
 	snap.Scenarios = append(snap.Scenarios, measure("tlb_access_fa", "64-entry fully-associative, 1024-page working set", func(b *testing.B) {
@@ -106,6 +144,24 @@ func run() error {
 		pages := make([]uint64, 1024)
 		for i := range pages {
 			pages[i] = rng.Uint64n(256)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Access(addr.PageNum(pages[i%len(pages)]))
+		}
+	}))
+	// Hot-hit variant: a working set that fits entirely in the buffer, so
+	// every access after warmup takes the last-page memo or probe-hit fast
+	// path — the common case inside a simulation's reference bursts.
+	snap.Scenarios = append(snap.Scenarios, measure("tlb_access_fa_hot", "64-entry fully-associative, 32-page resident working set", func(b *testing.B) {
+		buf := tlb.NewFullyAssoc(64, 1)
+		rng := prng.New(4)
+		pages := make([]uint64, 1024)
+		for i := range pages {
+			pages[i] = rng.Uint64n(32)
+		}
+		for _, p := range pages {
+			buf.Access(addr.PageNum(p))
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -4,11 +4,16 @@
 //
 //	go run ./scripts/benchdiff old.json new.json              # ±10% default
 //	go run ./scripts/benchdiff -threshold 25 old.json new.json
+//	go run ./scripts/benchdiff -only '^(sim_run_|tlb_access_)' old.json new.json
 //
 // Scenarios are matched by name; a scenario present in only one snapshot is
 // reported but never fails the diff (coverage changes are not regressions).
-// The compared quantity is ns_op (core snapshots) or ms (serve snapshots).
-// Exit status: 0 clean, 1 at least one regression beyond the threshold.
+// With -only, scenarios whose names do not match the regexp are still
+// printed (as "skip") but cannot fail the diff — the perf gate uses this to
+// enforce only the hot-path scenarios while leaving noisy or informational
+// ones advisory. The compared quantity is ns_op (core snapshots) or ms
+// (serve snapshots). Exit status: 0 clean, 1 at least one regression beyond
+// the threshold.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 )
 
 type scenario struct {
@@ -51,10 +57,19 @@ func load(path string) (snapshot, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	only := flag.String("only", "", "regexp; only matching scenarios can fail the diff")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-only regexp] old.json new.json")
 		os.Exit(2)
+	}
+	var gated *regexp.Regexp
+	if *only != "" {
+		var err error
+		if gated, err = regexp.Compile(*only); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad -only regexp:", err)
+			os.Exit(2)
+		}
 	}
 	oldSnap, err := load(flag.Arg(0))
 	if err != nil {
@@ -91,6 +106,9 @@ func main() {
 		}
 		pct := (nv - ov) / ov * 100
 		switch {
+		case gated != nil && !gated.MatchString(n.Name):
+			// Outside the gated set: informational only, never fails.
+			fmt.Printf("skip  %-24s %.0f -> %.0f %s (%+.1f%%, ungated)\n", n.Name, ov, nv, unit, pct)
 		case pct > *threshold:
 			regressions++
 			fmt.Printf("REGR  %-24s %.0f -> %.0f %s (%+.1f%%, threshold %.0f%%)\n", n.Name, ov, nv, unit, pct, *threshold)
