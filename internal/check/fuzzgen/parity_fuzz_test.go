@@ -1,0 +1,35 @@
+package fuzzgen_test
+
+import (
+	"testing"
+
+	"vcoma/internal/check"
+	"vcoma/internal/check/fuzzgen"
+	"vcoma/internal/config"
+)
+
+// FuzzParallelParity is the randomized half of the parallel engine's
+// cycle-identity proof: a derived workload must produce a byte-identical
+// run summary — per-processor breakdowns and event digests, machine-wide
+// counters, protocol/network/VM totals, and the final cache and
+// attraction-memory image — at shards ∈ {1, 2, 4, 8} under all five
+// translation schemes. Inputs: (seed, scenario, size), exactly as
+// FuzzSchemesAgree takes them.
+//
+// The test lives in package fuzzgen_test so the generator package itself
+// stays import-cycle-free (check imports nothing of fuzzgen outside tests).
+//
+// Run natively:  go test -run=^$ -fuzz=FuzzParallelParity ./internal/check/fuzzgen/
+func FuzzParallelParity(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(32))
+	f.Add(uint64(2), uint64(1), uint64(48))
+	f.Add(uint64(3), uint64(2), uint64(24))
+	f.Add(uint64(4), uint64(3), uint64(64))
+	f.Add(uint64(5), uint64(4), uint64(16))
+	f.Fuzz(func(t *testing.T, seed, scenario, size uint64) {
+		w := fuzzgen.Derive(seed, scenario, size)
+		if err := check.ParallelDifferential(config.SmallTest(), w, []int{2, 4, 8}); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/machine"
+	"vcoma/internal/mem"
+	"vcoma/internal/sim"
+	"vcoma/internal/trace"
+	"vcoma/internal/workload"
+)
+
+// This file is the sequential-vs-parallel axis of the differential oracle.
+// The parallel engine (internal/sim/parallel.go) claims byte-identity with
+// the sequential engine at any shard count; here that claim is checked by
+// rendering everything observable about a finished run — per-processor time
+// breakdowns, per-node memory-system counters, protocol/network/VM totals,
+// per-processor event-stream digests, and a digest of the final cache and
+// attraction-memory image — into one string and comparing the bytes.
+//
+// The runs are deliberately unchecked (no shadow-memory Checker attached):
+// an access checker makes the machine parallel-ineligible, which would
+// silently compare the sequential engine against itself.
+
+// ParitySummary runs bench under cfg on the engine with the given shard
+// count (≤ 1 = sequential) and renders the complete observable outcome.
+// Two runs are equivalent iff their summaries are byte-identical.
+func ParitySummary(cfg config.Config, bench workload.Benchmark, shards int) (string, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return "", err
+	}
+	prog, err := bench.Build(cfg.Geometry, cfg.Geometry.Nodes())
+	if err != nil {
+		return "", err
+	}
+	m.Preload(prog.Layout())
+	eng, err := sim.New(m, prog.Streams())
+	if err != nil {
+		return "", err
+	}
+	nodes := cfg.Geometry.Nodes()
+	digests := make([]uint64, nodes)
+	for i := range digests {
+		digests[i] = fnvOffset
+	}
+	eng.SetStepObserver(func(proc int, ev trace.Event) {
+		d := digests[proc]
+		d = fnvMix(d, uint64(ev.Kind))
+		d = fnvMix(d, uint64(ev.Addr))
+		d = fnvMix(d, ev.Cycles)
+		d = fnvMix(d, uint64(ev.ID))
+		digests[proc] = d
+	})
+	eng.SetParallel(shards)
+	res, err := eng.Run()
+	if err != nil {
+		return "", fmt.Errorf("check: parity run %s/%v x%d: %w", prog.Name(), cfg.Scheme, shards, err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v exec=%d events=%d\n", prog.Name(), cfg.Scheme, res.ExecTime, res.Events)
+	for i, p := range res.Procs {
+		fmt.Fprintf(&b, "proc %02d %+v digest=%016x\n", i, p, digests[i])
+	}
+	fmt.Fprintf(&b, "machine %+v\n", m.TotalStats())
+	for n := 0; n < nodes; n++ {
+		fmt.Fprintf(&b, "node %02d %+v image=%016x\n", n, m.NodeStats(addr.Node(n)), nodeImageDigest(m, addr.Node(n)))
+	}
+	fmt.Fprintf(&b, "protocol %+v\n", m.Protocol().Stats())
+	fmt.Fprintf(&b, "network %+v\n", m.Protocol().Fabric().Stats())
+	fmt.Fprintf(&b, "vm faults=%d mapped=%d overflow=%d\n", m.VM().Faults(), m.VM().MappedPages(), m.VM().OverflowCount())
+	if err := m.CheckInvariants(); err != nil {
+		fmt.Fprintf(&b, "INVARIANT VIOLATION: %v\n", err)
+	}
+	return b.String(), nil
+}
+
+// nodeImageDigest fingerprints node n's final memory image: every valid
+// FLC and SLC block with its dirty bit, and every valid attraction-memory
+// block with its coherence state, in their deterministic storage orders.
+func nodeImageDigest(m *machine.Machine, n addr.Node) uint64 {
+	d := uint64(fnvOffset)
+	for _, blk := range m.FLC(n).ValidBlocks() {
+		d = fnvMix(d, blk)
+	}
+	d = fnvMix(d, 0xF1)
+	for _, blk := range m.SLC(n).ValidBlocks() {
+		d = fnvMix(d, blk)
+		if m.SLC(n).Dirty(blk) {
+			d = fnvMix(d, 1)
+		}
+	}
+	d = fnvMix(d, 0xF2)
+	m.Protocol().AM(n).ForEachValid(func(block uint64, s mem.State) {
+		d = fnvMix(d, block)
+		d = fnvMix(d, uint64(s))
+	})
+	return d
+}
+
+// VerifyParallelParity runs bench under cfg sequentially and at each of the
+// given shard counts, and fails with a diff-oriented error on the first
+// summary mismatch.
+func VerifyParallelParity(cfg config.Config, bench workload.Benchmark, shards []int) error {
+	want, err := ParitySummary(cfg, bench, 1)
+	if err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if s <= 1 {
+			continue
+		}
+		got, err := ParitySummary(cfg, bench, s)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("check: parallel parity broken at %d shards (%v):\n%s", s, cfg.Scheme, summaryDiff(want, got))
+		}
+	}
+	return nil
+}
+
+// ParallelDifferential extends the differential oracle along the
+// sequential-vs-parallel axis: every scheme must produce byte-identical
+// summaries at every shard count.
+func ParallelDifferential(cfg config.Config, bench workload.Benchmark, shards []int) error {
+	for _, sch := range config.Schemes() {
+		if err := VerifyParallelParity(cfg.WithScheme(sch), bench, shards); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summaryDiff renders the first few differing lines of two summaries.
+func summaryDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&b, "  seq: %s\n  par: %s\n", w, g)
+		if shown++; shown >= 8 {
+			b.WriteString("  ...\n")
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package check
+
+import (
+	"testing"
+
+	"vcoma/internal/check/fuzzgen"
+	"vcoma/internal/config"
+	"vcoma/internal/workload"
+)
+
+// TestParallelParityFuzzWorkloads checks the tentpole claim on derived
+// random workloads: every scheme, every shard count, byte-identical
+// summaries.
+func TestParallelParityFuzzWorkloads(t *testing.T) {
+	cases := []struct {
+		seed, scenario, size uint64
+	}{
+		{1, 0, 64},
+		{2, 1, 48},
+		{3, 3, 96},
+		{5, 4, 32},
+	}
+	for _, c := range cases {
+		w := fuzzgen.Derive(c.seed, c.scenario, c.size)
+		if err := ParallelDifferential(config.SmallTest(), w, []int{2, 4, 8}); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+	}
+}
+
+// TestParallelParityBenchmarks checks parity on the real SPLASH-2 kernels
+// at test scale, one representative scheme pair per run to keep it fast:
+// the physically-indexed extreme (L0-TLB) and the paper's V-COMA.
+func TestParallelParityBenchmarks(t *testing.T) {
+	for _, name := range []string{"RADIX", "FFT", "OCEAN"} {
+		b, err := workload.ByName(name, workload.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sch := range []config.Scheme{config.L0TLB, config.L2TLB, config.VCOMA} {
+			cfg := config.SmallTest().WithScheme(sch)
+			if err := VerifyParallelParity(cfg, b, []int{2, 4, 8}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}

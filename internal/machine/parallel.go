@@ -1,0 +1,192 @@
+package machine
+
+import (
+	"vcoma/internal/addr"
+	"vcoma/internal/config"
+	"vcoma/internal/mem"
+	"vcoma/internal/tlb"
+)
+
+// This file is the machine half of the parallel engine (internal/sim's
+// parallel.go): a classification of references into "contained" ones — those
+// whose entire effect is confined to the issuing node's private state (FLC,
+// SLC, timed TLB, NodeStats) — and a checkpoint of exactly that state.
+// Contained references from different nodes commute, so the parallel engine
+// may execute them concurrently against frozen global state and still commit
+// them in exact sequential order. Everything else (coherence transactions,
+// SLC fills and victims, first-touch page mapping, synchronization) is
+// deferred to the engine's sequential drain.
+
+// ParallelEligible reports whether this machine supports the parallel
+// engine's contained access path. Observer instrumentation (banks, tracer,
+// histograms) and access checkers see references in global order through
+// shared state, so an instrumented machine degrades to the sequential
+// engine; results are identical either way.
+func (m *Machine) ParallelEligible() bool {
+	if m.banks != nil || m.nowbBanks != nil || m.checker != nil {
+		return false
+	}
+	if m.tracer != nil || m.latAccess != nil || m.latRemote != nil {
+		return false
+	}
+	for _, b := range m.tlbs {
+		if _, ok := b.(tlb.Snapshottable); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeSnapshot is a reusable checkpoint of one node's contained state. The
+// caches checkpoint themselves through their set-granular undo journals
+// (armed here, rolled back or committed below) — a burst touches a handful
+// of sets, so copying whole tag arrays per round would dwarf the burst
+// itself. The timed TLB (if the scheme has one) is tiny and is copied
+// outright, as are the node's statistics. Everything the contained path
+// cannot touch — attraction memory, directory, network, VM — stays frozen
+// between round barriers and needs no checkpoint.
+type NodeSnapshot struct {
+	tlb   tlb.Snapshot
+	stats NodeStats
+}
+
+// SnapshotNode checkpoints node n's contained state into s, reusing s's
+// buffers across rounds. Every checkpoint must be closed by exactly one
+// RestoreNode or CommitNode before the node's state is read globally.
+func (m *Machine) SnapshotNode(n addr.Node, s *NodeSnapshot) {
+	m.flcs[n].ArmUndo()
+	m.slcs[n].ArmUndo()
+	if m.tlbs != nil {
+		m.tlbs[n].(tlb.Snapshottable).SnapshotTo(&s.tlb)
+	}
+	s.stats = m.stats[n]
+}
+
+// RestoreNode rolls node n's contained state back to the open checkpoint.
+func (m *Machine) RestoreNode(n addr.Node, s *NodeSnapshot) {
+	m.flcs[n].RollbackUndo()
+	m.slcs[n].RollbackUndo()
+	if m.tlbs != nil {
+		m.tlbs[n].(tlb.Snapshottable).RestoreFrom(&s.tlb)
+	}
+	m.stats[n] = s.stats
+}
+
+// CommitNode closes node n's open checkpoint keeping all mutations (the
+// whole burst committed, nothing to rewind).
+func (m *Machine) CommitNode(n addr.Node) {
+	m.flcs[n].DisarmUndo()
+	m.slcs[n].DisarmUndo()
+}
+
+// AccessContained executes one reference if and only if it is contained,
+// mirroring Access cycle-for-cycle and counter-for-counter on those paths.
+// It returns ok=false — with no state touched at all — when the reference
+// needs anything beyond node n's private state:
+//
+//   - the page is unmapped (schemes ≤ L2 translate up front; first touch
+//     assigns a frame, which must happen in sequential order),
+//   - a read misses both caches (the SLC fill goes through the protocol),
+//   - a write misses the SLC or hits it without ownership (an upgrade or
+//     fetch transaction),
+//   - which leaves: FLC hits, FLC-miss/SLC-hit reads (the FLC fill is
+//     write-through and its victims are silently dropped), and SLC-hit
+//     writes with the block already Exclusive.
+//
+// The classification is pure (Contains/Probe/TryTranslate only); mutation
+// starts only after the reference is known to be contained, in exactly the
+// order Access would perform it.
+func (m *Machine) AccessContained(now uint64, n addr.Node, va addr.Virtual, write bool) (AccessResult, bool) {
+	g := m.g
+	scheme := m.cfg.Scheme
+
+	var pa uint64
+	if scheme <= config.L2TLB {
+		p, ok := m.sys.TryTranslate(va)
+		if !ok {
+			return AccessResult{}, false
+		}
+		pa = uint64(p)
+	}
+	var flcAddr, slcAddr uint64
+	switch scheme {
+	case config.L0TLB:
+		flcAddr, slcAddr = pa, pa
+	case config.L1TLB:
+		flcAddr, slcAddr = uint64(va), pa
+	default:
+		flcAddr, slcAddr = uint64(va), uint64(va)
+	}
+	flc, slc := m.flcs[n], m.slcs[n]
+
+	if !write {
+		if !flc.Contains(flcAddr) && !slc.Contains(slcAddr) {
+			return AccessResult{}, false
+		}
+	} else {
+		if !slc.Contains(slcAddr) {
+			return AccessResult{}, false
+		}
+		var protoBlock uint64
+		if scheme <= config.L2TLB {
+			pb, ok := m.sys.TryTranslate(g.Block(va))
+			if !ok {
+				return AccessResult{}, false
+			}
+			protoBlock = uint64(pb)
+		} else {
+			protoBlock = uint64(g.Block(va))
+		}
+		if m.prot.StateAt(n, protoBlock) != mem.Exclusive {
+			return AccessResult{}, false
+		}
+	}
+
+	// Commit: the exact mutation sequence of Access for these cases.
+	st := &m.stats[n]
+	st.Refs++
+	if write {
+		st.Writes++
+	} else {
+		st.Reads++
+	}
+	var trans uint64
+	if scheme == config.L0TLB {
+		trans += m.tlbAccess(now, n, g.Page(va), false)
+	}
+
+	if !write {
+		if flc.ReadU(flcAddr).Hit {
+			st.FLCHits++
+			st.TransCycles += trans
+			m.latAccess.Observe(trans)
+			return AccessResult{Cycles: trans, TransCycles: trans, Class: ClassFLCHit}, true
+		}
+		if scheme == config.L1TLB {
+			trans += m.tlbAccess(now, n, g.Page(va), false)
+		}
+		rs := slc.ReadU(slcAddr)
+		if !rs.Hit || rs.Evicted {
+			panic("machine: contained read diverged from its classification")
+		}
+		st.SLCHits++
+		st.StallLocal += m.cfg.Timing.SLCHit
+		st.TransCycles += trans
+		m.latAccess.Observe(m.cfg.Timing.SLCHit + trans)
+		return AccessResult{Cycles: m.cfg.Timing.SLCHit + trans, TransCycles: trans, Class: ClassSLCHit}, true
+	}
+
+	flc.WriteU(flcAddr)
+	if scheme == config.L1TLB {
+		trans += m.tlbAccess(now, n, g.Page(va), false)
+	}
+	ws := slc.WriteU(slcAddr)
+	if !ws.Hit || ws.Evicted {
+		panic("machine: contained write diverged from its classification")
+	}
+	st.SLCHits++
+	st.StallLocal += m.cfg.Timing.SLCHit
+	st.TransCycles += trans
+	m.latAccess.Observe(m.cfg.Timing.SLCHit + trans)
+	return AccessResult{Cycles: m.cfg.Timing.SLCHit + trans, TransCycles: trans, Class: ClassSLCHit}, true
+}

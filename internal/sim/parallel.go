@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/machine"
+	"vcoma/internal/trace"
+)
+
+// This file is the parallel round engine. The sequential engine retires
+// events in (clock, proc)-key order; the parallel engine produces the
+// byte-identical run by splitting each scheduling window into two phases:
+//
+//  1. Burst: processors are partitioned across shard goroutines. Each shard
+//     steps its processors through a bounded burst of *contained* events —
+//     those the machine proves touch only the issuing node's private state
+//     (machine.AccessContained) — against frozen global state, recording
+//     every event on a per-processor tape. The first event that needs
+//     global state (coherence, SLC fill, page mapping, synchronization)
+//     parks the processor with the event pushed back. Processors whose
+//     clock is already past the round window park immediately and pay
+//     nothing: their events cannot commit this round anyway.
+//
+//  2. Commit + drain: the cutoff is the smallest parked scheduling key.
+//     Tape entries at keys ≤ cutoff are committed — contained events on
+//     distinct nodes commute, and per-processor clock trajectories equal
+//     the sequential ones, so the key-merged tapes are exactly the
+//     sequential retirement prefix. Entries beyond the cutoff are rewound
+//     (node state rolled back to the round checkpoint, the committed prefix
+//     re-executed, pulled events re-delivered) because the drain may
+//     invalidate their inputs. The drain then runs the ordinary sequential
+//     loop — full coherence, locks, barriers — for a bounded quantum
+//     starting at the cutoff.
+//
+// The drain quantum adapts to the workload's phase: when bursts commit
+// little (sync- or miss-dominated stretches, where the cutoff sits right at
+// the frontier) the quantum grows toward parDrainMax so the engine behaves
+// like the sequential loop with a cheap parallel probe per quantum; when
+// bursts commit well (compute-dense stretches with high cache hit rates) it
+// shrinks toward parDrainMin and most events retire through the parallel
+// phase.
+//
+// Every decision (burst caps, park classification, cutoff, drain quantum,
+// adaptation) depends only on per-processor state and frozen global state,
+// never on shard count or goroutine timing, so the committed event sequence
+// — counters, digests, final memory image — is invariant across shard
+// counts and equal to the sequential engine's. That invariance is what
+// internal/check's parity harness and FuzzParallelParity verify.
+
+const (
+	// parRoundCap bounds one processor's burst per round, which bounds both
+	// the tape memory and how far past a budget the engine can run before
+	// the round barrier checks it.
+	parRoundCap = 512
+	// parWindow bounds a burst in simulated cycles past the round's minimum
+	// processor clock. Only events below the smallest parked key commit, so
+	// a processor far ahead of the frontier would speculate entirely in
+	// vain; the window keeps the wasted work proportional to the frontier's
+	// real spread.
+	parWindow = 1024
+	// parDrainMin and parDrainMax bound the adaptive sequential-drain
+	// quantum; the next round re-enters the burst phase for whatever became
+	// runnable.
+	parDrainMin = 128
+	parDrainMax = 4096
+)
+
+// SetParallel selects the number of shard goroutines for Run. n ≤ 1 (the
+// default) is the sequential engine. Any n produces byte-identical results;
+// runs that cannot use shards (machine-level instrumentation attached,
+// non-batching streams, single processor) silently run sequentially.
+func (e *Engine) SetParallel(n int) { e.shards = n }
+
+// parallelOK reports whether this run can use the round engine.
+func (e *Engine) parallelOK() bool {
+	if len(e.procs) < 2 {
+		return false
+	}
+	if !e.m.ParallelEligible() {
+		return false
+	}
+	for i := range e.procs {
+		// Push-back of a parked event needs batch indices to rewind.
+		if e.procs[i].batcher == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// parEvent is one tape entry: the event, its scheduling key at issue, and
+// the processor clock after it executed (checked on replay).
+type parEvent struct {
+	key  uint64
+	post uint64
+	ev   trace.Event
+}
+
+// parProc is one processor's per-round state.
+type parProc struct {
+	tape   []parEvent
+	parked bool
+	armed  bool // a node checkpoint is open and must be closed this round
+
+	snapClock uint64
+	snapStats ProcStats
+	snapNode  machine.NodeSnapshot
+
+	// pending double-buffers rewindProc's re-delivery queue: the engine may
+	// still be consuming the slice installed by the previous rewind when the
+	// next one builds its queue, so the builder alternates buffers.
+	pending [2][]trace.Event
+	flip    int
+}
+
+// parRunner is the round engine's bookkeeping.
+type parRunner struct {
+	e      *Engine
+	shards int
+	procs  []parProc
+
+	quantum   int // current drain quantum, adapted each round
+	rounds    uint64
+	committed uint64 // contained events committed at round barriers
+	drained   uint64 // events executed by sequential drains
+}
+
+func (e *Engine) runParallel() error {
+	r := &parRunner{e: e, shards: e.shards, quantum: parDrainMin}
+	if r.shards > len(e.procs) {
+		r.shards = len(e.procs)
+	}
+	r.procs = make([]parProc, len(e.procs))
+	e.par = r
+	for {
+		runnable := false
+		for i := range e.procs {
+			if !e.procs[i].done && !e.procs[i].waiting {
+				runnable = true
+				break
+			}
+		}
+		if !runnable {
+			return nil // all done, or deadlocked: Run's tail decides
+		}
+		if err := r.round(); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *parRunner) round() error {
+	e := r.e
+	r.rounds++
+
+	minClock := ^uint64(0)
+	for i := range e.procs {
+		p := &e.procs[i]
+		if !p.done && !p.waiting && p.clock < minClock {
+			minClock = p.clock
+		}
+	}
+	windowEnd := minClock + parWindow
+
+	// Burst phase: shard s owns processors s, s+shards, s+2*shards, ...
+	// Shards touch only their own processors' node state; global state is
+	// frozen until the drain, and the WaitGroup orders everything after.
+	var wg sync.WaitGroup
+	for s := 1; s < r.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r.burstShard(s, windowEnd)
+		}(s)
+	}
+	r.burstShard(0, windowEnd)
+	wg.Wait()
+
+	// Cutoff: the smallest parked key. Events at keys beyond it may read
+	// state the drain is about to change, so they cannot commit this round.
+	cutoff := ^uint64(0)
+	for i := range r.procs {
+		if r.procs[i].parked {
+			if k := packSchedKey(e.procs[i].clock, int32(i)); k < cutoff {
+				cutoff = k
+			}
+		}
+	}
+
+	// Rewind phase: every tape past the cutoff is rolled back and its
+	// committed prefix re-executed. A rewind touches only the processor and
+	// its own node's state, so this phase shards exactly like the burst.
+	for s := 1; s < r.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r.rewindShard(s, cutoff)
+		}(s)
+	}
+	r.rewindShard(0, cutoff)
+	wg.Wait()
+
+	// Account the committed prefixes.
+	total := 0
+	for i := range r.procs {
+		total += len(r.procs[i].tape)
+		e.noteClock(e.procs[i].clock)
+	}
+	r.committed += uint64(total)
+	if e.stepObs != nil || e.sampler != nil {
+		r.replayMerged()
+	} else {
+		e.events += uint64(total)
+	}
+	if err := r.checkBudgetBarrier(); err != nil {
+		return err
+	}
+
+	// Drain: the ordinary sequential engine picks up at the cutoff.
+	for i := range e.procs {
+		p := &e.procs[i]
+		if p.done || p.waiting {
+			e.schedUpdate(i, schedIdle)
+		} else {
+			e.schedUpdate(i, packSchedKey(p.clock, int32(i)))
+		}
+	}
+	supervised := !e.budget.Zero() || e.ctx != nil
+	steps := 0
+	for steps < r.quantum {
+		top := e.sched[1]
+		if top == schedIdle {
+			break
+		}
+		i := int(top & (1<<schedIndexBits - 1))
+		if err := e.step(i); err != nil {
+			return err
+		}
+		steps++
+		if supervised {
+			if err := e.checkBudget(); err != nil {
+				return err
+			}
+		}
+		p := &e.procs[i]
+		if p.done || p.waiting {
+			e.schedUpdate(i, schedIdle)
+		} else {
+			e.schedUpdate(i, packSchedKey(p.clock, int32(i)))
+		}
+	}
+	r.drained += uint64(steps)
+
+	// Adapt the next drain quantum to this round's commits. Commits per
+	// round track the workload's contained-streak length, not the quantum,
+	// so the test is against the finest quantum: if bursts out-commit a
+	// minimum drain, finer rounds raise the parallel fraction; if they
+	// commit almost nothing, coarser rounds amortize the barrier. Both
+	// counts are shard-count-invariant, so the quantum trajectory — and
+	// with it the round structure — is too.
+	if total >= parDrainMin {
+		if r.quantum > parDrainMin {
+			r.quantum /= 2
+		}
+	} else if uint64(total)*2 < uint64(steps) && r.quantum < parDrainMax {
+		r.quantum *= 2
+	}
+	return nil
+}
+
+func (r *parRunner) burstShard(s int, windowEnd uint64) {
+	for i := s; i < len(r.e.procs); i += r.shards {
+		r.burstProc(i, windowEnd)
+	}
+}
+
+// rewindShard applies the cutoff to shard s's processors: tapes that run
+// past it are rewound (rewindProc), fully-kept tapes just close their
+// checkpoint.
+func (r *parRunner) rewindShard(s int, cutoff uint64) {
+	for i := s; i < len(r.e.procs); i += r.shards {
+		pp := &r.procs[i]
+		keep := len(pp.tape)
+		for keep > 0 && pp.tape[keep-1].key > cutoff {
+			keep--
+		}
+		if keep < len(pp.tape) {
+			r.rewindProc(i, keep) // closes the checkpoint via RestoreNode
+			pp.tape = pp.tape[:keep]
+		} else if pp.armed {
+			r.e.m.CommitNode(addr.Node(i))
+		}
+		pp.armed = false
+	}
+}
+
+// burstProc steps processor i through contained events until it parks (a
+// non-contained event, pushed back), caps out, or finishes its stream.
+func (r *parRunner) burstProc(i int, windowEnd uint64) {
+	e := r.e
+	p := &e.procs[i]
+	pp := &r.procs[i]
+	pp.tape = pp.tape[:0]
+	pp.parked = false
+	if p.done || p.waiting {
+		return
+	}
+	if p.clock >= windowEnd {
+		// Past the window: park at the current clock without opening a
+		// checkpoint. The unexamined next event still bounds the cutoff.
+		pp.parked = true
+		return
+	}
+	pp.snapClock, pp.snapStats = p.clock, p.stats
+	e.m.SnapshotNode(addr.Node(i), &pp.snapNode)
+	pp.armed = true
+	for {
+		if len(pp.tape) >= parRoundCap || p.clock >= windowEnd {
+			// A capped processor parks exactly like a non-contained event:
+			// its unexamined next event bounds the cutoff, so no drain
+			// event can slip in ahead of it.
+			pp.parked = true
+			return
+		}
+		var ev trace.Event
+		if p.bpos < len(p.batch) {
+			ev = p.batch[p.bpos]
+			p.bpos++
+		} else {
+			var ok bool
+			if ev, ok = p.refill(); !ok {
+				p.done = true
+				return
+			}
+		}
+		key := packSchedKey(p.clock, int32(i))
+		if !r.execContained(i, ev) {
+			p.bpos-- // push the event back for the drain
+			pp.parked = true
+			return
+		}
+		pp.tape = append(pp.tape, parEvent{key: key, post: p.clock, ev: ev})
+	}
+}
+
+// execContained executes ev on processor i iff it is contained, mirroring
+// step's accounting exactly. Used by both the burst and the rewind replay.
+func (r *parRunner) execContained(i int, ev trace.Event) bool {
+	p := &r.e.procs[i]
+	switch ev.Kind {
+	case trace.Compute:
+		p.stats.Busy += ev.Cycles
+		p.clock += ev.Cycles
+		return true
+	case trace.Read, trace.Write:
+		res, ok := r.e.m.AccessContained(p.clock, addr.Node(i), ev.Addr, ev.Kind == trace.Write)
+		if !ok {
+			return false
+		}
+		p.stats.Refs++
+		p.clock += res.Cycles
+		p.stats.Trans += res.TransCycles
+		stall := res.Cycles - res.TransCycles
+		if res.Class == machine.ClassRemote {
+			p.stats.StallRemote += stall
+		} else {
+			p.stats.StallLocal += stall
+		}
+		return true
+	default:
+		// Synchronization (and anything unknown) always goes through the
+		// sequential drain.
+		return false
+	}
+}
+
+// rewindProc rolls processor i back to the round checkpoint, re-executes the
+// first keep tape entries (they commit this round), and queues everything
+// else it had pulled from its stream for re-delivery.
+func (r *parRunner) rewindProc(i, keep int) {
+	e := r.e
+	p := &e.procs[i]
+	pp := &r.procs[i]
+
+	// Re-deliver the rewound tape suffix, then the rest of the in-flight
+	// batch (which includes any pushed-back parked event). The batch is
+	// still live — its producer recycles it only on the next NextBatch, and
+	// the alternate scratch buffer is free for the same reason — so copying
+	// here is safe, and refill takes over when this runs dry.
+	suffix := pp.tape[keep:]
+	pending := pp.pending[pp.flip][:0]
+	pp.flip ^= 1
+	for j := range suffix {
+		pending = append(pending, suffix[j].ev)
+	}
+	pending = append(pending, p.batch[p.bpos:]...)
+	pp.pending[pp.flip^1] = pending
+	p.batch, p.bpos = pending, 0
+	p.done = false
+
+	p.clock, p.stats = pp.snapClock, pp.snapStats
+	e.m.RestoreNode(addr.Node(i), &pp.snapNode)
+	for j := 0; j < keep; j++ {
+		t := &pp.tape[j]
+		if !r.execContained(i, t.ev) || p.clock != t.post {
+			panic(fmt.Sprintf("sim: parallel replay diverged on proc %d", i))
+		}
+	}
+}
+
+// replayMerged fires the per-event observers (step observer, epoch sampler,
+// event counter) for the round's committed tapes in exact sequential
+// retirement order: ascending scheduling key, with a processor's equal-key
+// runs kept in program order. Only observed runs pay for the merge; plain
+// runs just add the counts.
+func (r *parRunner) replayMerged() {
+	e := r.e
+	heads := make([]int, len(r.procs))
+	for {
+		best := -1
+		var bestKey uint64
+		for i := range r.procs {
+			t := r.procs[i].tape
+			if heads[i] >= len(t) {
+				continue
+			}
+			if k := t[heads[i]].key; best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		t := &r.procs[best].tape[heads[best]]
+		heads[best]++
+		e.events++
+		if e.stepObs != nil {
+			e.stepObs(best, t.ev)
+		}
+		e.sampler.Tick(t.post)
+	}
+}
+
+// checkBudgetBarrier is the round-barrier budget check. Unlike the per-step
+// checkBudget it always polls wall clock and context — a mostly-contained
+// run retires few events through the drain, so the periodic poll there can
+// be arbitrarily far apart. Tripping here (rather than mid-burst) keeps the
+// dump coherent: it reflects exactly the committed prefix of the run.
+func (r *parRunner) checkBudgetBarrier() error {
+	e := r.e
+	if err := e.checkBudget(); err != nil {
+		return err
+	}
+	if e.budget.MaxWall > 0 && time.Since(e.wallStart) > e.budget.MaxWall {
+		return e.trip(fmt.Sprintf("wall-clock budget exceeded (limit %v)", e.budget.MaxWall))
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return e.trip("context deadline exceeded")
+			}
+			return err
+		}
+	}
+	return nil
+}

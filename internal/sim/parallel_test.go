@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vcoma/internal/addr"
+	"vcoma/internal/machine"
+	"vcoma/internal/trace"
+)
+
+func addrOf(a uint64) addr.Virtual { return addr.Virtual(a) }
+
+// mixedEvents builds a 4-proc workload mixing every event kind the engine
+// handles — compute, reads and writes over the preloaded range (hits and
+// misses), contended locks, barriers — sized so parallel runs go through
+// many rounds, bursts, rewinds and drains.
+func mixedEvents(n int) [][]trace.Event {
+	out := make([][]trace.Event, 4)
+	for p := range out {
+		evs := make([]trace.Event, 0, n)
+		for k := 0; k < n; k++ {
+			switch k % 7 {
+			case 0:
+				evs = append(evs, trace.Event{Kind: trace.Compute, Cycles: uint64(1 + (k+p)%5)})
+			case 1, 2:
+				// A small hot set: mostly FLC hits, the contained fast path.
+				a := uint64(0x10000 + 64*((k+p)%16))
+				evs = append(evs, trace.Event{Kind: trace.Read, Addr: addrOf(a)})
+			case 3:
+				a := uint64(0x10000 + 64*((k*3+p)%96))
+				evs = append(evs, trace.Event{Kind: trace.Write, Addr: addrOf(a)})
+			case 4:
+				evs = append(evs, trace.Event{Kind: trace.Read, Addr: addrOf(uint64(0x10000 + 64*((k*7)%128)))})
+			case 5:
+				if k%35 == 5 {
+					evs = append(evs, trace.Event{Kind: trace.LockAcquire, ID: k % 3},
+						trace.Event{Kind: trace.LockRelease, ID: k % 3})
+				}
+			case 6:
+				if k%49 == 6 {
+					evs = append(evs, trace.Event{Kind: trace.Barrier, ID: 1})
+				}
+			}
+		}
+		// Everyone meets at the same number of barrier episodes.
+		evs = append(evs, trace.Event{Kind: trace.Barrier, ID: 9})
+		out[p] = evs
+	}
+	return out
+}
+
+// runShards runs the same workload at the given shard count on a fresh
+// machine and returns the result plus machine totals.
+func runShards(t *testing.T, events [][]trace.Event, shards int) (Result, machine.NodeStats, *Engine) {
+	t.Helper()
+	m := newMachine(t)
+	e, err := New(m, streams(events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetParallel(shards)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m.TotalStats(), e
+}
+
+// TestParallelMatchesSequential pins the tentpole claim at the engine level:
+// identical Result structs and machine totals at every shard count, on a
+// workload that exercises bursts, rewinds, sync drains and stream ends.
+func TestParallelMatchesSequential(t *testing.T) {
+	events := mixedEvents(4000)
+	want, wantTot, _ := runShards(t, events, 1)
+	for _, shards := range []int{2, 3, 4, 8} {
+		got, gotTot, e := runShards(t, events, shards)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d: result diverged\nseq: %+v\npar: %+v", shards, want, got)
+		}
+		if wantTot != gotTot {
+			t.Errorf("shards=%d: machine totals diverged\nseq: %+v\npar: %+v", shards, wantTot, gotTot)
+		}
+		if e.par == nil {
+			t.Fatalf("shards=%d: parallel runner never engaged", shards)
+		}
+	}
+}
+
+// TestParallelCommitsBursts guards against the engine silently degrading to
+// drain-only rounds: a hit-dominated workload must retire a meaningful
+// share of its events through the parallel burst phase.
+func TestParallelCommitsBursts(t *testing.T) {
+	events := make([][]trace.Event, 4)
+	for p := range events {
+		evs := make([]trace.Event, 0, 20000)
+		for k := 0; k < 20000; k++ {
+			// Eight hot blocks per proc: after the first touches, every
+			// access is an FLC hit — contained.
+			a := uint64(0x10000 + 64*((k%8)+8*p))
+			evs = append(evs, trace.Event{Kind: trace.Read, Addr: addrOf(a)})
+		}
+		events[p] = evs
+	}
+	_, _, e := runShards(t, events, 4)
+	if e.par == nil {
+		t.Fatal("parallel runner never engaged")
+	}
+	if e.par.committed == 0 {
+		t.Fatalf("no events committed through bursts (rounds=%d drained=%d)", e.par.rounds, e.par.drained)
+	}
+	if e.par.committed < e.par.drained {
+		t.Errorf("hit-dominated workload drained more than it committed: committed=%d drained=%d",
+			e.par.committed, e.par.drained)
+	}
+}
+
+// TestParallelObserverOrder checks the merged observer replay: the step
+// observer must see the exact sequential retirement order even when events
+// retire through parallel bursts.
+func TestParallelObserverOrder(t *testing.T) {
+	events := mixedEvents(1500)
+	trail := func(shards int) string {
+		m := newMachine(t)
+		e, err := New(m, streams(events...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		e.SetStepObserver(func(proc int, ev trace.Event) {
+			fmt.Fprintf(&b, "%d:%d:%d;", proc, ev.Kind, ev.Addr)
+		})
+		e.SetParallel(shards)
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := trail(1)
+	for _, shards := range []int{2, 4} {
+		if got := trail(shards); got != want {
+			t.Errorf("shards=%d: observer saw a different event order", shards)
+		}
+	}
+}
+
+// parallelLine matches the one Render line that legitimately differs across
+// shard counts (it names the shard count itself).
+var parallelLine = regexp.MustCompile(`(?m)^  parallel: .*\n`)
+
+// TestParallelWatchdogDumpCoherent is the regression test for watchdog
+// dumps under parallel mode: the budget must trip at a round barrier or
+// inside the drain — never mid-burst — so the dump reflects one committed
+// prefix, identical at every shard count up to the shard-count line itself.
+func TestParallelWatchdogDumpCoherent(t *testing.T) {
+	events := mixedEvents(4000)
+	dumpAt := func(shards int) *Dump {
+		m := newMachine(t)
+		e, err := New(m, streams(events...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetParallel(shards)
+		e.SetBudget(Budget{MaxEvents: 3000})
+		_, err = e.Run()
+		var wd *WatchdogError
+		if !errors.As(err, &wd) {
+			t.Fatalf("shards=%d: want *WatchdogError, got %v", shards, err)
+		}
+		return wd.Dump
+	}
+	want := dumpAt(2)
+	if want.Shards != 2 || want.Rounds == 0 {
+		t.Errorf("dump must identify the round engine: shards=%d rounds=%d", want.Shards, want.Rounds)
+	}
+	if !strings.Contains(want.Render(), "parallel: 2 shards") {
+		t.Errorf("render missing the parallel line:\n%s", want.Render())
+	}
+	wantText := parallelLine.ReplaceAllString(want.Render(), "")
+	for _, shards := range []int{4, 8} {
+		got := dumpAt(shards)
+		if got.Rounds != want.Rounds {
+			t.Errorf("shards=%d: %d rounds at trip, want %d (round structure must be shard-invariant)",
+				shards, got.Rounds, want.Rounds)
+		}
+		gotText := parallelLine.ReplaceAllString(got.Render(), "")
+		if gotText != wantText {
+			t.Errorf("shards=%d: dump diverged from shards=2:\n%s\n--- vs ---\n%s", shards, gotText, wantText)
+		}
+	}
+	// The sequential engine tripped on the same budget must agree on the
+	// committed state too — parallel overshoot past MaxEvents is bounded
+	// by one round's commits, and the dump snapshot stays coherent.
+	seq := dumpAt(1)
+	if seq.Shards != 0 || strings.Contains(seq.Render(), "parallel:") {
+		t.Errorf("sequential dump must not report shards: %+v", seq.Shards)
+	}
+}
+
+// TestLockQueueRingWraparound exercises lockState's ring buffer directly:
+// FIFO order must survive qhead resets in both push (append after full
+// drain) and pop (drain to empty mid-stream), across several cycles.
+func TestLockQueueRingWraparound(t *testing.T) {
+	var l lockState
+	next := int32(0)
+	expect := int32(0)
+	push := func(n int) {
+		for k := 0; k < n; k++ {
+			l.push(next, uint64(next))
+			next++
+		}
+	}
+	pop := func(n int) {
+		t.Helper()
+		for k := 0; k < n; k++ {
+			w := l.pop()
+			if w.proc != expect || w.arrived != uint64(expect) {
+				t.Fatalf("pop: got proc %d arrived %d, want %d", w.proc, w.arrived, expect)
+			}
+			expect++
+		}
+	}
+	push(3)
+	pop(2)  // qhead=2, len=3
+	push(4) // grows past the head
+	pop(5)  // drains to empty: qhead reset in pop
+	if l.queueLen() != 0 {
+		t.Fatalf("queue should be empty, len %d", l.queueLen())
+	}
+	push(2) // push after reset reuses the backing array
+	pop(1)
+	pop(1) // qhead == len again
+	for cycle := 0; cycle < 50; cycle++ {
+		push(1 + cycle%4)
+		pop(1 + cycle%4)
+	}
+	if l.queueLen() != 0 || l.qhead != 0 {
+		t.Fatalf("ring did not reset: len %d qhead %d", l.queueLen(), l.qhead)
+	}
+}
+
+// TestSyncIDOverflowTables drives lock and barrier IDs outside the dense
+// tables — at, above, and below the maxDenseSyncID bound, including
+// negative — through a real contended run, sequentially and in parallel.
+func TestSyncIDOverflowTables(t *testing.T) {
+	ids := []int{0, maxDenseSyncID - 1, maxDenseSyncID, maxDenseSyncID + 17, 1 << 20, -1, -99}
+	events := make([][]trace.Event, 4)
+	for p := range events {
+		var evs []trace.Event
+		for _, id := range ids {
+			evs = append(evs,
+				trace.Event{Kind: trace.Compute, Cycles: uint64(1 + p)},
+				trace.Event{Kind: trace.LockAcquire, ID: id},
+				trace.Event{Kind: trace.Compute, Cycles: 5},
+				trace.Event{Kind: trace.LockRelease, ID: id},
+				trace.Event{Kind: trace.Barrier, ID: id},
+			)
+		}
+		events[p] = evs
+	}
+	want, wantTot, _ := runShards(t, events, 1)
+	if want.ExecTime == 0 {
+		t.Fatal("overflow-ID run did not execute")
+	}
+	for _, p := range want.Procs {
+		if p.Sync == 0 {
+			t.Fatalf("no sync time recorded under contention: %+v", p)
+		}
+	}
+	got, gotTot, _ := runShards(t, events, 4)
+	if !reflect.DeepEqual(want, got) || wantTot != gotTot {
+		t.Errorf("overflow-ID run diverged between sequential and parallel:\nseq: %+v\npar: %+v", want, got)
+	}
+}
+
+// TestPackSchedKeyOverflowPanics pins the 48-bit packed-clock guard: a clock
+// at the key boundary must panic loudly rather than misorder the schedule.
+func TestPackSchedKeyOverflowPanics(t *testing.T) {
+	if k := packSchedKey(1<<48-1, 7); k>>schedIndexBits != 1<<48-1 {
+		t.Fatalf("key %x lost clock bits", k)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("packSchedKey accepted a clock beyond 48 bits")
+		}
+	}()
+	packSchedKey(1<<48, 0)
+}

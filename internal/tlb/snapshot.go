@@ -1,0 +1,101 @@
+package tlb
+
+import "vcoma/internal/addr"
+
+// Snapshot is a reusable checkpoint of a translation buffer's observable
+// state, shared by the three organizations (only the fields a given
+// organization uses are populated). The parallel engine snapshots the timed
+// per-node TLB at a round boundary and restores it when the round's
+// speculative burst overruns the commit horizon; restoring must reproduce
+// the buffer bit-for-bit — including the replacement PRNG stream and the
+// last-page memo — or parallel runs would diverge from sequential ones.
+type Snapshot struct {
+	pages  []addr.PageNum // FullyAssoc slots / DM+SA tags
+	keys   []addr.PageNum // FullyAssoc open-addressing keys
+	slotOf []int32        // FullyAssoc open-addressing values
+	valid  []bool         // DM+SA valid bits
+	nslots int            // FullyAssoc live slot count
+	memo   addr.PageNum
+	memoOK bool
+	rng    uint64 // replacement PRNG state (FullyAssoc, SetAssoc)
+	stats  Stats
+}
+
+// Snapshottable is implemented by buffer organizations that support
+// checkpoint/restore. All three concrete organizations implement it; the
+// machine layer checks for it when deciding parallel eligibility so a
+// future organization without snapshot support degrades to the sequential
+// engine instead of diverging.
+type Snapshottable interface {
+	SnapshotTo(*Snapshot)
+	RestoreFrom(*Snapshot)
+}
+
+func copyPages(dst *[]addr.PageNum, src []addr.PageNum) {
+	if cap(*dst) < len(src) {
+		*dst = make([]addr.PageNum, len(src))
+	}
+	*dst = (*dst)[:len(src)]
+	copy(*dst, src)
+}
+
+// SnapshotTo implements Snapshottable.
+func (b *FullyAssoc) SnapshotTo(s *Snapshot) {
+	copyPages(&s.pages, b.slots)
+	s.nslots = len(b.slots)
+	copyPages(&s.keys, b.keys)
+	if len(s.slotOf) != len(b.slotOf) {
+		s.slotOf = make([]int32, len(b.slotOf))
+	}
+	copy(s.slotOf, b.slotOf)
+	s.memo, s.memoOK = b.memo, b.memoOK
+	s.rng = b.rng.State()
+	s.stats = b.stats
+}
+
+// RestoreFrom implements Snapshottable.
+func (b *FullyAssoc) RestoreFrom(s *Snapshot) {
+	b.slots = b.slots[:0]
+	b.slots = append(b.slots, s.pages[:s.nslots]...)
+	copy(b.keys, s.keys)
+	copy(b.slotOf, s.slotOf)
+	b.memo, b.memoOK = s.memo, s.memoOK
+	b.rng.SetState(s.rng)
+	b.stats = s.stats
+}
+
+// SnapshotTo implements Snapshottable.
+func (b *DirectMapped) SnapshotTo(s *Snapshot) {
+	copyPages(&s.pages, b.tags)
+	if len(s.valid) != len(b.valid) {
+		s.valid = make([]bool, len(b.valid))
+	}
+	copy(s.valid, b.valid)
+	s.stats = b.stats
+}
+
+// RestoreFrom implements Snapshottable.
+func (b *DirectMapped) RestoreFrom(s *Snapshot) {
+	copy(b.tags, s.pages)
+	copy(b.valid, s.valid)
+	b.stats = s.stats
+}
+
+// SnapshotTo implements Snapshottable.
+func (b *SetAssoc) SnapshotTo(s *Snapshot) {
+	copyPages(&s.pages, b.tags)
+	if len(s.valid) != len(b.valid) {
+		s.valid = make([]bool, len(b.valid))
+	}
+	copy(s.valid, b.valid)
+	s.rng = b.rng.State()
+	s.stats = b.stats
+}
+
+// RestoreFrom implements Snapshottable.
+func (b *SetAssoc) RestoreFrom(s *Snapshot) {
+	copy(b.tags, s.pages)
+	copy(b.valid, s.valid)
+	b.rng.SetState(s.rng)
+	b.stats = s.stats
+}
