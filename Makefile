@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke bench-snapshot bench-snapshot-core perf-gate clean
+.PHONY: all vet build test race fuzz-smoke soak check chaos-smoke serve-smoke fsfault-smoke crashsim bench-snapshot bench-snapshot-core perf-gate clean
 
 all: check
 
@@ -46,6 +46,24 @@ serve-smoke:
 	sh scripts/serve-smoke.sh serve-smoke.tmp
 	rm -rf serve-smoke.tmp
 
+# Storage-fault smoke through real HTTP: ENOSPC on every artifact put →
+# degraded-mode serving from memory (byte-identical), 503 + Retry-After on
+# a dead journal, self-heal via the write probe once the failpoints clear
+# (see scripts/fsfault-smoke.sh). The scratch dir keeps the -fsfault-log op
+# trace on failure for post-mortems.
+fsfault-smoke:
+	sh scripts/fsfault-smoke.sh fsfault-smoke.tmp
+	rm -rf fsfault-smoke.tmp
+
+# Power-cut crash-consistency sweeps: replay every fsync-truncated prefix of
+# recorded op traces and reopen the runner cache, the sweep journal and the
+# serve accept journal in each crash state, asserting their recovery
+# invariants (whole-entries-or-nothing, byte-identical resume, pending ⊆
+# accepted).
+crashsim:
+	$(GO) test ./internal/fsio/... -count=1
+	$(GO) test ./internal/runner/ ./internal/serve/ -run 'CrashSweep|Torn' -count=1
+
 # Refresh BENCH_serve.json: service-path latencies (cold submit, warm store
 # hit, coalesced burst) measured at test scale.
 bench-snapshot:
@@ -78,4 +96,4 @@ check: vet build
 	$(GO) run ./cmd/vcoma-check -seeds 30 -diff -budget 60s -artifacts fuzz-artifacts
 
 clean:
-	rm -rf fuzz-artifacts artifacts chaos-smoke.tmp serve-smoke.tmp
+	rm -rf fuzz-artifacts artifacts chaos-smoke.tmp serve-smoke.tmp fsfault-smoke.tmp

@@ -26,6 +26,7 @@ import (
 	"vcoma/internal/cli"
 	"vcoma/internal/config"
 	"vcoma/internal/experiments"
+	"vcoma/internal/fsio"
 	"vcoma/internal/workload"
 )
 
@@ -43,9 +44,15 @@ func main() {
 		scanEvery = flag.Uint64("scan-every", 512, "full invariant scan period in references")
 		verbose   = flag.Bool("v", false, "print every run, not just failures")
 	)
+	fsFaultOf := cli.FsFaultFlags()
 	newLog := cli.LogFlags("vcoma-check")
 	flag.Parse()
 	log = newLog()
+
+	var err error
+	if fsys, dumpOpLog, err = fsFaultOf(); err != nil {
+		fatal(err)
+	}
 
 	// SIGINT/SIGTERM stops the soak at the next seed boundary: artifacts
 	// already written stay on disk and the summary still prints.
@@ -56,6 +63,7 @@ func main() {
 		if err := checkBenchmark(*benchName, *scaleStr, *diff, *scanEvery); err != nil {
 			fatal(err)
 		}
+		writeOpLog()
 		cli.LogExit(log, "vcoma-check", startTime, cli.ExitOK, nil)
 		return
 	}
@@ -120,6 +128,7 @@ func main() {
 	}
 
 	fmt.Printf("%d run(s), %d failure(s)\n", ran, failures)
+	writeOpLog()
 	if failures > 0 {
 		cli.LogExit(log, "vcoma-check", startTime, cli.ExitErr, fmt.Errorf("%d failing seed(s)", failures))
 		os.Exit(1)
@@ -199,7 +208,7 @@ func writeArtifact(dir, target string, seed uint64, vals []uint64) {
 		return
 	}
 	sub := filepath.Join(dir, target)
-	if err := os.MkdirAll(sub, 0o755); err != nil {
+	if err := fsys.MkdirAll("artifact", sub); err != nil {
 		fmt.Fprintf(os.Stderr, "vcoma-check: %v\n", err)
 		return
 	}
@@ -209,7 +218,7 @@ func writeArtifact(dir, target string, seed uint64, vals []uint64) {
 		fmt.Fprintf(&b, "uint64(%d)\n", v)
 	}
 	path := filepath.Join(sub, fmt.Sprintf("seed-%d", seed))
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+	if err := fsys.WriteFileAtomic("artifact", path, []byte(b.String())); err != nil {
 		fmt.Fprintf(os.Stderr, "vcoma-check: %v\n", err)
 		return
 	}
@@ -225,14 +234,29 @@ func status(err error, format string, args ...any) {
 	fmt.Printf("ok   %s\n", msg)
 }
 
-// startTime and log feed the final structured line every exit path emits.
+// startTime and log feed the final structured line every exit path emits;
+// fsys is the filesystem seam artifact writes go through, and dumpOpLog
+// flushes the -fsfault-log op trace, which fatal must do itself because
+// os.Exit skips deferred calls.
 var (
 	startTime = time.Now()
 	log       *slog.Logger
+	fsys      *fsio.FS
+	dumpOpLog func() error
 )
+
+func writeOpLog() {
+	if dumpOpLog == nil {
+		return
+	}
+	if err := dumpOpLog(); err != nil {
+		fmt.Fprintf(os.Stderr, "vcoma-check: fsfault-log: %v\n", err)
+	}
+}
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "vcoma-check: %v\n", err)
+	writeOpLog()
 	cli.LogExit(log, "vcoma-check", startTime, cli.ExitErr, err)
 	os.Exit(1)
 }

@@ -62,15 +62,25 @@ func run() int {
 	)
 	budgetOf := cli.BudgetFlags()
 	retryOf, jobTimeout := cli.RetryFlags()
+	fsFaultOf := cli.FsFaultFlags()
 	newLog := cli.LogFlags("vcoma-report")
 	flag.Parse()
 	log = newLog()
 	if err := obs.StartPprof(*pprofAddr); err != nil {
 		return fatal(err)
 	}
+	fsys, fsDump, err := fsFaultOf()
+	if err != nil {
+		return fatal(err)
+	}
+	defer func() {
+		if err := fsDump(); err != nil {
+			fmt.Fprintf(os.Stderr, "fsfault-log: %v\n", err)
+		}
+	}()
 
 	if *clearCache {
-		c, err := runner.OpenCache(*cacheDir)
+		c, err := runner.OpenCacheFS(*cacheDir, fsys)
 		if err != nil {
 			return fatal(err)
 		}
@@ -122,6 +132,7 @@ func run() int {
 	}
 	if !*noCache {
 		suite.CacheDir = *cacheDir
+		suite.FS = fsys
 	}
 	if *benchList != "" {
 		for _, n := range strings.Split(*benchList, ",") {
@@ -144,18 +155,18 @@ func run() int {
 		jpath := filepath.Join(*cacheDir, "journal.json")
 		if *resume {
 			var prev map[string]runner.JournalEntry
-			suite.Journal, prev, err = runner.ResumeJournal(jpath, plan.Key())
+			suite.Journal, prev, err = runner.ResumeJournalFS(jpath, plan.Key(), fsys)
 			if err != nil {
 				return fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "resuming: journal records %d finished pass(es); cached results satisfy them without recomputing\n", len(prev))
-		} else if suite.Journal, err = runner.CreateJournal(jpath, plan.Key(), len(plan.Jobs())); err != nil {
+		} else if suite.Journal, err = runner.CreateJournalFS(jpath, plan.Key(), len(plan.Jobs()), fsys); err != nil {
 			return fatal(err)
 		}
 		defer suite.Journal.Close()
 
 		if chaos != nil {
-			cache, err := runner.OpenCache(*cacheDir)
+			cache, err := runner.OpenCacheFS(*cacheDir, fsys)
 			if err != nil {
 				return fatal(err)
 			}

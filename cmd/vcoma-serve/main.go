@@ -31,8 +31,10 @@ func run() int {
 	jobMetrics := flag.Bool("job-metrics", false, "write per-job observability sidecars next to artifacts")
 	chaosSpec := flag.String("chaos", "", "fault injection spec (testing only), e.g. hang:serve")
 	drainGrace := flag.Duration("drain-grace", 5*time.Second, "HTTP shutdown grace on SIGTERM")
+	faultControl := flag.Bool("fsfault-control", false, "expose POST /debug/fsfault for swapping the failpoint spec at runtime (chaos drills only)")
 	budget := cli.BudgetFlags()
 	retry, jobTimeout := cli.RetryFlags()
+	fsFaultOf := cli.FsFaultFlags()
 	newLog := cli.LogFlags("vcoma-serve")
 	flag.Parse()
 	log := newLog()
@@ -43,6 +45,17 @@ func run() int {
 		cli.LogExit(log, "vcoma-serve", start, cli.ExitErr, err)
 		return cli.ExitErr
 	}
+	fsys, fsDump, err := fsFaultOf()
+	if err != nil {
+		log.Error("fsfault spec", "error", err.Error())
+		cli.LogExit(log, "vcoma-serve", start, cli.ExitErr, err)
+		return cli.ExitErr
+	}
+	defer func() {
+		if err := fsDump(); err != nil {
+			log.Warn("fsfault-log", "error", err.Error())
+		}
+	}()
 
 	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-serve")
 	defer cancel(nil)
@@ -62,6 +75,8 @@ func run() int {
 		Metrics:       *jobMetrics,
 		Chaos:         chaos,
 		DrainGrace:    *drainGrace,
+		FS:            fsys,
+		FaultControl:  *faultControl,
 		Log:           log,
 	})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
@@ -47,6 +48,7 @@ func main() {
 		par = flag.Int("par", 1, "shard the simulated processors across N goroutines (results are byte-identical to -par 1)")
 	)
 	budgetOf := cli.BudgetFlags()
+	fsFaultOf := cli.FsFaultFlags()
 	newLog := cli.LogFlags("vcoma-sim")
 	flag.Parse()
 	log = newLog()
@@ -54,6 +56,11 @@ func main() {
 	if err := obs.StartPprof(*pprofAddr); err != nil {
 		fatal(err)
 	}
+	fsys, fsDump, err := fsFaultOf()
+	if err != nil {
+		fatal(err)
+	}
+	dumpOpLog = fsDump
 
 	cfg := vcoma.Baseline()
 	scheme, err := parseScheme(*schemeStr)
@@ -107,12 +114,19 @@ func main() {
 	elapsed := time.Since(start)
 
 	if *metricsOut != "" {
-		if err := o.Sampler.Export().WriteFile(*metricsOut); err != nil {
+		ts := o.Sampler.Export()
+		render := ts.WriteJSON
+		if strings.HasSuffix(*metricsOut, ".csv") {
+			render = ts.WriteCSV
+		}
+		if err := cli.AtomicOutput(fsys, "metrics-out", *metricsOut, render); err != nil {
 			fatal(err)
 		}
 	}
 	if *traceOut != "" {
-		if err := o.Tracer.WriteFile(*traceOut, "node"); err != nil {
+		if err := cli.AtomicOutput(fsys, "trace-out", *traceOut, func(w io.Writer) error {
+			return o.Tracer.WriteJSON(w, "node")
+		}); err != nil {
 			fatal(err)
 		}
 	}
@@ -140,6 +154,7 @@ func main() {
 		if err := enc.Encode(sum); err != nil {
 			fatal(err)
 		}
+		writeOpLog()
 		cli.LogExit(log, "vcoma-sim", startTime, cli.ExitOK, nil)
 		return
 	}
@@ -207,6 +222,7 @@ func main() {
 		}
 		fmt.Println(report.Table([]string{"node", "refs", "busy", "sync", "loc", "rem", "trans", "finish"}, rows))
 	}
+	writeOpLog()
 	cli.LogExit(log, "vcoma-sim", startTime, cli.ExitOK, nil)
 }
 
@@ -251,7 +267,19 @@ var (
 	log       *slog.Logger
 )
 
+// dumpOpLog writes the -fsfault-log op trace; set once flags are parsed.
+var dumpOpLog func() error
+
+func writeOpLog() {
+	if dumpOpLog != nil {
+		if err := dumpOpLog(); err != nil {
+			fmt.Fprintf(os.Stderr, "vcoma-sim: fsfault-log: %v\n", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	writeOpLog()
 	fmt.Fprintln(os.Stderr, "vcoma-sim:", err)
 	code := cli.ExitCode(runCtx, err)
 	cli.LogExit(log, "vcoma-sim", startTime, code, err)

@@ -62,6 +62,7 @@ func run() int {
 	)
 	budgetOf := cli.BudgetFlags()
 	retryOf, jobTimeout := cli.RetryFlags()
+	fsFaultOf := cli.FsFaultFlags()
 	newLog := cli.LogFlags("vcoma-sweep")
 	flag.Parse()
 	log = newLog()
@@ -122,6 +123,15 @@ func run() int {
 	if err != nil {
 		return fatal(err)
 	}
+	fsys, fsDump, err := fsFaultOf()
+	if err != nil {
+		return fatal(err)
+	}
+	defer func() {
+		if err := fsDump(); err != nil {
+			fmt.Fprintf(os.Stderr, "fsfault-log: %v\n", err)
+		}
+	}()
 
 	ctx, cancel := cli.SignalContext(context.Background(), "vcoma-sweep")
 	defer cancel(nil)
@@ -131,7 +141,7 @@ func run() int {
 	var cache *runner.Cache
 	var journal *runner.Journal
 	if !*noCache {
-		if cache, err = runner.OpenCache(*cacheDir); err != nil {
+		if cache, err = runner.OpenCacheFS(*cacheDir, fsys); err != nil {
 			return fatal(err)
 		}
 		// One sweep per cache directory: a second writer would interleave
@@ -145,12 +155,12 @@ func run() int {
 		jpath := filepath.Join(*cacheDir, "journal.json")
 		if *resume {
 			var prev map[string]runner.JournalEntry
-			journal, prev, err = runner.ResumeJournal(jpath, plan.Key())
+			journal, prev, err = runner.ResumeJournalFS(jpath, plan.Key(), fsys)
 			if err != nil {
 				return fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "resuming: journal records %d finished pass(es); cached results satisfy them without recomputing\n", len(prev))
-		} else if journal, err = runner.CreateJournal(jpath, plan.Key(), len(plan.Jobs())); err != nil {
+		} else if journal, err = runner.CreateJournalFS(jpath, plan.Key(), len(plan.Jobs()), fsys); err != nil {
 			return fatal(err)
 		}
 		defer journal.Close()

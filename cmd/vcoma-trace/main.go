@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 	"vcoma/internal/addr"
 	"vcoma/internal/cli"
 	"vcoma/internal/experiments"
+	"vcoma/internal/fsio"
 	"vcoma/internal/machine"
 	"vcoma/internal/obs"
 	"vcoma/internal/report"
@@ -49,6 +51,7 @@ func main() {
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	budgetOf := cli.BudgetFlags()
+	fsFaultOf := cli.FsFaultFlags()
 	newLog := cli.LogFlags("vcoma-trace")
 	flag.Parse()
 	log = newLog()
@@ -58,6 +61,11 @@ func main() {
 	if err := obs.StartPprof(*pprofAddr); err != nil {
 		fatal(err)
 	}
+	fsys, fsDump, err := fsFaultOf()
+	if err != nil {
+		fatal(err)
+	}
+	dumpOpLog = fsDump
 
 	scale := map[string]workload.Scale{
 		"test": workload.ScaleTest, "small": workload.ScaleSmall, "paper": workload.ScalePaper,
@@ -65,7 +73,7 @@ func main() {
 	cfg := experiments.ConfigForScale(vcoma.Baseline(), scale)
 
 	if *record {
-		if err := doRecord(cfg, *benchName, scale, *dir); err != nil {
+		if err := doRecord(cfg, *benchName, scale, *dir, fsys); err != nil {
 			fatal(err)
 		}
 		cli.LogExit(log, "vcoma-trace", startTime, cli.ExitOK, nil)
@@ -86,13 +94,14 @@ func main() {
 		}
 		o = obs.New(opt)
 	}
-	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir, o, *metricsOut, *traceOut, budgetOf()); err != nil {
+	if err := doReplay(cfg.WithScheme(scheme).WithTLB(*entries, vcoma.FullyAssoc), *dir, o, *metricsOut, *traceOut, budgetOf(), fsys); err != nil {
 		var we *sim.WatchdogError
 		if errors.As(err, &we) {
 			fmt.Fprint(os.Stderr, we.Dump.Render())
 		}
 		fatal(err)
 	}
+	writeOpLog()
 	cli.LogExit(log, "vcoma-trace", startTime, cli.ExitOK, nil)
 }
 
@@ -100,7 +109,7 @@ func main() {
 // name, base, bytes per line.
 const layoutFile = "layout.txt"
 
-func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir string) error {
+func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir string, fsys *fsio.FS) error {
 	bench, err := workload.ByName(strings.ToUpper(benchName), scale)
 	if err != nil {
 		return err
@@ -109,7 +118,7 @@ func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir stri
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll("record", dir); err != nil {
 		return err
 	}
 
@@ -117,13 +126,13 @@ func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir stri
 	for _, r := range prog.Layout().Regions() {
 		fmt.Fprintf(&lay, "%s %d %d\n", r.Name, uint64(r.Base), r.Bytes)
 	}
-	if err := os.WriteFile(filepath.Join(dir, layoutFile), []byte(lay.String()), 0o644); err != nil {
+	if err := fsys.WriteFileAtomic("record", filepath.Join(dir, layoutFile), []byte(lay.String())); err != nil {
 		return err
 	}
 
 	total := uint64(0)
 	for p, s := range prog.Streams() {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("proc%03d.vct", p)))
+		f, err := fsys.Create("record", filepath.Join(dir, fmt.Sprintf("proc%03d.vct", p)))
 		if err != nil {
 			return err
 		}
@@ -149,7 +158,7 @@ func doRecord(cfg vcoma.Config, benchName string, scale workload.Scale, dir stri
 	return nil
 }
 
-func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOut string, budget sim.Budget) error {
+func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOut string, budget sim.Budget, fsys *fsio.FS) error {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return err
@@ -226,13 +235,20 @@ func doReplay(cfg vcoma.Config, dir string, o *obs.Observer, metricsOut, traceOu
 	}
 
 	if metricsOut != "" && o.Sampler != nil {
-		if err := o.Sampler.Export().WriteFile(metricsOut); err != nil {
+		ts := o.Sampler.Export()
+		render := ts.WriteJSON
+		if strings.HasSuffix(metricsOut, ".csv") {
+			render = ts.WriteCSV
+		}
+		if err := cli.AtomicOutput(fsys, "metrics-out", metricsOut, render); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote metrics to %s\n", metricsOut)
 	}
 	if traceOut != "" && o.Tracer != nil {
-		if err := o.Tracer.WriteFile(traceOut, "node"); err != nil {
+		if err := cli.AtomicOutput(fsys, "trace-out", traceOut, func(w io.Writer) error {
+			return o.Tracer.WriteJSON(w, "node")
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("wrote trace to %s (open at https://ui.perfetto.dev)\n", traceOut)
@@ -272,7 +288,19 @@ var (
 	log       *slog.Logger
 )
 
+// dumpOpLog writes the -fsfault-log op trace; set once flags are parsed.
+var dumpOpLog func() error
+
+func writeOpLog() {
+	if dumpOpLog != nil {
+		if err := dumpOpLog(); err != nil {
+			fmt.Fprintf(os.Stderr, "vcoma-trace: fsfault-log: %v\n", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	writeOpLog()
 	fmt.Fprintln(os.Stderr, "vcoma-trace:", err)
 	code := cli.ExitCode(runCtx, err)
 	cli.LogExit(log, "vcoma-trace", startTime, code, err)

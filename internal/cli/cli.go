@@ -5,15 +5,18 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"vcoma/internal/fsio"
 	"vcoma/internal/runner"
 	"vcoma/internal/sim"
 )
@@ -108,6 +111,44 @@ func BudgetFlags() func() sim.Budget {
 	return func() sim.Budget {
 		return sim.Budget{MaxCycles: *maxCycles, MaxEvents: *maxEvents, StallEvents: *stall, MaxWall: *wall}
 	}
+}
+
+// FsFaultFlags registers the storage fault-injection flags shared by every
+// command and returns a builder that, after flag.Parse, assembles the
+// filesystem seam: armed with the -fsfault failpoint spec (empty = plain
+// durable I/O) and, when -fsfault-log is set, recording every operation
+// through the seam. The returned dump function writes the recorded op log
+// (a no-op without -fsfault-log); call it on every exit path — the log is
+// most valuable precisely when the run failed.
+func FsFaultFlags() func() (*fsio.FS, func() error, error) {
+	spec := flag.String("fsfault", "", "storage failpoint spec, e.g. 'enospc:put:3', 'eio:fsync:*,torn:journal:128', 'powercut:7' (empty = none)")
+	logPath := flag.String("fsfault-log", "", "record every filesystem op through the seam to this JSONL file")
+	return func() (*fsio.FS, func() error, error) {
+		fp, err := fsio.ParseFailpoints(*spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		fs := fsio.New(fp)
+		if *logPath == "" {
+			return fs, func() error { return nil }, nil
+		}
+		wd, _ := os.Getwd()
+		rec := fsio.NewRecorder(wd, false)
+		fs.SetRecorder(rec)
+		path := *logPath
+		return fs, func() error { return rec.WriteFile(path) }, nil
+	}
+}
+
+// AtomicOutput renders an output file into memory and writes it through the
+// seam with whole-file atomicity: partial renders or injected faults never
+// leave a torn CSV/JSON on disk under the requested name.
+func AtomicOutput(fs *fsio.FS, tag, path string, render func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		return err
+	}
+	return fs.WriteFileAtomic(tag, path, buf.Bytes())
 }
 
 // RetryFlags registers the per-pass deadline and transient-retry flags and

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vcoma/internal/config"
+	"vcoma/internal/fsio"
 	"vcoma/internal/report"
 	"vcoma/internal/runner"
 	"vcoma/internal/sim"
@@ -34,6 +35,9 @@ type Suite struct {
 	// CacheDir, if non-empty, enables the content-addressed result cache
 	// rooted there.
 	CacheDir string
+	// FS is the filesystem seam the cache opens through (nil = plain
+	// durable I/O); arm it with failpoints to rehearse storage faults.
+	FS *fsio.FS
 	// Progress, if non-nil, observes the run (overrides the reporter the
 	// suite would otherwise build from Log).
 	Progress *runner.Progress
@@ -171,7 +175,7 @@ func (s *Suite) Run() (*SuiteResult, error) {
 	}
 	var cache *runner.Cache
 	if s.CacheDir != "" {
-		cache, err = runner.OpenCache(s.CacheDir)
+		cache, err = runner.OpenCacheFS(s.CacheDir, s.FS)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,193 @@
+package crashsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vcoma/internal/fsio"
+)
+
+// recordAtomicPuts records two WriteFileAtomic calls and returns the trace.
+func recordAtomicPuts(t *testing.T) []fsio.Op {
+	t.Helper()
+	root := t.TempDir()
+	fs := fsio.New(nil)
+	rec := fsio.NewRecorder(root, true)
+	fs.SetRecorder(rec)
+	if err := fs.WriteFileAtomic("put", filepath.Join(root, "aa", "one.json"), []byte(`{"v":1}`)); err != nil {
+		t.Fatalf("put one: %v", err)
+	}
+	if err := fs.WriteFileAtomic("put", filepath.Join(root, "bb", "two.json"), []byte(`{"v":2}`)); err != nil {
+		t.Fatalf("put two: %v", err)
+	}
+	return rec.Ops()
+}
+
+func TestAtomicWriteNeverVisiblyPartial(t *testing.T) {
+	// The whole point of WriteFileAtomic: in every crash state, each final
+	// path is either absent or holds its complete payload. Torn bytes may
+	// exist only under temp names, which recovery ignores.
+	ops := recordAtomicPuts(t)
+	if len(ops) < 10 {
+		t.Fatalf("trace too short: %d ops", len(ops))
+	}
+	err := Run(ops, t.TempDir(), func(dir string) error {
+		for rel, want := range map[string]string{
+			filepath.Join("aa", "one.json"): `{"v":1}`,
+			filepath.Join("bb", "two.json"): `{"v":2}`,
+		} {
+			b, err := os.ReadFile(filepath.Join(dir, rel))
+			if os.IsNotExist(err) {
+				continue // absent is a legal crash outcome
+			}
+			if err != nil {
+				return err
+			}
+			if string(b) != want {
+				return fmt.Errorf("%s visible with partial content %q", rel, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+}
+
+func TestFinalPrefixIsFullyDurable(t *testing.T) {
+	// After the complete trace, even the durable floor must hold both
+	// entries: that is what fsync-before-rename + dir-sync buys.
+	ops := recordAtomicPuts(t)
+	st := replay(ops)
+	files := st.render(durable)
+	for _, rel := range []string{filepath.Join("aa", "one.json"), filepath.Join("bb", "two.json")} {
+		b, ok := files[rel]
+		if !ok {
+			t.Fatalf("durable state after full trace missing %s (have %v)", rel, keys(files))
+		}
+		if !strings.HasPrefix(string(b), `{"v":`) {
+			t.Fatalf("durable %s = %q", rel, b)
+		}
+	}
+}
+
+func TestUnsyncedRenameIsNotDurable(t *testing.T) {
+	// A rename whose parent dir was never fsync'd shows up in the applied
+	// state but not the durable one — the lost-but-not-synced rename case.
+	root := t.TempDir()
+	fs := fsio.New(nil)
+	rec := fsio.NewRecorder(root, true)
+	fs.SetRecorder(rec)
+	af, err := fs.Create("x", filepath.Join(root, "tmp1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Append([]byte("payload"))
+	af.Sync()
+	af.Close()
+	// Bare os.Rename semantics: no dir sync afterwards (simulate the old
+	// buggy writeFileAtomic by renaming outside the seam's Rename helper).
+	os.Rename(filepath.Join(root, "tmp1"), filepath.Join(root, "final"))
+	// Record the rename op by hand-appending via the model: re-record with
+	// a trace built from ops + synthetic rename.
+	ops := append(rec.Ops(), fsio.Op{Op: fsio.OpRename, Path: "tmp1", Path2: "final"})
+
+	st := replay(ops)
+	if _, ok := st.render(applied)["final"]; !ok {
+		t.Fatalf("applied state missing renamed file")
+	}
+	durFiles := st.render(durable)
+	if _, ok := durFiles["final"]; ok {
+		t.Fatalf("unsynced rename must not be durable: %v", keys(durFiles))
+	}
+	// With the dir fsync the rename becomes durable.
+	ops = append(ops, fsio.Op{Op: fsio.OpFsyncDir, Path: "."})
+	durFiles = replay(ops).render(durable)
+	if string(durFiles["final"]) != "payload" {
+		t.Fatalf("synced rename not durable: %v", keys(durFiles))
+	}
+}
+
+func TestTornTailAppend(t *testing.T) {
+	// journal-style: synced records survive whole, the unsynced tail tears.
+	root := t.TempDir()
+	fs := fsio.New(nil)
+	rec := fsio.NewRecorder(root, true)
+	fs.SetRecorder(rec)
+	af, err := fs.Create("journal", filepath.Join(root, "j.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Append([]byte("rec-one\n"))
+	af.Sync()
+	af.Append([]byte("rec-two\n"))
+	// no sync: this record is in flight when the power goes
+	af.Close()
+
+	st := replay(rec.Ops())
+	if got := string(st.render(durable)["j.log"]); got != "rec-one\n" {
+		t.Fatalf("durable journal = %q, want only the synced record", got)
+	}
+	if got := string(st.render(applied)["j.log"]); got != "rec-one\nrec-two\n" {
+		t.Fatalf("applied journal = %q", got)
+	}
+	tornB := string(st.render(torn)["j.log"])
+	if !strings.HasPrefix(tornB, "rec-one\n") || tornB == "rec-one\nrec-two\n" || len(tornB) <= len("rec-one\n") {
+		t.Fatalf("torn journal = %q, want a strict partial tail", tornB)
+	}
+}
+
+func TestRunReportsFailingPrefix(t *testing.T) {
+	ops := recordAtomicPuts(t)
+	wantFail := filepath.Join("bb", "two.json")
+	err := Run(ops, t.TempDir(), func(dir string) error {
+		if _, err := os.Stat(filepath.Join(dir, wantFail)); err == nil {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("sweep should fail once two.json appears")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "prefix") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+func TestRunOptsEveryStillCoversEnds(t *testing.T) {
+	ops := recordAtomicPuts(t)
+	var sawEmpty, sawFull bool
+	err := RunOpts(ops, t.TempDir(), func(dir string) error {
+		ents := 0
+		filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+			if err == nil && info != nil && !info.IsDir() {
+				ents++
+			}
+			return nil
+		})
+		if ents == 0 {
+			sawEmpty = true
+		}
+		if ents == 2 {
+			sawFull = true
+		}
+		return nil
+	}, Options{Every: 5})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if !sawEmpty || !sawFull {
+		t.Fatalf("strided sweep must still include the empty and full prefixes (empty=%v full=%v)", sawEmpty, sawFull)
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

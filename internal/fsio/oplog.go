@@ -1,0 +1,108 @@
+package fsio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Op is one recorded filesystem primitive. Paths are stored relative to the
+// recorder's root when they fall under it, so a trace replays into any
+// shadow directory. Data is captured only for write/append ops (and only
+// when the recorder was created with captureData), because those are the
+// ops crashsim must re-materialize.
+type Op struct {
+	Seq   int    `json:"seq"`
+	Op    string `json:"op"`
+	Tag   string `json:"tag"`
+	Path  string `json:"path"`
+	Path2 string `json:"path2,omitempty"` // rename target
+	Data  []byte `json:"data,omitempty"`
+	Err   string `json:"err,omitempty"` // non-empty: the op failed (injected or real)
+}
+
+// Recorder accumulates the op log of an FS. Attach with FS.SetRecorder.
+type Recorder struct {
+	mu      sync.Mutex
+	root    string
+	capture bool
+	ops     []Op
+}
+
+// NewRecorder returns a recorder rooting relative paths at root. With
+// captureData, write/append payloads are kept (needed for crashsim replay;
+// skip it for long-running servers where the log is diagnostic only).
+func NewRecorder(root string, captureData bool) *Recorder {
+	return &Recorder{root: filepath.Clean(root), capture: captureData}
+}
+
+func (r *Recorder) rel(path string) string {
+	if path == "" {
+		return ""
+	}
+	if rel, err := filepath.Rel(r.root, path); err == nil && !escapesRoot(rel) {
+		return rel
+	}
+	return path
+}
+
+// escapesRoot reports whether a Rel result climbs out of the root.
+func escapesRoot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+func (r *Recorder) add(op, tag, path, path2 string, data []byte, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := Op{
+		Seq:   len(r.ops) + 1,
+		Op:    op,
+		Tag:   tag,
+		Path:  r.rel(path),
+		Path2: r.rel(path2),
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	if r.capture && data != nil && (op == OpWrite || op == OpAppend) {
+		e.Data = bytes.Clone(data)
+	}
+	r.ops = append(r.ops, e)
+}
+
+// Ops returns a copy of the recorded trace.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len returns the number of recorded ops.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// WriteFile dumps the op log as JSONL — the artifact CI uploads when a
+// fault smoke fails. Written with plain os calls: the op log must come out
+// even when the FS it watched is mid-fault.
+func (r *Recorder) WriteFile(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	for _, op := range r.ops {
+		b, err := json.Marshal(op)
+		if err != nil {
+			return fmt.Errorf("fsio: encode op %d: %w", op.Seq, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"vcoma/internal/fsio"
 )
 
 // cacheSchema versions the on-disk entry envelope. Bumping it orphans every
@@ -28,8 +30,10 @@ const quarantineDir = "quarantine"
 //
 // Entries are self-describing (they embed the schema version, the key, a
 // sha256 checksum of the result, and the job name that produced them) and
-// are written atomically via a temporary file and rename, so concurrent
-// runners sharing a directory never observe torn writes.
+// are written atomically and durably via fsio.WriteFileAtomic (temp file →
+// fsync → rename → parent-dir fsync), so concurrent runners sharing a
+// directory never observe torn writes and a power cut never loses a
+// completed Put.
 //
 // An entry from an older schema is a silent miss (recomputed and
 // overwritten — the expected upgrade path). A corrupt entry — unreadable
@@ -39,6 +43,7 @@ const quarantineDir = "quarantine"
 // of quietly papered over by a recompute.
 type Cache struct {
 	dir string
+	fs  *fsio.FS // filesystem seam; nil = plain durable I/O
 
 	mu  sync.Mutex
 	log io.Writer // warnings; default os.Stderr
@@ -57,14 +62,24 @@ type envelope struct {
 
 // OpenCache creates (if needed) and opens a cache rooted at dir.
 func OpenCache(dir string) (*Cache, error) {
+	return OpenCacheFS(dir, nil)
+}
+
+// OpenCacheFS is OpenCache with an explicit filesystem seam, through which
+// every durable write (and read) of the cache flows — the hook for fault
+// injection and op-trace recording. A nil fs is the plain durable seam.
+func OpenCacheFS(dir string, fs *fsio.FS) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runner: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll("open", dir); err != nil {
 		return nil, fmt.Errorf("runner: opening cache: %w", err)
 	}
-	return &Cache{dir: dir, log: os.Stderr}, nil
+	return &Cache{dir: dir, fs: fs, log: os.Stderr}, nil
 }
+
+// FS returns the cache's filesystem seam (nil for the plain one).
+func (c *Cache) FS() *fsio.FS { return c.fs }
 
 // SetLog redirects the cache's corruption warnings (default os.Stderr);
 // nil silences them.
@@ -116,7 +131,7 @@ func (c *Cache) get(key Key) (json.RawMessage, bool) {
 	if !keyOK(key) {
 		return nil, false
 	}
-	data, err := os.ReadFile(c.path(key))
+	data, err := c.fs.ReadFile("get", c.path(key))
 	if err != nil {
 		return nil, false
 	}
@@ -155,16 +170,18 @@ func (c *Cache) Quarantine(key Key, reason string) {
 	}
 	src := c.path(key)
 	qdir := filepath.Join(c.dir, quarantineDir)
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
+	if err := c.fs.MkdirAll("quarantine", qdir); err != nil {
 		c.warnf("quarantining %s: %v", key, err)
 		return
 	}
 	dst := filepath.Join(qdir, filepath.Base(src))
-	if err := os.Rename(src, dst); err != nil {
+	// fsio.Rename syncs the quarantine dir, so evidence of corruption is as
+	// durable as the entries themselves.
+	if err := c.fs.Rename("quarantine", src, dst); err != nil {
 		c.warnf("quarantining %s: %v", key, err)
 		return
 	}
-	_ = os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	_ = c.fs.WriteFile("quarantine", dst+".reason", []byte(reason+"\n"))
 	c.warnf("corrupt entry %.16s… quarantined to %s: %s", key, dst, reason)
 }
 
@@ -205,10 +222,10 @@ func (c *Cache) Remove(key Key) error {
 	if !keyOK(key) {
 		return fmt.Errorf("runner: invalid cache key %q", key)
 	}
-	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+	if err := c.fs.Remove("evict", c.path(key)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	if err := os.Remove(c.metricsPath(key)); err != nil && !os.IsNotExist(err) {
+	if err := c.fs.Remove("evict", c.metricsPath(key)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil
@@ -239,7 +256,7 @@ func (c *Cache) Put(key Key, job string, v any) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(c.path(key), data)
+	return c.fs.WriteFileAtomic("put", c.path(key), data)
 }
 
 // PutMetrics stores a job's observability sidecar next to its cache entry,
@@ -253,7 +270,7 @@ func (c *Cache) PutMetrics(key Key, m JobMetrics) error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding metrics for %s: %w", m.Job, err)
 	}
-	return writeFileAtomic(c.metricsPath(key), data)
+	return c.fs.WriteFileAtomic("metrics", c.metricsPath(key), data)
 }
 
 // GetMetrics loads the metrics sidecar for key, if one exists.
@@ -262,7 +279,7 @@ func (c *Cache) GetMetrics(key Key) (JobMetrics, bool) {
 	if !keyOK(key) {
 		return m, false
 	}
-	data, err := os.ReadFile(c.metricsPath(key))
+	data, err := c.fs.ReadFile("metrics", c.metricsPath(key))
 	if err != nil {
 		return m, false
 	}
@@ -270,28 +287,6 @@ func (c *Cache) GetMetrics(key Key) (JobMetrics, bool) {
 		return JobMetrics{}, false
 	}
 	return m, true
-}
-
-// writeFileAtomic writes data to path via a temporary file and rename, so
-// concurrent runners sharing a directory never observe torn writes.
-func writeFileAtomic(path string, data []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 // EntryPath returns the on-disk path of the entry for key, whether or not
@@ -316,7 +311,7 @@ func (c *Cache) Clear() error {
 		if !isShard && !isEntry {
 			continue
 		}
-		if err := os.RemoveAll(filepath.Join(c.dir, name)); err != nil {
+		if err := c.fs.RemoveAll("clear", filepath.Join(c.dir, name)); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"syscall"
 	"time"
 )
 
@@ -31,6 +32,12 @@ const (
 	// ClassCancelled is a run-level cancellation (SIGINT/SIGTERM or parent
 	// context); the job itself is not at fault.
 	ClassCancelled
+	// ClassDisk is a storage failure (ENOSPC, EIO, read-only filesystem,
+	// disk quota). Not retried: a full or dying disk does not heal inside a
+	// backoff window, so burning bounded retries on it only delays the
+	// diagnosis. The serve layer treats this class as a degraded-mode
+	// trigger rather than a job fault.
+	ClassDisk
 )
 
 func (c ErrClass) String() string {
@@ -47,6 +54,8 @@ func (c ErrClass) String() string {
 		return "panic"
 	case ClassCancelled:
 		return "cancelled"
+	case ClassDisk:
+		return "disk"
 	default:
 		return fmt.Sprintf("ErrClass(%d)", int(c))
 	}
@@ -78,8 +87,11 @@ type timeouter interface{ Timeout() bool }
 // retryabler marks errors as transient without wrapping through Transient.
 type retryabler interface{ Transient() bool }
 
-// Classify maps an error into the taxonomy. Precedence: panics, explicit
-// transient markers, cancellation, deadline/budget timeouts, permanent.
+// Classify maps an error into the taxonomy. Precedence: panics, disk
+// faults, explicit transient markers, cancellation, deadline/budget
+// timeouts, permanent. Disk outranks an explicit Transient marker on
+// purpose: an environmental wrapper around ENOSPC must not send the
+// scheduler into a retry loop against a full disk.
 func Classify(err error) ErrClass {
 	if err == nil {
 		return ClassNone
@@ -87,6 +99,9 @@ func Classify(err error) ErrClass {
 	var pe *PanicError
 	if errors.As(err, &pe) {
 		return ClassPanic
+	}
+	if isDiskErr(err) {
+		return ClassDisk
 	}
 	var tr retryabler
 	if errors.As(err, &tr) && tr.Transient() {
@@ -103,6 +118,15 @@ func Classify(err error) ErrClass {
 		return ClassTimeout
 	}
 	return ClassPermanent
+}
+
+// isDiskErr recognizes storage-level failures by errno, however deeply
+// wrapped: no free space, I/O error, read-only filesystem, quota exceeded.
+func isDiskErr(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EIO) ||
+		errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EDQUOT)
 }
 
 // Retry bounds the runner's reaction to transient job failures.

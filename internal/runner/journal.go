@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"vcoma/internal/fsio"
 )
 
 // journalSchema versions the journal file format.
@@ -23,10 +25,15 @@ const journalSchema = "vcoma-journal-v1"
 type Journal struct {
 	path string
 	plan Key
+	fs   *fsio.FS
 
 	mu      sync.Mutex
-	f       *os.File
+	f       *fsio.AppendFile
 	entries map[string]JournalEntry
+	// tainted records that the previous append failed and may have left
+	// partial bytes at the tail; the next append starts a fresh line so a
+	// good record never glues onto a torn one.
+	tainted bool
 }
 
 // journalHeader is the first line of the file.
@@ -52,11 +59,17 @@ type JournalEntry struct {
 // CreateJournal starts a fresh journal at path for a plan of total jobs,
 // truncating any previous (crashed) journal.
 func CreateJournal(path string, plan Key, total int) (*Journal, error) {
-	f, err := os.Create(path)
+	return CreateJournalFS(path, plan, total, nil)
+}
+
+// CreateJournalFS is CreateJournal through an explicit filesystem seam (nil
+// = plain durable I/O), so journal appends and syncs are fault-injectable.
+func CreateJournalFS(path string, plan Key, total int, fs *fsio.FS) (*Journal, error) {
+	f, err := fs.Create("journal", path)
 	if err != nil {
 		return nil, fmt.Errorf("runner: creating journal: %w", err)
 	}
-	j := &Journal{path: path, plan: plan, f: f, entries: make(map[string]JournalEntry)}
+	j := &Journal{path: path, plan: plan, fs: fs, f: f, entries: make(map[string]JournalEntry)}
 	if err := j.append(journalHeader{Schema: journalSchema, Plan: plan, Jobs: total}); err != nil {
 		f.Close()
 		return nil, err
@@ -69,7 +82,12 @@ func CreateJournal(path string, plan Key, total int) (*Journal, error) {
 // and the entries already recorded. A missing file is an error: there is
 // nothing to resume.
 func ResumeJournal(path string, plan Key) (*Journal, map[string]JournalEntry, error) {
-	data, err := os.ReadFile(path)
+	return ResumeJournalFS(path, plan, nil)
+}
+
+// ResumeJournalFS is ResumeJournal through an explicit filesystem seam.
+func ResumeJournalFS(path string, plan Key, fs *fsio.FS) (*Journal, map[string]JournalEntry, error) {
+	data, err := fs.ReadFile("journal", path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil, fmt.Errorf("runner: no journal at %s: nothing to resume (the previous run completed, or never started)", path)
@@ -97,11 +115,11 @@ func ResumeJournal(path string, plan Key) (*Journal, map[string]JournalEntry, er
 		}
 		entries[e.Job] = e
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenAppend("journal", path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("runner: reopening journal: %w", err)
 	}
-	j := &Journal{path: path, plan: plan, f: f, entries: entries}
+	j := &Journal{path: path, plan: plan, fs: fs, f: f, entries: entries}
 	return j, entries, nil
 }
 
@@ -133,9 +151,18 @@ func (j *Journal) appendLocked(v any) error {
 	if err != nil {
 		return err
 	}
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
+	line := append(data, '\n')
+	if j.tainted {
+		// The previous append may have torn mid-line; open a new line so
+		// this record stays parseable (the orphaned fragment line is
+		// skipped on resume like any torn line).
+		line = append([]byte{'\n'}, line...)
+	}
+	if err := j.f.Append(line); err != nil {
+		j.tainted = true
 		return err
 	}
+	j.tainted = false
 	// Sync each record: the journal exists precisely for the crash case.
 	return j.f.Sync()
 }
@@ -188,5 +215,5 @@ func (j *Journal) Complete() error {
 	if err := j.Close(); err != nil {
 		return err
 	}
-	return os.Remove(j.path)
+	return j.fs.Remove("journal", j.path)
 }

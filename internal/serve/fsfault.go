@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"vcoma/internal/fsio"
+)
+
+// fsFaultView is the /debug/fsfault introspection body.
+type fsFaultView struct {
+	Armed    string        `json:"armed"`
+	Counters fsio.Counters `json:"counters"`
+	Health   HealthStats   `json:"health"`
+}
+
+func (s *Server) fsFaultSnapshot() fsFaultView {
+	return fsFaultView{
+		Armed:    s.fs.ArmedSpec(),
+		Counters: s.fs.Counters(),
+		Health:   s.health.Snapshot(),
+	}
+}
+
+func (s *Server) handleFsFaultGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fsFaultSnapshot())
+}
+
+// handleFsFaultSet swaps the armed failpoint spec at runtime: the plain-text
+// body is a spec in the -fsfault grammar; an empty body disarms. Only
+// registered when Options.FaultControl is set — this is the chaos drill's
+// control surface, not part of the API.
+func (s *Server) handleFsFaultSet(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading failpoint spec: %w", err))
+		return
+	}
+	spec := strings.TrimSpace(string(body))
+	if spec == "" {
+		s.fs.SetFailpoints(nil)
+		s.log.Warn("failpoints disarmed via /debug/fsfault")
+		writeJSON(w, http.StatusOK, s.fsFaultSnapshot())
+		return
+	}
+	fp, err := fsio.ParseFailpoints(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.fs.SetFailpoints(fp)
+	s.log.Warn("failpoints armed via /debug/fsfault", "spec", spec)
+	writeJSON(w, http.StatusOK, s.fsFaultSnapshot())
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vcoma/internal/fsio"
+	"vcoma/internal/runner"
+)
+
+// postText POSTs a plain-text body (the /debug/fsfault control format).
+func postText(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func healthzBody(t *testing.T, base string) string {
+	t.Helper()
+	_, body := get(t, base+"/healthz")
+	return strings.TrimSpace(string(body))
+}
+
+// TestDegradedServingUnderENOSPC is the tentpole's serving contract: with
+// the artifact store's disk full, a submitted job still computes, its result
+// is served byte-identically from memory, the server reports degraded on
+// /healthz and /metrics, and clearing the fault heals it via the write probe.
+func TestDegradedServingUnderENOSPC(t *testing.T) {
+	req := Request{Bench: "RADIX", Scheme: "l0", Scale: "test", Seed: 9}
+
+	// Reference bytes from a healthy server.
+	_, healthyTS, healthyStop := testServer(t, t.TempDir(), nil)
+	refKey := submitKey(t, healthyTS.URL, req, http.StatusAccepted)
+	waitFor(t, "reference job done", func() bool { return jobState(t, healthyTS.URL, refKey) == StateDone.String() })
+	code, ref := get(t, healthyTS.URL+"/v1/jobs/"+refKey+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("reference result: %d", code)
+	}
+	healthyStop()
+
+	// Degraded server: every artifact put and every self-heal probe hits
+	// ENOSPC, so degraded mode must hold until the spec is cleared.
+	fs := fsio.New(fsio.MustFailpoints("enospc:put:*,enospc:probe:*"))
+	s, ts, _ := testServer(t, t.TempDir(), func(o *Options) {
+		o.FS = fs
+		o.FaultControl = true
+		o.ProbeInterval = 20 * time.Millisecond
+	})
+
+	key := submitKey(t, ts.URL, req, http.StatusAccepted)
+	if key != refKey {
+		t.Fatalf("key mismatch: %s vs %s", key, refKey)
+	}
+	waitFor(t, "job done despite dead store", func() bool { return jobState(t, ts.URL, key) == StateDone.String() })
+
+	// The result is served from memory, byte-identical to the healthy run.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + key + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(bytes.Buffer)
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded result: %d: %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Vcoma-Served-From") != "memory" {
+		t.Fatalf("result not served from memory (header %q)", resp.Header.Get("X-Vcoma-Served-From"))
+	}
+	if !bytes.Equal(got.Bytes(), ref) {
+		t.Fatalf("memory-served result differs from stored reference:\n got %.120s\nwant %.120s", got, ref)
+	}
+	if n := countArtifacts(t, s.opts.StateDir); n != 0 {
+		t.Fatalf("%d artifact files materialized despite ENOSPC", n)
+	}
+
+	// Health surfaces on /healthz and /metrics.
+	if h := healthzBody(t, ts.URL); h != "degraded" {
+		t.Fatalf("healthz = %q, want degraded", h)
+	}
+	if v := metricValue(t, ts.URL, "serve/degraded"); v != 1 {
+		t.Fatalf("serve/degraded = %g, want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "serve/mem.results"); v < 1 {
+		t.Fatalf("serve/mem.results = %g, want >= 1", v)
+	}
+	if v := metricValue(t, ts.URL, "fsio/injected"); v < 1 {
+		t.Fatalf("fsio/injected = %g, want >= 1", v)
+	}
+
+	// A repeat submit answers 200 from the memory holdover — no recompute.
+	repeat := submitJob(t, ts.URL, req, http.StatusOK)
+	if repeat.State != StateDone.String() {
+		t.Fatalf("repeat submit state = %s", repeat.State)
+	}
+
+	// Clearing the failpoints over /debug/fsfault lets the probe heal it.
+	if code, body := postText(t, ts.URL+"/debug/fsfault", ""); code != http.StatusOK {
+		t.Fatalf("fsfault clear: %d: %s", code, body)
+	}
+	waitFor(t, "probe heal", func() bool { return healthzBody(t, ts.URL) == "ok" })
+	if v := metricValue(t, ts.URL, "serve/degraded"); v != 0 {
+		t.Fatalf("serve/degraded after heal = %g, want 0", v)
+	}
+}
+
+// countArtifacts counts artifact payload files under StateDir/artifacts.
+func countArtifacts(t *testing.T, stateDir string) int {
+	t.Helper()
+	n := 0
+	filepath.WalkDir(filepath.Join(stateDir, "artifacts"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasSuffix(path, ".metrics.json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// TestJournalFailureRefusesAcceptWith503 is the 202 contract: an accept
+// whose journal record cannot be made durable is refused with 503 +
+// Retry-After, never acknowledged, and flips the server degraded.
+func TestJournalFailureRefusesAcceptWith503(t *testing.T) {
+	fs := fsio.New(nil)
+	s, ts, _ := testServer(t, t.TempDir(), func(o *Options) {
+		o.FS = fs
+		o.FaultControl = true
+		o.ProbeInterval = 20 * time.Millisecond
+	})
+	// Arm after boot (the spec would otherwise fail journal open): journal
+	// appends die, and so do probes, pinning degraded mode open.
+	fs.SetFailpoints(fsio.MustFailpoints("eio:append:*,eio:probe:*"))
+
+	code, body, hdr := post(t, ts.URL+"/v1/jobs", Request{Bench: "RADIX", Scheme: "l1", Scale: "test"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with dead journal: code %d: %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("503 without Retry-After")
+	}
+	if !s.health.Degraded() {
+		t.Fatalf("journal failure did not degrade the server")
+	}
+	if h := healthzBody(t, ts.URL); h != "degraded" {
+		t.Fatalf("healthz = %q, want degraded", h)
+	}
+
+	// GET /debug/fsfault reports the armed spec and injected counts.
+	if _, body := get(t, ts.URL+"/debug/fsfault"); !strings.Contains(string(body), "eio:append:*") {
+		t.Fatalf("fsfault introspection missing armed spec: %s", body)
+	}
+
+	// Disarm: the probe heals, and the same submit is accepted durably.
+	fs.SetFailpoints(nil)
+	waitFor(t, "probe heal", func() bool { return healthzBody(t, ts.URL) == "ok" })
+	key := submitKey(t, ts.URL, Request{Bench: "RADIX", Scheme: "l1", Scale: "test"}, http.StatusAccepted)
+	waitFor(t, "job done after heal", func() bool { return jobState(t, ts.URL, key) == StateDone.String() })
+}
+
+// TestFsFaultControlRejectsBadSpec guards the runtime control endpoint.
+func TestFsFaultControlRejectsBadSpec(t *testing.T) {
+	_, ts, _ := testServer(t, t.TempDir(), func(o *Options) {
+		o.FaultControl = true
+	})
+	if code, _ := postText(t, ts.URL+"/debug/fsfault", "bogus:spec:here:extra"); code != http.StatusBadRequest {
+		t.Fatalf("bad spec accepted: %d", code)
+	}
+	// Without FaultControl the routes do not exist.
+	_, ts2, _ := testServer(t, t.TempDir(), nil)
+	if code, _ := get(t, ts2.URL+"/debug/fsfault"); code != http.StatusNotFound {
+		t.Fatalf("fsfault exposed without FaultControl: %d", code)
+	}
+}
+
+// TestTornPersistedTraceServes404 is satellite 2's recovery behavior: a
+// span dump a crash tore mid-write is indistinguishable from absent.
+func TestTornPersistedTraceServes404(t *testing.T) {
+	s, ts, _ := testServer(t, t.TempDir(), nil)
+	key := runner.Key(strings.Repeat("ab", 32))
+	if err := os.MkdirAll(s.traceDir(), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.spanPath(key), []byte(`{"name":"request","spans":[{"na`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, ts.URL+"/v1/jobs/"+string(key)+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("torn trace served: %d: %s", code, body)
+	}
+	// A whole file still serves.
+	if err := os.WriteFile(s.spanPath(key), []byte(`{"name":"request"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, ts.URL+"/v1/jobs/"+string(key)+"/trace"); code != http.StatusOK {
+		t.Fatalf("whole trace not served: %d", code)
+	}
+}
+
+// TestStoreEvictionUnderRemoveFailure: a store whose unlink fails must keep
+// its LRU accounting matched to what is actually on disk — no phantom free
+// space, every entry still readable.
+func TestStoreEvictionUnderRemoveFailure(t *testing.T) {
+	dir := t.TempDir()
+	fs := fsio.New(nil)
+	st, err := OpenStoreFS(dir, 1, fs) // 1 byte: everything over-budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Cache().SetLog(nil)
+	keys := make([]runner.Key, 3)
+	for i := range keys {
+		keys[i] = runner.KeyOf("serve-evict", i)
+		if err := st.Cache().Put(keys[i], "job", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetFailpoints(fsio.MustFailpoints("eio:evict:*"))
+	for _, k := range keys {
+		st.Note(k)
+	}
+	snap := st.Snapshot()
+	if snap.Entries != 3 || snap.Evicted != 0 {
+		t.Fatalf("accounting drifted under failed eviction: %+v", snap)
+	}
+	for _, k := range keys {
+		if _, ok := st.GetRaw(k); !ok {
+			t.Fatalf("entry %.8s lost under failed eviction", k)
+		}
+	}
+	// Disarm: the next Note drains the over-budget tail for real.
+	fs.SetFailpoints(nil)
+	st.Note(keys[2])
+	snap = st.Snapshot()
+	if snap.Evicted == 0 || snap.Entries >= 3 {
+		t.Fatalf("eviction did not resume after disarm: %+v", snap)
+	}
+	if fmt.Sprint(snap.Quarantined) != "0" {
+		t.Fatalf("eviction quarantined entries: %+v", snap)
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"vcoma/internal/runner"
+)
+
+// health is the server's storage-health state machine. Persistent write
+// failures (journal appends, artifact puts, trace sidecars) flip the server
+// into degraded mode: it keeps computing and serving results from memory,
+// bypassing the store, and reports the degradation on /healthz and /metrics.
+//
+// The transition out of degraded is deliberately one-way-gated: an ordinary
+// successful write resets the consecutive-failure counter but does NOT clear
+// degraded — only the periodic write probe's success does. A disk that is
+// intermittently accepting writes is still a disk nobody should trust with
+// durability promises, so the server stays degraded until a probe proves the
+// state directory writable again.
+type health struct {
+	mu sync.Mutex
+	// degradeAfter is how many consecutive write failures flip degraded.
+	degradeAfter int
+	consecutive  int
+	degraded     bool
+	reason       string
+	since        time.Time
+
+	writeFails uint64
+	probeFails uint64
+}
+
+func newHealth(degradeAfter int) *health {
+	if degradeAfter < 1 {
+		degradeAfter = 1
+	}
+	return &health{degradeAfter: degradeAfter}
+}
+
+// writeFailed records a failed durable write of kind op (e.g. "journal",
+// "store-put", "trace") and reports whether this failure flipped the server
+// into degraded mode.
+func (h *health) writeFailed(op string, err error) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.writeFails++
+	h.consecutive++
+	if h.degraded || h.consecutive < h.degradeAfter {
+		return false
+	}
+	h.degraded = true
+	h.reason = op + ": " + err.Error()
+	h.since = time.Now()
+	return true
+}
+
+// writeOK records a successful durable write. It resets the
+// consecutive-failure counter but never clears degraded — see the type
+// comment.
+func (h *health) writeOK() {
+	h.mu.Lock()
+	h.consecutive = 0
+	h.mu.Unlock()
+}
+
+// probeFailed records a failed self-heal probe.
+func (h *health) probeFailed() {
+	h.mu.Lock()
+	h.probeFails++
+	h.mu.Unlock()
+}
+
+// probeOK records a successful self-heal probe and reports whether it
+// cleared degraded mode.
+func (h *health) probeOK() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecutive = 0
+	if !h.degraded {
+		return false
+	}
+	h.degraded = false
+	h.reason = ""
+	h.since = time.Time{}
+	return true
+}
+
+// Degraded reports whether the server is in degraded mode.
+func (h *health) Degraded() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded
+}
+
+// HealthStats is the health snapshot exposed on /v1/queue and /metrics.
+type HealthStats struct {
+	Degraded      bool   `json:"degraded"`
+	Reason        string `json:"reason,omitempty"`
+	DegradedSince string `json:"degraded_since,omitempty"`
+	WriteFailures uint64 `json:"write_failures"`
+	ProbeFailures uint64 `json:"probe_failures"`
+}
+
+func (h *health) Snapshot() HealthStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HealthStats{
+		Degraded:      h.degraded,
+		Reason:        h.reason,
+		WriteFailures: h.writeFails,
+		ProbeFailures: h.probeFails,
+	}
+	if h.degraded {
+		st.DegradedSince = h.since.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+// memResults is the degraded-mode result holdover: when the artifact store
+// cannot persist a finished simulation, its result bytes are parked here so
+// the work is not recomputed or lost while the disk is down. Entries are the
+// same bytes a store hit would serve (the envelope's raw result payload), so
+// the byte-identity contract of /v1/jobs/{id}/result holds either way. The
+// map is FIFO-capped: this is a life raft, not a second cache.
+type memResults struct {
+	mu     sync.Mutex
+	cap    int
+	order  []runner.Key
+	byKey  map[runner.Key]json.RawMessage
+	served uint64
+}
+
+const defaultMemResultsCap = 128
+
+func newMemResults(cap int) *memResults {
+	if cap < 1 {
+		cap = defaultMemResultsCap
+	}
+	return &memResults{cap: cap, byKey: map[runner.Key]json.RawMessage{}}
+}
+
+// Put parks key's raw result bytes, evicting the oldest entry if full.
+func (m *memResults) Put(key runner.Key, raw json.RawMessage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byKey[key]; !ok {
+		for len(m.order) >= m.cap {
+			old := m.order[0]
+			m.order = m.order[1:]
+			delete(m.byKey, old)
+		}
+		m.order = append(m.order, key)
+	}
+	m.byKey[key] = append(json.RawMessage(nil), raw...)
+}
+
+// Get returns the parked bytes for key, counting the hit.
+func (m *memResults) Get(key runner.Key) (json.RawMessage, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw, ok := m.byKey[key]
+	if ok {
+		m.served++
+	}
+	return raw, ok
+}
+
+// Has reports whether key is parked without counting a hit.
+func (m *memResults) Has(key runner.Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.byKey[key]
+	return ok
+}
+
+// Drop removes key (called once the store holds the entry durably again).
+func (m *memResults) Drop(key runner.Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byKey[key]; !ok {
+		return
+	}
+	delete(m.byKey, key)
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len reports how many results are parked.
+func (m *memResults) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byKey)
+}
+
+// Served reports how many degraded-mode reads were answered from memory.
+func (m *memResults) Served() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.served
+}

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"vcoma/internal/fsio"
 	"vcoma/internal/runner"
 )
 
@@ -37,8 +39,12 @@ type journalRecord struct {
 // dropped, like the runner journal.
 type Journal struct {
 	path string
-	f    *os.File
-	w    *bufio.Writer
+	fs   *fsio.FS
+	f    *fsio.AppendFile
+	// tainted records that the previous append may have left partial bytes
+	// at the tail; the next append starts a fresh line so a good record
+	// never glues onto a torn one.
+	tainted bool
 }
 
 // OpenJournal opens (creating if needed) the accept log in stateDir,
@@ -46,7 +52,14 @@ type Journal struct {
 // incarnation. The log is compacted on open: retired records are dropped
 // and only the pending accepts are rewritten.
 func OpenJournal(stateDir string) (*Journal, []Request, error) {
-	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+	return OpenJournalFS(stateDir, nil)
+}
+
+// OpenJournalFS is OpenJournal through an explicit filesystem seam (nil =
+// plain durable I/O), so accept-log appends, fsyncs and the compaction
+// rename are fault-injectable and op-traced.
+func OpenJournalFS(stateDir string, fs *fsio.FS) (*Journal, []Request, error) {
+	if err := fs.MkdirAll("journal", stateDir); err != nil {
 		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
 	path := filepath.Join(stateDir, journalName)
@@ -55,16 +68,13 @@ func OpenJournal(stateDir string) (*Journal, []Request, error) {
 		return nil, nil, err
 	}
 
-	// Compact: rewrite header + pending accepts atomically, then append.
-	tmp, err := os.CreateTemp(stateDir, ".journal-*")
-	if err != nil {
-		return nil, nil, err
-	}
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
+	// Compact: rewrite header + pending accepts as one atomic, durable
+	// replacement (fsio fsyncs the temp before the rename and the state dir
+	// after it — the dir sync the old hand-rolled compaction was missing),
+	// then reopen for appending.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(journalRecord{Schema: journalSchema}); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
 		return nil, nil, err
 	}
 	for i := range pending {
@@ -74,35 +84,18 @@ func OpenJournal(stateDir string) (*Journal, []Request, error) {
 			continue
 		}
 		if err := enc.Encode(journalRecord{Op: "accept", Key: key, Req: &req}); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
 			return nil, nil, err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, nil, err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, nil, err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return nil, nil, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fs.WriteFileAtomic("journal", path, buf.Bytes()); err != nil {
 		return nil, nil, err
 	}
 
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenAppend("journal", path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f)}, pending, nil
+	return &Journal{path: path, fs: fs, f: f}, pending, nil
 }
 
 // keyOf resolves a journaled request to its job key; requests that no
@@ -194,12 +187,15 @@ func (j *Journal) record(rec journalRecord) error {
 	if err != nil {
 		return err
 	}
-	if _, err := j.w.Write(append(data, '\n')); err != nil {
+	line := append(data, '\n')
+	if j.tainted {
+		line = append([]byte{'\n'}, line...)
+	}
+	if err := j.f.Append(line); err != nil {
+		j.tainted = true
 		return err
 	}
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
+	j.tainted = false
 	return j.f.Sync()
 }
 
@@ -224,14 +220,10 @@ func (j *Journal) Cancel(key runner.Key) error {
 	return j.record(journalRecord{Op: "cancel", Key: key})
 }
 
-// Close flushes and closes the log file.
+// Close closes the log file.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
-	}
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
 	}
 	return j.f.Close()
 }

@@ -37,28 +37,37 @@ type serverMetrics struct {
 // Names absent from the table are exposed as untyped gauges without help —
 // nothing is silently dropped when someone registers a new probe.
 var metricMeta = map[string]struct{ Help, Type string }{
-	"serve/submits":            {"Accepted requests, including coalesced joins.", "counter"},
-	"serve/coalesced":          {"Requests joined onto an already in-flight job.", "counter"},
-	"serve/store.hits":         {"Requests answered directly from the artifact store.", "counter"},
-	"serve/sims.executed":      {"Simulations actually executed (store misses).", "counter"},
-	"serve/rejected.overload":  {"Submits rejected because the queue was full with no shed victim.", "counter"},
-	"serve/rejected.tenant":    {"Submits rejected by the per-tenant queued-job bound.", "counter"},
-	"serve/shed":               {"Queued jobs evicted to admit higher-priority work.", "counter"},
-	"serve/canceled":           {"Jobs canceled because every waiter withdrew.", "counter"},
-	"serve/failed":             {"Jobs whose simulation errored.", "counter"},
-	"serve/resumed":            {"Jobs re-enqueued from the accept journal at boot.", "counter"},
-	"serve/profiles":           {"CPU-profile artifacts captured alongside results.", "counter"},
-	"serve/queue.depth":        {"Jobs currently queued.", "gauge"},
-	"serve/queue.running":      {"Jobs currently being simulated.", "gauge"},
-	"serve/store.bytes":        {"Artifact store payload bytes on disk.", "gauge"},
-	"serve/store.entries":      {"Artifact store entries on disk.", "gauge"},
-	"serve/store.evicted":      {"Artifacts evicted by the store's LRU bound.", "counter"},
-	"serve/store.quarantined":  {"Corrupt artifacts quarantined by checksum verification.", "counter"},
-	"serve/lat.queue_wait_ms":  {"Milliseconds a job waited in queue before dispatch.", "histogram"},
-	"serve/lat.run_ms":         {"Milliseconds a fresh simulation took end to end.", "histogram"},
+	"serve/submits":           {"Accepted requests, including coalesced joins.", "counter"},
+	"serve/coalesced":         {"Requests joined onto an already in-flight job.", "counter"},
+	"serve/store.hits":        {"Requests answered directly from the artifact store.", "counter"},
+	"serve/sims.executed":     {"Simulations actually executed (store misses).", "counter"},
+	"serve/rejected.overload": {"Submits rejected because the queue was full with no shed victim.", "counter"},
+	"serve/rejected.tenant":   {"Submits rejected by the per-tenant queued-job bound.", "counter"},
+	"serve/shed":              {"Queued jobs evicted to admit higher-priority work.", "counter"},
+	"serve/canceled":          {"Jobs canceled because every waiter withdrew.", "counter"},
+	"serve/failed":            {"Jobs whose simulation errored.", "counter"},
+	"serve/resumed":           {"Jobs re-enqueued from the accept journal at boot.", "counter"},
+	"serve/profiles":          {"CPU-profile artifacts captured alongside results.", "counter"},
+	"serve/queue.depth":       {"Jobs currently queued.", "gauge"},
+	"serve/queue.running":     {"Jobs currently being simulated.", "gauge"},
+	"serve/store.bytes":       {"Artifact store payload bytes on disk.", "gauge"},
+	"serve/store.entries":     {"Artifact store entries on disk.", "gauge"},
+	"serve/store.evicted":     {"Artifacts evicted by the store's LRU bound.", "counter"},
+	"serve/store.quarantined": {"Corrupt artifacts quarantined by checksum verification.", "counter"},
+	"serve/lat.queue_wait_ms": {"Milliseconds a job waited in queue before dispatch.", "histogram"},
+	"serve/lat.run_ms":        {"Milliseconds a fresh simulation took end to end.", "histogram"},
+	"serve/degraded":          {"1 while the server is in storage-degraded mode, else 0.", "gauge"},
+	"serve/write.failures":    {"Durable write failures (journal, artifact puts, traces).", "counter"},
+	"serve/probe.failures":    {"Failed degraded-mode self-heal write probes.", "counter"},
+	"serve/mem.results":       {"Results currently held only in memory (store bypass).", "gauge"},
+	"serve/mem.served":        {"Result reads answered from the memory holdover.", "counter"},
+	"fsio/ops":                {"Filesystem operations through the fsio seam.", "counter"},
+	"fsio/errors":             {"Filesystem operations that returned an error.", "counter"},
+	"fsio/injected":           {"Filesystem errors injected by armed failpoints.", "counter"},
 }
 
-func newServerMetrics(queue *Queue, store *Store) *serverMetrics {
+func newServerMetrics(s *Server) *serverMetrics {
+	queue, store := s.queue, s.store
 	m := &serverMetrics{reg: obs.NewRegistry()}
 	probe := func(name string, v *atomic.Uint64) {
 		m.reg.Probe(name, func() float64 { return float64(v.Load()) })
@@ -80,6 +89,19 @@ func newServerMetrics(queue *Queue, store *Store) *serverMetrics {
 	m.reg.Probe("serve/store.entries", func() float64 { return float64(store.Snapshot().Entries) })
 	m.reg.Probe("serve/store.evicted", func() float64 { return float64(store.Snapshot().Evicted) })
 	m.reg.Probe("serve/store.quarantined", func() float64 { return float64(store.Snapshot().Quarantined) })
+	m.reg.Probe("serve/degraded", func() float64 {
+		if s.health.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	m.reg.Probe("serve/write.failures", func() float64 { return float64(s.health.Snapshot().WriteFailures) })
+	m.reg.Probe("serve/probe.failures", func() float64 { return float64(s.health.Snapshot().ProbeFailures) })
+	m.reg.Probe("serve/mem.results", func() float64 { return float64(s.mem.Len()) })
+	m.reg.Probe("serve/mem.served", func() float64 { return float64(s.mem.Served()) })
+	m.reg.Probe("fsio/ops", func() float64 { return float64(s.fs.Counters().Ops) })
+	m.reg.Probe("fsio/errors", func() float64 { return float64(s.fs.Counters().Errors) })
+	m.reg.Probe("fsio/injected", func() float64 { return float64(s.fs.Counters().Injected) })
 	m.queueWait = m.reg.Histogram("serve/lat.queue_wait_ms")
 	m.runTime = m.reg.Histogram("serve/lat.run_ms")
 	return m

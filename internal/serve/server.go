@@ -18,6 +18,7 @@ import (
 
 	"vcoma/internal/cli"
 	"vcoma/internal/experiments"
+	"vcoma/internal/fsio"
 	"vcoma/internal/obs"
 	"vcoma/internal/report"
 	"vcoma/internal/runner"
@@ -51,6 +52,18 @@ type Options struct {
 	Chaos *runner.Chaos
 	// DrainGrace bounds the HTTP shutdown on SIGTERM; 0 means 5s.
 	DrainGrace time.Duration
+	// FS is the filesystem seam every durable write goes through (journal,
+	// artifacts, traces); nil means a plain durable passthrough. Arm it with
+	// failpoints (-fsfault) to rehearse disk failure.
+	FS *fsio.FS
+	// FaultControl exposes POST /debug/fsfault for swapping failpoint specs
+	// at runtime. Off by default: it is a chaos-drill tool, not an API.
+	FaultControl bool
+	// ProbeInterval paces the degraded-mode self-heal probe; 0 means 2s.
+	ProbeInterval time.Duration
+	// DegradeAfter is how many consecutive durable-write failures flip the
+	// server into degraded mode; 0 means 1 (first failure degrades).
+	DegradeAfter int
 	// Log receives structured operational lines; nil silences them. Every
 	// job-scoped line carries trace_id, job_key and tenant.
 	Log *slog.Logger
@@ -67,6 +80,9 @@ type Server struct {
 	journal *Journal
 	lock    *runner.DirLock
 	metrics *serverMetrics
+	fs      *fsio.FS
+	health  *health
+	mem     *memResults
 
 	jmu sync.Mutex // serializes journal writes
 
@@ -75,8 +91,8 @@ type Server struct {
 	// for the slot and losers run unprofiled.
 	profiling atomic.Bool
 
-	wg       sync.WaitGroup
-	draining chan struct{}
+	wg        sync.WaitGroup
+	draining  chan struct{}
 	drainOnce sync.Once
 }
 
@@ -107,8 +123,16 @@ func New(opts Options) (*Server, error) {
 	if opts.DrainGrace <= 0 {
 		opts.DrainGrace = 5 * time.Second
 	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.FS == nil {
+		// Always run through the seam, even unarmed: the fsio op/error
+		// counters on /metrics stay live either way.
+		opts.FS = fsio.New(nil)
+	}
 
-	store, err := OpenStore(filepath.Join(opts.StateDir, "artifacts"), opts.MaxStoreBytes)
+	store, err := OpenStoreFS(filepath.Join(opts.StateDir, "artifacts"), opts.MaxStoreBytes, opts.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +140,7 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	journal, pending, err := OpenJournal(opts.StateDir)
+	journal, pending, err := OpenJournalFS(opts.StateDir, opts.FS)
 	if err != nil {
 		lock.Release()
 		return nil, err
@@ -133,9 +157,12 @@ func New(opts Options) (*Server, error) {
 		store:    store,
 		journal:  journal,
 		lock:     lock,
+		fs:       opts.FS,
+		health:   newHealth(opts.DegradeAfter),
+		mem:      newMemResults(0),
 		draining: make(chan struct{}),
 	}
-	s.metrics = newServerMetrics(s.queue, s.store)
+	s.metrics = newServerMetrics(s)
 	s.queue.OnShed = func(j *Job) {
 		s.metrics.shed.Add(1)
 		// Journal write deferred out of the queue's critical section is not
@@ -182,7 +209,6 @@ func New(opts Options) (*Server, error) {
 // queue, workers and handlers all retire jobs.
 func (s *Server) journalRetire(key runner.Key, op string) {
 	s.jmu.Lock()
-	defer s.jmu.Unlock()
 	var err error
 	switch op {
 	case "done":
@@ -192,6 +218,8 @@ func (s *Server) journalRetire(key runner.Key, op string) {
 	default:
 		err = s.journal.Cancel(key)
 	}
+	s.jmu.Unlock()
+	s.noteWrite("journal", err)
 	if err != nil {
 		s.log.Warn("journal", "op", op, "job_key", string(key), "error", err.Error())
 	}
@@ -199,8 +227,22 @@ func (s *Server) journalRetire(key runner.Key, op string) {
 
 func (s *Server) journalAccept(key runner.Key, req Request) error {
 	s.jmu.Lock()
-	defer s.jmu.Unlock()
-	return s.journal.Accept(key, req)
+	err := s.journal.Accept(key, req)
+	s.jmu.Unlock()
+	s.noteWrite("journal", err)
+	return err
+}
+
+// noteWrite feeds a durable-write outcome into the health state machine,
+// logging the transition when a failure flips the server degraded.
+func (s *Server) noteWrite(op string, err error) {
+	if err == nil {
+		s.health.writeOK()
+		return
+	}
+	if s.health.writeFailed(op, err) {
+		s.log.Error("entering degraded mode", "op", op, "error", err.Error())
+	}
 }
 
 // Start launches the worker pool under ctx. Cancelling ctx stops dispatch;
@@ -219,6 +261,39 @@ func (s *Server) Start(ctx context.Context) {
 				s.runJob(ctx, j)
 			}
 		}()
+	}
+	// Self-heal probe: while degraded, periodically prove the state dir
+	// writable again with a full atomic write; only this probe's success
+	// clears degraded mode (see health).
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if s.health.Degraded() {
+					s.probeWrite()
+				}
+			}
+		}
+	}()
+}
+
+// probeWrite attempts one full durable write in the state directory.
+func (s *Server) probeWrite() {
+	path := filepath.Join(s.opts.StateDir, ".fsio-probe")
+	if err := s.fs.WriteFileAtomic("probe", path, []byte("probe\n")); err != nil {
+		s.health.probeFailed()
+		s.log.Warn("degraded: write probe failed", "error", err.Error())
+		return
+	}
+	s.fs.Remove("probe", path)
+	if s.health.probeOK() {
+		s.log.Info("leaving degraded mode: write probe succeeded")
 	}
 }
 
@@ -298,6 +373,22 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		}
 		runSp.SetAttr("cached", strconv.FormatBool(cached))
 		runSp.End()
+		if s.store.Contains(j.Key) {
+			s.health.writeOK()
+			s.mem.Drop(j.Key)
+		} else if r, found := res.Jobs[spec.Name()]; found {
+			// The simulation finished but its artifact never landed —
+			// runner.Run treats a failed Put as non-fatal, so a dying disk
+			// surfaces here as a silently absent entry. Park the result bytes
+			// (identical to what the store would have served: the envelope's
+			// raw payload is json.Marshal of the value) so the work is served
+			// from memory instead of lost, and degrade.
+			if raw, merr := json.Marshal(r.Value); merr == nil {
+				s.mem.Put(j.Key, raw)
+			}
+			s.noteWrite("store-put", errStorePut)
+			jl.Warn("artifact not persisted; serving from memory", "name", spec.Name())
+		}
 		s.store.Note(j.Key)
 		s.journalRetire(j.Key, "done")
 		s.queue.Finish(j, nil)
@@ -421,10 +512,12 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 //	GET    /v1/jobs/{key}/trace   request span tree (?format=chrome → Perfetto)
 //	GET    /v1/jobs/{key}/profile CPU-profile artifact (submit with ?profile=cpu)
 //	DELETE /v1/jobs/{key}      remove this waiter (cancel when last)
-//	GET    /v1/queue           queue + store snapshot
-//	GET    /healthz            liveness
+//	GET    /v1/queue           queue + store + health snapshot
+//	GET    /healthz            liveness: "ok" or "degraded"
 //	GET    /metrics            Prometheus text exposition
 //	GET    /debug/pprof/       live profiling
+//	GET    /debug/fsfault      armed failpoint spec + fsio counters (opt-in)
+//	POST   /debug/fsfault      swap the failpoint spec (empty body disarms)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -437,12 +530,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{key}", s.handleCancel)
 	mux.HandleFunc("GET /v1/queue", s.handleQueue)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.health.Degraded() {
+			// Still 200: a degraded server is alive and serving — restarting
+			// it would only lose the memory-held results.
+			io.WriteString(w, "degraded\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.write(w)
 	})
+	if s.opts.FaultControl {
+		mux.HandleFunc("GET /debug/fsfault", s.handleFsFaultGet)
+		mux.HandleFunc("POST /debug/fsfault", s.handleFsFaultSet)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -506,6 +609,9 @@ func (s *Server) retryAfter() string {
 // trusting a 202 a crash could forget.
 var errJournal = errors.New("serve: journal write failed")
 
+// errStorePut marks a finished job whose artifact never landed on disk.
+var errStorePut = errors.New("serve: artifact put did not land")
+
 // admit runs one resolved spec through the store fast path and the queue,
 // journaling fresh admissions. Shared by submit and sweep. Every admission
 // mints a trace; when the request coalesces onto an in-flight job, the
@@ -539,6 +645,18 @@ func (s *Server) admit(req Request, spec Spec) (submitResponse, int, error) {
 		spec.Root.End()
 		resp.State = StateDone.String()
 		al.Info("submit", "name", spec.Name(), "outcome", "store-hit")
+		return resp, http.StatusOK, nil
+	}
+	// Degraded fast path: a result the store could not persist still answers
+	// from the memory holdover — no recompute, no queue slot.
+	if s.mem.Has(key) {
+		s.metrics.storeHits.Add(1)
+		admitSp.SetAttr("outcome", "mem-hit")
+		admitSp.End()
+		spec.Root.SetAttr("outcome", "mem-hit")
+		spec.Root.End()
+		resp.State = StateDone.String()
+		al.Info("submit", "name", spec.Name(), "outcome", "mem-hit")
 		return resp, http.StatusOK, nil
 	}
 
@@ -743,6 +861,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Status{Key: string(key), State: StateDone.String()})
 		return
 	}
+	if s.mem.Has(key) {
+		writeJSON(w, http.StatusOK, Status{Key: string(key), State: StateDone.String()})
+		return
+	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %.16s…", key))
 }
 
@@ -753,6 +875,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// The artifact bytes are served exactly as cached — the
 		// byte-identity contract across coalesced waiters and restarts.
 		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		return
+	}
+	// Degraded-mode fallback: results the store could not persist are still
+	// byte-identical from the memory holdover.
+	if raw, held := s.mem.Get(key); held {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Vcoma-Served-From", "memory")
 		w.Write(raw)
 		return
 	}
@@ -800,8 +930,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"queue": s.queue.Snapshot(),
-		"store": s.store.Snapshot(),
+		"queue":  s.queue.Snapshot(),
+		"store":  s.store.Snapshot(),
+		"health": s.health.Snapshot(),
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"vcoma/internal/fsio"
 	"vcoma/internal/runner"
 )
 
@@ -27,11 +28,12 @@ import (
 // means the cell is recomputed on next request).
 type Store struct {
 	cache *runner.Cache
+	fs    *fsio.FS
 
 	mu       sync.Mutex
 	maxBytes int64
 	total    int64
-	lru      *list.List               // front = most recent
+	lru      *list.List                   // front = most recent
 	index    map[runner.Key]*list.Element // value: *entry
 	evicted  uint64
 }
@@ -45,12 +47,20 @@ type entry struct {
 // bounded to maxBytes of entry payload (0 = unbounded). Existing entries
 // are indexed by modification time so recency survives restarts.
 func OpenStore(dir string, maxBytes int64) (*Store, error) {
-	c, err := runner.OpenCache(dir)
+	return OpenStoreFS(dir, maxBytes, nil)
+}
+
+// OpenStoreFS is OpenStore through an explicit filesystem seam (nil = plain
+// durable I/O): artifact puts, evictions and quarantines become
+// fault-injectable and op-traced.
+func OpenStoreFS(dir string, maxBytes int64, fs *fsio.FS) (*Store, error) {
+	c, err := runner.OpenCacheFS(dir, fs)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		cache:    c,
+		fs:       fs,
 		maxBytes: maxBytes,
 		lru:      list.New(),
 		index:    map[runner.Key]*list.Element{},
@@ -73,6 +83,14 @@ func (s *Store) Cache() *runner.Cache { return s.cache }
 // and the LRU never mistake it for an artifact).
 func (s *Store) ProfilePath(key runner.Key) string {
 	return strings.TrimSuffix(s.cache.EntryPath(key), ".json") + ".cpuprofile"
+}
+
+// Contains reports whether key's artifact file exists on disk right now.
+// The worker uses it to detect a swallowed store write (runner.Run treats a
+// failed Put as non-fatal) so degraded-mode serving can take over.
+func (s *Store) Contains(key runner.Key) bool {
+	_, err := os.Stat(s.cache.EntryPath(key))
+	return err == nil
 }
 
 // reindex scans the cache directory and seeds the LRU from file mtimes
@@ -181,13 +199,18 @@ func (s *Store) evictLocked(keep runner.Key) {
 			el = el.Prev()
 			e = el.Value.(*entry)
 		}
-		s.removeLocked(el)
-		if err := s.cache.Remove(e.key); err == nil {
-			s.evicted++
-			// The profile sidecar rides its artifact: best-effort removal so
-			// eviction never strands an orphaned .cpuprofile on disk.
-			os.Remove(s.ProfilePath(e.key))
+		if err := s.cache.Remove(e.key); err != nil {
+			// The unlink failed and the bytes are still on disk: keep the
+			// entry accounted (accounting must track reality, not intent) and
+			// stop evicting — a dying disk does not get better inside this
+			// loop, and the next Note retries.
+			return
 		}
+		s.removeLocked(el)
+		s.evicted++
+		// The profile sidecar rides its artifact: best-effort removal so
+		// eviction never strands an orphaned .cpuprofile on disk.
+		s.fs.Remove("evict", s.ProfilePath(e.key))
 	}
 }
 

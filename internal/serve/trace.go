@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,32 +41,41 @@ func (s *Server) chromePath(key runner.Key) string {
 	return filepath.Join(s.traceDir(), string(key)+".trace.json")
 }
 
-// writeTrace persists a retired job's trace files. Failures are logged, not
-// fatal: tracing is observational and must never fail a job that simulated
-// correctly.
+// writeTrace persists a retired job's trace files, atomically: each sidecar
+// is written whole through the fsio seam (temp + fsync + rename), so a crash
+// or fault mid-write never leaves a torn trace to serve later. Failures are
+// logged and fed to the health tracker, not fatal: tracing is observational
+// and must never fail a job that simulated correctly.
 func (s *Server) writeTrace(j *Job) {
 	tr := j.Trace()
 	if tr == nil {
 		return
 	}
-	if err := os.MkdirAll(s.traceDir(), 0o755); err != nil {
+	if err := s.fs.MkdirAll("trace", s.traceDir()); err != nil {
 		s.log.Warn("trace dir", "error", err.Error())
 		return
 	}
 	tree := tr.Export()
 	b, err := json.MarshalIndent(tree, "", "  ")
 	if err == nil {
-		err = os.WriteFile(s.spanPath(j.Key), append(b, '\n'), 0o644)
+		err = s.fs.WriteFileAtomic("trace", s.spanPath(j.Key), append(b, '\n'))
+		s.noteWrite("trace", err)
 	}
 	if err != nil {
 		s.log.Warn("trace write", "trace_id", string(tr.ID()), "job_key", string(j.Key), "error", err.Error())
 		return
 	}
 	// The Perfetto rendering: a fresh tracer holding just this request's
-	// track (pid 0 = the service, tid 1 = the request).
+	// track (pid 0 = the service, tid 1 = the request), rendered to memory
+	// and persisted with the same atomic discipline.
 	ct := obs.NewTracer(4096, "")
 	tr.AppendChrome(ct, 0, 1)
-	if err := ct.WriteFile(s.chromePath(j.Key), "vcoma-serve request "+string(tr.ID())); err != nil {
+	var buf bytes.Buffer
+	if err := ct.WriteJSON(&buf, "vcoma-serve request "+string(tr.ID())); err == nil {
+		err = s.fs.WriteFileAtomic("trace", s.chromePath(j.Key), buf.Bytes())
+		s.noteWrite("trace", err)
+	}
+	if err != nil {
 		s.log.Warn("trace write", "trace_id", string(tr.ID()), "job_key", string(j.Key), "error", err.Error())
 	}
 	s.pruneTraces()
@@ -135,7 +145,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if chrome {
 		path = s.chromePath(key)
 	}
-	if b, err := os.ReadFile(path); err == nil {
+	// Persisted dumps are validated before serving: a file a crash or fault
+	// tore mid-write (pre-atomic-write vintage, or a corrupted disk) is
+	// indistinguishable from absent — a torn trace must never be served.
+	if b, err := os.ReadFile(path); err == nil && json.Valid(b) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
 		return

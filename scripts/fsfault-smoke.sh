@@ -1,0 +1,140 @@
+#!/bin/sh
+# Fsfault smoke: boot vcoma-serve on a disk where every artifact put (and
+# every self-heal probe) hits ENOSPC, and prove the degraded-mode serving
+# contract end to end through real HTTP: the job still computes, its result
+# is served from memory byte-identical to a healthy run, nothing
+# materializes in the artifact store, /healthz and /metrics report the
+# degradation, a dead journal refuses accepts with 503 + Retry-After, and
+# clearing the failpoints over /debug/fsfault lets the periodic write probe
+# heal the server back to durable operation. The -fsfault-log op trace is
+# flushed on drain and kept in the scratch directory for post-mortems.
+#
+# Runs in a scratch directory; pass one as $1 (default: ./fsfault-smoke.tmp).
+set -eu
+
+work=${1:-fsfault-smoke.tmp}
+rm -rf "$work"
+mkdir -p "$work/bin"
+go build -o "$work/bin" ./cmd/...
+cd "$work"
+
+ADDR=127.0.0.1:8393
+BASE=http://$ADDR
+BODY='{"bench":"RADIX","scheme":"l0","scale":"test"}'
+
+# wait_http <url>: poll until the endpoint answers.
+wait_http() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "$1" > /dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $1 never came up" >&2
+    return 1
+}
+
+# field <name>: extract a string field from JSON on stdin.
+field() {
+    sed -n 's/.*"'"$1"'": *"\([^"]*\)".*/\1/p' | head -n 1
+}
+
+# wait_state <key> <state>: poll a job until it reaches the state.
+wait_state() {
+    for _ in $(seq 1 300); do
+        st=$(curl -fsS "$BASE/v1/jobs/$1" | field state)
+        [ "$st" = "$2" ] && return 0
+        sleep 0.1
+    done
+    echo "FAIL: job $1 never reached $2 (last: $st)" >&2
+    return 1
+}
+
+# wait_healthz <body>: poll /healthz until it reports the given state.
+wait_healthz() {
+    for _ in $(seq 1 150); do
+        h=$(curl -fsS "$BASE/healthz")
+        [ "$h" = "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "FAIL: /healthz never reached $1 (last: $h)" >&2
+    return 1
+}
+
+# metric <prom-name>: scrape one gauge/counter value.
+metric() {
+    curl -fsS "$BASE/metrics" | sed -n "s|^$1 ||p"
+}
+
+echo "== reference: healthy server computes and stores the cell"
+bin/vcoma-serve -addr "$ADDR" -state state-ref -workers 1 > ref-server.log 2>&1 &
+REF=$!
+wait_http "$BASE/healthz"
+wait_healthz ok
+KEY=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/jobs" | field key)
+[ -n "$KEY" ] || { echo "FAIL: submit returned no key" >&2; exit 1; }
+wait_state "$KEY" done
+curl -fsS "$BASE/v1/jobs/$KEY/result" > ref.json
+kill -TERM $REF
+rc=0; wait $REF || rc=$?
+[ "$rc" = 143 ] || { echo "FAIL: reference drain exited $rc, want 143" >&2; exit 1; }
+
+echo "== degraded: ENOSPC on every put, result still served from memory"
+bin/vcoma-serve -addr "$ADDR" -state state-deg -workers 1 \
+    -fsfault 'enospc:put:*,enospc:probe:*' -fsfault-control \
+    -fsfault-log fsio-ops.jsonl > deg-server.log 2>&1 &
+PID=$!
+wait_http "$BASE/healthz"
+K2=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/jobs" | field key)
+[ "$K2" = "$KEY" ] || { echo "FAIL: same request keyed differently ($K2 vs $KEY)" >&2; exit 1; }
+wait_state "$K2" done
+wait_healthz degraded
+curl -fsS -D result-headers.txt "$BASE/v1/jobs/$K2/result" > deg.json
+grep -qi '^x-vcoma-served-from: *memory' result-headers.txt \
+    || { echo "FAIL: degraded result not marked served-from memory" >&2; cat result-headers.txt >&2; exit 1; }
+cmp ref.json deg.json || { echo "FAIL: memory-served result differs from healthy run" >&2; exit 1; }
+n=$(find state-deg/artifacts -name '*.json' 2>/dev/null | grep -cv '\.metrics\.json$' || true)
+[ "$n" = 0 ] || { echo "FAIL: $n artifact file(s) materialized despite ENOSPC" >&2; exit 1; }
+
+echo "== observability: degraded state shows on /metrics and /debug/fsfault"
+[ "$(metric vcoma_serve_degraded)" = 1 ] \
+    || { echo "FAIL: vcoma_serve_degraded != 1" >&2; exit 1; }
+inj=$(metric vcoma_fsio_injected)
+[ "${inj:-0}" -ge 1 ] || { echo "FAIL: vcoma_fsio_injected=$inj, want >= 1" >&2; exit 1; }
+mem=$(metric vcoma_serve_mem_results)
+[ "${mem:-0}" -ge 1 ] || { echo "FAIL: vcoma_serve_mem_results=$mem, want >= 1" >&2; exit 1; }
+curl -fsS "$BASE/debug/fsfault" | grep -q 'enospc:put:\*' \
+    || { echo "FAIL: /debug/fsfault does not report the armed spec" >&2; exit 1; }
+
+echo "== repeat submit answers from the memory holdover, no recompute"
+st=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/jobs" | field state)
+[ "$st" = done ] || { echo "FAIL: repeat submit state $st, want done" >&2; exit 1; }
+
+echo "== dead journal: accepts are refused with 503 + Retry-After"
+curl -fsS -X POST -d 'eio:append:*,eio:probe:*' "$BASE/debug/fsfault" > /dev/null
+code=$(curl -sS -o refused.out -D refused-headers.txt -w '%{http_code}' -X POST \
+    -d '{"bench":"RADIX","scheme":"l1","scale":"test"}' "$BASE/v1/jobs")
+[ "$code" = 503 ] || { echo "FAIL: submit with dead journal got $code, want 503" >&2; cat refused.out >&2; exit 1; }
+grep -qi '^retry-after:' refused-headers.txt \
+    || { echo "FAIL: 503 without Retry-After" >&2; exit 1; }
+
+echo "== self-heal: clearing the failpoints lets the write probe recover"
+curl -fsS -X POST -d '' "$BASE/debug/fsfault" > /dev/null
+wait_healthz ok
+[ "$(metric vcoma_serve_degraded)" = 0 ] \
+    || { echo "FAIL: vcoma_serve_degraded != 0 after heal" >&2; exit 1; }
+
+echo "== healed server persists new work durably again"
+K3=$(curl -fsS -X POST -d '{"bench":"RADIX","scheme":"l1","scale":"test"}' "$BASE/v1/jobs" | field key)
+wait_state "$K3" done
+n=$(find state-deg/artifacts -name '*.json' 2>/dev/null | grep -cv '\.metrics\.json$' || true)
+[ "$n" -ge 1 ] || { echo "FAIL: healed server wrote no artifacts" >&2; exit 1; }
+kill -TERM $PID
+rc=0; wait $PID || rc=$?
+[ "$rc" = 143 ] || { echo "FAIL: degraded server drain exited $rc, want 143" >&2; exit 1; }
+
+echo "== op log: the drained server flushed its -fsfault-log trace"
+[ -s fsio-ops.jsonl ] || { echo "FAIL: fsio-ops.jsonl missing or empty" >&2; exit 1; }
+grep -q '"op":' fsio-ops.jsonl || { echo "FAIL: op log has no ops" >&2; exit 1; }
+grep -q 'injected fault' fsio-ops.jsonl \
+    || { echo "FAIL: op log recorded no injected faults" >&2; exit 1; }
+
+echo "fsfault smoke: all scenarios passed"
